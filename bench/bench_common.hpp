@@ -1,0 +1,78 @@
+// Shared helpers for the table/figure regeneration binaries: a tiny flag
+// parser and condition-grid utilities.
+#pragma once
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cgstream.hpp"
+
+namespace bench {
+
+struct CommonArgs {
+  int runs = 5;          // paper: 15 (--runs=15); default trimmed for time
+  int threads = 0;       // 0 = hardware concurrency
+  bool csv = false;      // also write CSV files next to the binary
+  bool color = true;     // ANSI heatmap colouring
+  std::uint64_t seed = 42;
+  std::string csv_prefix;
+};
+
+inline CommonArgs parse_args(int argc, char** argv,
+                             const char* default_prefix) {
+  CommonArgs a;
+  a.csv_prefix = default_prefix;
+  a.color = ::isatty(1) != 0;  // plain text when piped to a file
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--runs=", 7) == 0) {
+      a.runs = std::atoi(arg + 7);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      a.threads = std::atoi(arg + 10);
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      a.csv = true;
+    } else if (std::strcmp(arg, "--no-color") == 0) {
+      a.color = false;
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      a.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf(
+          "usage: %s [--runs=N] [--threads=N] [--csv] [--no-color] "
+          "[--seed=S]\n",
+          argv[0]);
+      std::exit(0);
+    }
+  }
+  return a;
+}
+
+/// The paper's base scenario for a grid cell.
+inline cgs::core::Scenario make_scenario(cgs::stream::GameSystem system,
+                                         double capacity_mbps,
+                                         double queue_mult,
+                                         std::optional<cgs::tcp::CcAlgo> cc,
+                                         std::uint64_t seed) {
+  cgs::core::Scenario sc;
+  sc.system = system;
+  sc.capacity = cgs::Bandwidth::mbps(capacity_mbps);
+  sc.queue_bdp_mult = queue_mult;
+  sc.tcp_algo = cc;
+  sc.seed = seed;
+  return sc;
+}
+
+inline const char* short_name(cgs::stream::GameSystem s) {
+  using cgs::stream::GameSystem;
+  switch (s) {
+    case GameSystem::kStadia: return "Stadia";
+    case GameSystem::kGeForce: return "GeForce";
+    case GameSystem::kLuna: return "Luna";
+  }
+  return "?";
+}
+
+}  // namespace bench

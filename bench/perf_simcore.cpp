@@ -1,0 +1,94 @@
+// google-benchmark microbenchmarks of the simulation core: event queue
+// throughput, link forwarding, TCP and full-testbed event rates.  These
+// guard the "a 9-minute condition simulates in seconds" property the
+// table/figure harnesses depend on.
+#include <benchmark/benchmark.h>
+
+#include "cgstream.hpp"
+
+namespace {
+
+using namespace cgs::literals;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  for (auto _ : state) {
+    cgs::sim::EventQueue q;
+    for (int i = 0; i < 1000; ++i) {
+      q.push(cgs::Time(i * 1000), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_SimulatorTimerChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    cgs::sim::Simulator sim;
+    int fired = 0;
+    cgs::sim::PeriodicTimer t(sim, 1_ms, [&] { ++fired; });
+    t.start();
+    sim.run_until(1_sec);
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorTimerChurn);
+
+void BM_LinkForwarding(benchmark::State& state) {
+  struct NullSink final : cgs::net::PacketSink {
+    void handle_packet(cgs::net::PacketPtr) override {}
+  };
+  for (auto _ : state) {
+    cgs::sim::Simulator sim;
+    cgs::net::PacketFactory f;
+    NullSink sink;
+    cgs::net::Link link(sim, "l", 1_gbps, 1_ms,
+                        std::make_unique<cgs::net::DropTailQueue>(10_MB),
+                        &sink);
+    for (int i = 0; i < 1000; ++i) {
+      link.handle_packet(
+          f.make(1, cgs::net::TrafficClass::kTcpData, 1500, sim.now(), {}));
+    }
+    sim.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_LinkForwarding);
+
+void BM_TcpSecond(benchmark::State& state) {
+  // One simulated second of a saturating Cubic flow at 25 Mb/s.
+  for (auto _ : state) {
+    cgs::sim::Simulator sim;
+    cgs::net::PacketFactory factory;
+    cgs::net::BottleneckRouter router(
+        sim, 25_mbps, 1_ms,
+        std::make_unique<cgs::net::DropTailQueue>(
+            bdp(25_mbps, cgs::Time(16500_us)) * 2));
+    cgs::net::DelayLine access(sim, 7_ms, &router.downstream_in());
+    cgs::tcp::BulkTcpFlow flow(sim, factory, 1, cgs::tcp::CcAlgo::kCubic);
+    router.register_client(1, &flow.receiver());
+    flow.attach(&access, &router.make_upstream(8_ms, &flow.sender()));
+    flow.sender().start();
+    sim.run_until(1_sec);
+    benchmark::DoNotOptimize(flow.receiver().bytes_delivered());
+  }
+}
+BENCHMARK(BM_TcpSecond)->Unit(benchmark::kMillisecond);
+
+void BM_TestbedSecond(benchmark::State& state) {
+  // One simulated second of the full paper testbed (game + TCP + ping).
+  for (auto _ : state) {
+    cgs::core::Scenario sc;
+    sc.duration = 1_sec;
+    sc.tcp_start = 100_ms;
+    sc.tcp_stop = 900_ms;
+    cgs::core::Testbed bed(sc);
+    benchmark::DoNotOptimize(bed.run());
+  }
+}
+BENCHMARK(BM_TestbedSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

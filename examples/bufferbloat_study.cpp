@@ -1,0 +1,69 @@
+// Bufferbloat study: how router queue sizing changes what a game stream
+// experiences — latency, loss and frame rate — when a bulk TCP download
+// shares the last-mile link.  A distilled version of the paper's §4.3
+// argument, swept over a finer queue grid than the paper's three points.
+//
+//   ./bufferbloat_study [cubic|bbr]
+//
+// Demonstrates: direct Testbed use with a custom sweep, the ping probe,
+// and the display model.
+#include <cstdio>
+#include <cstring>
+
+#include "cgstream.hpp"
+
+int main(int argc, char** argv) {
+  using cgs::tcp::CcAlgo;
+  const CcAlgo cc = argc > 1 && !std::strcmp(argv[1], "bbr") ? CcAlgo::kBbr
+                                                             : CcAlgo::kCubic;
+
+  std::printf(
+      "Bufferbloat sweep — Stadia-like stream + TCP %s bulk download, "
+      "25 Mb/s bottleneck\n\n",
+      std::string(cgs::tcp::to_string(cc)).c_str());
+
+  cgs::core::TextTable table;
+  table.set_header({"queue (xBDP)", "queue (KB)", "RTT ms", "p95 RTT",
+                    "game loss %", "fps", "game Mb/s"});
+
+  for (double q : {0.25, 0.5, 1.0, 2.0, 4.0, 7.0, 12.0}) {
+    cgs::core::Scenario sc;
+    sc.system = cgs::stream::GameSystem::kStadia;
+    sc.tcp_algo = cc;
+    sc.capacity = cgs::Bandwidth::mbps(25.0);
+    sc.queue_bdp_mult = q;
+    // Shortened schedule: 60 s warmup, 120 s competition, 30 s tail.
+    sc.duration = cgs::from_seconds(210);
+    sc.tcp_start = cgs::from_seconds(60);
+    sc.tcp_stop = cgs::from_seconds(180);
+
+    cgs::core::Testbed bed(sc);
+    const auto trace = bed.run();
+
+    std::vector<double> rtts;
+    for (const auto& s : trace.rtt) {
+      if (s.at >= sc.tcp_start && s.at < sc.tcp_stop) {
+        rtts.push_back(cgs::to_seconds(s.rtt) * 1e3);
+      }
+    }
+    char c0[16], c1[16], c2[16], c3[16], c4[16], c5[16], c6[16];
+    std::snprintf(c0, sizeof c0, "%.2f", q);
+    std::snprintf(c1, sizeof c1, "%.0f", double(sc.queue_bytes().bytes()) / 1e3);
+    std::snprintf(c2, sizeof c2, "%.1f", cgs::mean_of(rtts));
+    std::snprintf(c3, sizeof c3, "%.1f", cgs::percentile_of(rtts, 0.95));
+    std::snprintf(c4, sizeof c4, "%.2f",
+                  trace.game_loss_in(sc.tcp_start, sc.tcp_stop) * 100.0);
+    std::snprintf(c5, sizeof c5, "%.1f",
+                  trace.fps_over(sc.tcp_start, sc.tcp_stop));
+    std::snprintf(c6, sizeof c6, "%.1f",
+                  trace.mean_game_mbps(sc.tcp_start, sc.tcp_stop));
+    table.add_row({c0, c1, c2, c3, c4, c5, c6});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "reading: small queues trade latency for loss; large queues trade "
+      "loss for latency (bufferbloat).\nAgainst BBR the RTT growth "
+      "saturates near 2x BDP — its inflight cap bounds the standing "
+      "queue.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+#include "apps/dash_video.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cgs::apps {
+
+DashVideoClient::DashVideoClient(sim::Simulator& sim,
+                                 net::PacketFactory& factory,
+                                 net::FlowId flow, tcp::CcAlgo algo,
+                                 DashConfig cfg)
+    : sim_(sim),
+      cfg_(cfg),
+      flow_(sim, factory, flow, algo),
+      wakeup_(sim, [this] { maybe_request(sim_.now()); }),
+      estimate_bps_(cfg.estimate_gain) {
+  assert(!cfg_.ladder.empty());
+}
+
+void DashVideoClient::start() {
+  running_ = true;
+  last_advance_ = sim_.now();
+  maybe_request(sim_.now());
+}
+
+void DashVideoClient::stop() {
+  running_ = false;
+  wakeup_.cancel();
+  flow_.sender().stop();
+}
+
+void DashVideoClient::advance_playback(Time now) const {
+  const Time dt = now - last_advance_;
+  last_advance_ = now;
+  if (dt <= kTimeZero) return;
+  if (buffered_ >= dt) {
+    buffered_ -= dt;
+  } else {
+    stalled_total_ += dt - buffered_;
+    buffered_ = kTimeZero;
+  }
+}
+
+Time DashVideoClient::buffer_level(Time now) const {
+  advance_playback(now);
+  return buffered_;
+}
+
+Time DashVideoClient::stall_time(Time now) const {
+  advance_playback(now);
+  return stalled_total_;
+}
+
+std::size_t DashVideoClient::pick_quality() const {
+  const double budget = estimate_bps_.value_or(
+                            double(cfg_.ladder.front().bits_per_sec())) *
+                        cfg_.safety;
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < cfg_.ladder.size(); ++i) {
+    if (double(cfg_.ladder[i].bits_per_sec()) <= budget) best = i;
+  }
+  return best;
+}
+
+void DashVideoClient::maybe_request(Time now) {
+  if (!running_ || fetching_) return;
+  advance_playback(now);
+
+  if (buffered_ >= cfg_.buffer_target) {
+    // Buffer full: wake when one chunk's worth has played out.
+    wakeup_.arm(cfg_.chunk_duration);
+    return;
+  }
+
+  quality_ = pick_quality();
+  const Bandwidth rate = cfg_.ladder[quality_];
+  const ByteSize bytes = rate.bytes_over(cfg_.chunk_duration);
+  fetching_ = true;
+  const Time requested_at = now;
+  flow_.sender().send_bounded(bytes, [this, requested_at, bytes] {
+    on_chunk_complete(requested_at, bytes);
+  });
+}
+
+void DashVideoClient::on_chunk_complete(Time requested_at, ByteSize bytes) {
+  const Time now = sim_.now();
+  fetching_ = false;
+  ++chunks_;
+  quality_bps_sum_ += cfg_.ladder[quality_].bits_per_sec();
+  const Time took = std::max(now - requested_at, Time(1));
+  estimate_bps_.update(double(rate_of(bytes, took).bits_per_sec()));
+  advance_playback(now);
+  buffered_ += cfg_.chunk_duration;
+  maybe_request(now);
+}
+
+Bandwidth DashVideoClient::mean_quality() const {
+  if (chunks_ == 0) return Bandwidth::zero();
+  return Bandwidth(quality_bps_sum_ / chunks_);
+}
+
+}  // namespace cgs::apps

@@ -1,0 +1,94 @@
+#include "core/aggregate.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace cgs::core {
+
+SeriesStats aggregate_series(const std::vector<std::vector<double>>& runs) {
+  SeriesStats out;
+  if (runs.empty()) return out;
+  std::size_t len = runs.front().size();
+  for (const auto& r : runs) len = std::min(len, r.size());
+
+  out.mean.resize(len);
+  out.sd.resize(len);
+  out.ci95.resize(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    RunningStats s;
+    for (const auto& r : runs) s.add(r[i]);
+    out.mean[i] = s.mean();
+    out.sd[i] = s.stddev();
+    out.ci95[i] = ci95_halfwidth(s);
+  }
+  return out;
+}
+
+ConditionResult summarize(const Scenario& sc,
+                          const std::vector<RunTrace>& traces) {
+  ConditionResult res;
+  res.scenario = sc;
+  res.runs = int(traces.size());
+  if (traces.empty()) return res;
+
+  std::vector<std::vector<double>> game_runs, tcp_runs;
+  game_runs.reserve(traces.size());
+  tcp_runs.reserve(traces.size());
+  for (const auto& t : traces) {
+    game_runs.push_back(t.game_mbps);
+    tcp_runs.push_back(t.tcp_mbps);
+  }
+  res.game = aggregate_series(game_runs);
+  res.tcp = aggregate_series(tcp_runs);
+
+  const Time ival = traces.front().sample_interval;
+
+  // Measurement window: the competing-flow period (same window for solo
+  // runs, keeping Tables 3 and 4 comparable).
+  const Time win_from = sc.tcp_start;
+  const Time win_to = sc.tcp_stop;
+
+  const AnalysisWindows aw;
+  RunningStats fair, fps, loss, steady_m, gfair, tfair;
+  RunningStats rtt_all;  // pooled RTT samples across runs
+  std::vector<double> steady_means;
+  for (const auto& t : traces) {
+    if (sc.tcp_algo) {
+      fair.add(fairness_ratio(t.game_mbps, t.tcp_mbps, ival, sc.capacity));
+    }
+    gfair.add(t.mean_game_mbps(aw.fairness_from, aw.fairness_to));
+    tfair.add(t.mean_tcp_mbps(aw.fairness_from, aw.fairness_to));
+    fps.add(t.fps_over(win_from, win_to));
+    loss.add(t.game_loss_in(win_from, win_to));
+    for (const auto& r : t.rtt) {
+      if (r.at >= win_from && r.at < win_to) {
+        rtt_all.add(to_seconds(r.rtt) * 1e3);
+      }
+    }
+    // Steady-state window: the last minute before the TCP flow arrives
+    // (§4.2's "original bitrate" window, scaled to shortened schedules).
+    const Time steady_from =
+        win_from > std::chrono::seconds(60) ? win_from - std::chrono::seconds(60)
+                                            : win_from / 2;
+    const double sm = t.mean_game_mbps(steady_from, win_from);
+    steady_m.add(sm);
+    steady_means.push_back(sm);
+  }
+  res.fairness_mean = fair.mean();
+  res.fairness_sd = fair.stddev();
+  res.game_fair_mbps = gfair.mean();
+  res.tcp_fair_mbps = tfair.mean();
+  res.fps_mean = fps.mean();
+  res.fps_sd = fps.stddev();
+  res.loss_mean = loss.mean();
+  res.rtt_mean_ms = rtt_all.mean();
+  res.rtt_sd_ms = rtt_all.stddev();
+  res.steady_mean_mbps = steady_m.mean();
+  res.steady_sd_mbps = steady_m.stddev();
+
+  res.rr = response_recovery(res.game.mean, ival, sc.tcp_start, sc.tcp_stop);
+  return res;
+}
+
+}  // namespace cgs::core

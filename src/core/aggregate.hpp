@@ -1,0 +1,62 @@
+// Cross-run aggregation: mean series with 95% confidence intervals (the
+// shaded bands of Figure 2) and per-condition summary statistics.
+#pragma once
+
+#include <vector>
+
+#include "core/collectors.hpp"
+#include "core/metrics.hpp"
+#include "core/scenario.hpp"
+
+namespace cgs::core {
+
+struct SeriesStats {
+  std::vector<double> mean;
+  std::vector<double> sd;
+  std::vector<double> ci95;  // half-width
+};
+
+/// Element-wise aggregation of equal-length series.
+[[nodiscard]] SeriesStats aggregate_series(
+    const std::vector<std::vector<double>>& runs);
+
+/// Everything the benches need about one grid cell.
+struct ConditionResult {
+  Scenario scenario;
+  int runs = 0;
+
+  SeriesStats game;  // bitrate Mb/s per 0.5 s bucket
+  SeriesStats tcp;
+
+  // Fairness ratio: mean/sd across runs (Fig 3 cell value).
+  double fairness_mean = 0.0;
+  double fairness_sd = 0.0;
+  // Mean bitrates over the fairness window (220-370 s).
+  double game_fair_mbps = 0.0;
+  double tcp_fair_mbps = 0.0;
+
+  // Response/recovery computed on the mean game series (Fig 4 inputs).
+  ResponseRecovery rr;
+
+  // Ping RTT over the measurement window, aggregated across runs
+  // (Tables 3/4: mean with sd of all samples).
+  double rtt_mean_ms = 0.0;
+  double rtt_sd_ms = 0.0;
+
+  // Display frame rate over the measurement window (Table 5).
+  double fps_mean = 0.0;
+  double fps_sd = 0.0;
+
+  // Game packet loss fraction over the measurement window (§4.3).
+  double loss_mean = 0.0;
+
+  // Steady-state game bitrate (Table 1 and solo baselines).
+  double steady_mean_mbps = 0.0;
+  double steady_sd_mbps = 0.0;
+};
+
+/// Digest per-run traces into a ConditionResult.
+[[nodiscard]] ConditionResult summarize(const Scenario& scenario,
+                                        const std::vector<RunTrace>& traces);
+
+}  // namespace cgs::core

@@ -1,0 +1,147 @@
+#include "core/collectors.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace cgs::core {
+
+namespace {
+std::size_t bucket_index(Time t, Time interval) {
+  return std::size_t(t.count() / interval.count());
+}
+}  // namespace
+
+std::size_t RunTrace::bucket_of(Time t) const {
+  return bucket_index(t, sample_interval);
+}
+
+double RunTrace::mean_bitrate_mbps(const std::vector<double>& series,
+                                   Time from, Time to) const {
+  RunningStats s;
+  const std::size_t lo = bucket_of(from);
+  const std::size_t hi = std::min(bucket_of(to), series.size());
+  for (std::size_t i = lo; i < hi; ++i) s.add(series[i]);
+  return s.mean();
+}
+
+double RunTrace::sd_bitrate_mbps(const std::vector<double>& series, Time from,
+                                 Time to) const {
+  RunningStats s;
+  const std::size_t lo = bucket_of(from);
+  const std::size_t hi = std::min(bucket_of(to), series.size());
+  for (std::size_t i = lo; i < hi; ++i) s.add(series[i]);
+  return s.stddev();
+}
+
+double RunTrace::mean_rtt_ms(Time from, Time to) const {
+  RunningStats s;
+  for (const auto& r : rtt) {
+    if (r.at >= from && r.at < to) s.add(to_seconds(r.rtt) * 1e3);
+  }
+  return s.mean();
+}
+
+double RunTrace::sd_rtt_ms(Time from, Time to) const {
+  RunningStats s;
+  for (const auto& r : rtt) {
+    if (r.at >= from && r.at < to) s.add(to_seconds(r.rtt) * 1e3);
+  }
+  return s.stddev();
+}
+
+double RunTrace::game_loss_in(Time from, Time to) const {
+  if (game_pkts_recv.empty()) return 0.0;
+  const std::size_t lo =
+      std::min(bucket_of(from), game_pkts_recv.size() - 1);
+  const std::size_t hi = std::min(bucket_of(to), game_pkts_recv.size() - 1);
+  if (hi <= lo) return 0.0;
+  const double recv = double(game_pkts_recv[hi] - game_pkts_recv[lo]);
+  const double lost = double(game_pkts_lost[hi] - game_pkts_lost[lo]);
+  const double expected = recv + lost;
+  return expected > 0.0 ? lost / expected : 0.0;
+}
+
+double RunTrace::fps_over(Time from, Time to) const {
+  if (to <= from) return 0.0;
+  const auto lo = std::lower_bound(frame_times.begin(), frame_times.end(), from);
+  const auto hi = std::lower_bound(frame_times.begin(), frame_times.end(), to);
+  return double(std::distance(lo, hi)) / to_seconds(to - from);
+}
+
+TraceCollectors::TraceCollectors(sim::Simulator& sim, Time duration,
+                                 Time sample_interval, net::FlowId game_flow,
+                                 net::FlowId tcp_flow)
+    : sim_(sim),
+      duration_(duration),
+      interval_(sample_interval),
+      game_flow_(game_flow),
+      tcp_flow_(tcp_flow),
+      n_buckets_(bucket_index(duration, sample_interval) + 1),
+      game_bytes_(n_buckets_, 0),
+      tcp_bytes_(n_buckets_, 0),
+      drops_(n_buckets_ + 1, 0),
+      recv_samples_(n_buckets_ + 1, 0),
+      lost_samples_(n_buckets_ + 1, 0),
+      sampler_(sim, sample_interval, [this] { sample_counters(); }) {}
+
+std::size_t TraceCollectors::bucket_of(Time t) const {
+  return std::min(bucket_index(t, interval_), n_buckets_ - 1);
+}
+
+void TraceCollectors::attach_bottleneck(net::Link& link) {
+  link.sniffer().on_deliver([this](const net::Packet& p, Time t) {
+    const std::size_t b = bucket_of(t);
+    if (p.flow == game_flow_) {
+      game_bytes_[b] += p.size_bytes;
+    } else if (p.flow == tcp_flow_) {
+      tcp_bytes_[b] += p.size_bytes;
+    }
+  });
+  link.sniffer().on_drop(
+      [this](const net::Packet&, net::DropReason, Time) { ++drop_counter_; });
+}
+
+void TraceCollectors::attach_game_receiver(const stream::StreamReceiver& recv) {
+  game_recv_ = &recv;
+}
+
+void TraceCollectors::start() { sampler_.start(); }
+
+void TraceCollectors::sample_counters() {
+  // The sampler fires at k * interval; entry k holds the cumulative counts
+  // at that boundary (entry 0 stays zero: counts at t=0).
+  const auto k = std::min(
+      std::size_t((sim_.now().count() + interval_.count() / 2) /
+                  interval_.count()),
+      n_buckets_);
+  drops_[k] = drop_counter_;
+  if (game_recv_ != nullptr) {
+    recv_samples_[k] = game_recv_->packets_received();
+    lost_samples_[k] = game_recv_->packets_lost();
+  }
+}
+
+RunTrace TraceCollectors::finalize(const PingClient* ping,
+                                   const stream::StreamReceiver* recv) const {
+  RunTrace t;
+  t.sample_interval = interval_;
+  t.duration = duration_;
+  t.game_mbps.resize(n_buckets_);
+  t.tcp_mbps.resize(n_buckets_);
+  const double ival_s = to_seconds(interval_);
+  for (std::size_t i = 0; i < n_buckets_; ++i) {
+    t.game_mbps[i] = double(game_bytes_[i]) * 8.0 / ival_s / 1e6;
+    t.tcp_mbps[i] = double(tcp_bytes_[i]) * 8.0 / ival_s / 1e6;
+  }
+  // Boundary-indexed cumulative counters: entry k = count at k * interval.
+  t.queue_drops = drops_;
+  t.game_pkts_recv = recv_samples_;
+  t.game_pkts_lost = lost_samples_;
+  if (ping != nullptr) t.rtt = ping->samples();
+  if (recv != nullptr) t.frame_times = recv->display().presentation_times();
+  return t;
+}
+
+}  // namespace cgs::core

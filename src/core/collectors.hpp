@@ -1,0 +1,99 @@
+// Trace collection: the simulator's Wireshark + PresentMon + ping log,
+// digested into per-run time series (RunTrace).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ping.hpp"
+#include "net/link.hpp"
+#include "stream/receiver.hpp"
+#include "util/units.hpp"
+
+namespace cgs::core {
+
+/// Everything measured in one experiment run.
+struct RunTrace {
+  Time sample_interval = std::chrono::milliseconds(500);
+  Time duration = kTimeZero;
+
+  // Downstream goodput at the client side of the bottleneck, one bucket per
+  // sample interval, in Mb/s (the paper's 0.5 s bitrate computation, §4.1).
+  std::vector<double> game_mbps;
+  std::vector<double> tcp_mbps;
+
+  // Ping RTT samples.
+  std::vector<PingClient::Sample> rtt;
+
+  // Cumulative game-stream packet counters sampled per bucket.
+  std::vector<std::uint64_t> game_pkts_recv;
+  std::vector<std::uint64_t> game_pkts_lost;
+
+  // Router-queue drop counter sampled per bucket (all flows).
+  std::vector<std::uint64_t> queue_drops;
+
+  // Frame presentation timestamps at the client display.
+  std::vector<Time> frame_times;
+
+  // -- window helpers (from/to are absolute sim times) ---------------------
+  [[nodiscard]] double mean_bitrate_mbps(const std::vector<double>& series,
+                                         Time from, Time to) const;
+  [[nodiscard]] double mean_game_mbps(Time from, Time to) const {
+    return mean_bitrate_mbps(game_mbps, from, to);
+  }
+  [[nodiscard]] double mean_tcp_mbps(Time from, Time to) const {
+    return mean_bitrate_mbps(tcp_mbps, from, to);
+  }
+  [[nodiscard]] double sd_bitrate_mbps(const std::vector<double>& series,
+                                       Time from, Time to) const;
+  [[nodiscard]] double mean_rtt_ms(Time from, Time to) const;
+  [[nodiscard]] double sd_rtt_ms(Time from, Time to) const;
+  /// Game packet loss fraction over the window.
+  [[nodiscard]] double game_loss_in(Time from, Time to) const;
+  /// Presented frames per second over the window.
+  [[nodiscard]] double fps_over(Time from, Time to) const;
+
+  [[nodiscard]] std::size_t bucket_of(Time t) const;
+};
+
+/// Wires taps into the testbed's components and assembles a RunTrace.
+class TraceCollectors {
+ public:
+  TraceCollectors(sim::Simulator& sim, Time duration, Time sample_interval,
+                  net::FlowId game_flow, net::FlowId tcp_flow);
+
+  /// Subscribe to the bottleneck link (delivery + drop taps).
+  void attach_bottleneck(net::Link& link);
+  /// Sample game receiver counters each bucket. Must outlive collection.
+  void attach_game_receiver(const stream::StreamReceiver& recv);
+
+  /// Start periodic counter sampling.
+  void start();
+
+  /// Build the final trace (call after the run completes).
+  [[nodiscard]] RunTrace finalize(const PingClient* ping,
+                                  const stream::StreamReceiver* recv) const;
+
+ private:
+  void sample_counters();
+  [[nodiscard]] std::size_t bucket_of(Time t) const;
+
+  sim::Simulator& sim_;
+  Time duration_;
+  Time interval_;
+  net::FlowId game_flow_;
+  net::FlowId tcp_flow_;
+  std::size_t n_buckets_;
+
+  std::vector<std::int64_t> game_bytes_;
+  std::vector<std::int64_t> tcp_bytes_;
+  std::vector<std::uint64_t> drops_;
+  std::vector<std::uint64_t> recv_samples_;
+  std::vector<std::uint64_t> lost_samples_;
+
+  const stream::StreamReceiver* game_recv_ = nullptr;
+  std::uint64_t drop_counter_ = 0;
+  sim::PeriodicTimer sampler_;
+};
+
+}  // namespace cgs::core

@@ -1,0 +1,62 @@
+// The paper's derived metrics (§4.1–§4.2): fairness ratio, response /
+// recovery times, and the combined adaptiveness score.
+#pragma once
+
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "util/units.hpp"
+
+namespace cgs::core {
+
+// Analysis windows from §4.1/§4.2, relative to the schedule constants.
+struct AnalysisWindows {
+  Time original_from = std::chrono::seconds(125);  // pre-TCP baseline
+  Time original_to = std::chrono::seconds(185);
+  Time settled_from = std::chrono::seconds(310);   // adjusted-to-TCP level
+  Time settled_to = std::chrono::seconds(370);
+  Time fairness_from = std::chrono::seconds(220);  // §4.1, skips response
+  Time fairness_to = std::chrono::seconds(370);
+  Time recovery_limit = std::chrono::seconds(185); // max measurable recovery
+};
+
+/// (game - tcp) / capacity over the fairness window; in [-1, 1].
+[[nodiscard]] double fairness_ratio(const std::vector<double>& game_mbps,
+                                    const std::vector<double>& tcp_mbps,
+                                    Time sample_interval, Bandwidth capacity,
+                                    const AnalysisWindows& w = {});
+
+struct ResponseRecovery {
+  double response_s = 0.0;  // C: time to contract after TCP arrival
+  double recovery_s = 0.0;  // E: time to expand after TCP departure
+  bool responded = false;   // false: never reached the adjusted band
+  bool recovered = false;   // false: never reached the original band
+};
+
+/// §4.2 definitions, computed on a (mean) bitrate series: response time is
+/// the first time after tcp_start at which the short-window average bitrate
+/// is within one sd of the settled level; recovery analogously after
+/// tcp_stop vs the original level.  Unreached bands are clamped to the
+/// window length with responded/recovered = false.
+[[nodiscard]] ResponseRecovery response_recovery(
+    const std::vector<double>& game_mbps, Time sample_interval,
+    Time tcp_start, Time tcp_stop, const AnalysisWindows& w = {});
+
+/// A = 1/2 (1 - C/Cmax) + 1/2 (1 - E/Emax).
+[[nodiscard]] double adaptiveness(const ResponseRecovery& rr, double c_max_s,
+                                  double e_max_s);
+
+/// Jain's fairness index over per-flow throughputs (extra metric used by
+/// the TCP-vs-TCP ablation).
+[[nodiscard]] double jain_index(const std::vector<double>& throughputs);
+
+/// Harm (Ware et al., HotNets 2019; paper §5 future work): the fraction of
+/// a flow's solo performance destroyed by a competitor.  For "more is
+/// better" metrics (throughput): (solo - with) / solo.  Clamped to [0, 1];
+/// 0 when solo is not positive.
+[[nodiscard]] double harm_more_is_better(double solo, double with_competitor);
+
+/// Harm for "less is better" metrics (delay, loss): (with - solo) / with.
+[[nodiscard]] double harm_less_is_better(double solo, double with_competitor);
+
+}  // namespace cgs::core

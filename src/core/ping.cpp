@@ -1,0 +1,37 @@
+#include "core/ping.hpp"
+
+namespace cgs::core {
+
+void PingResponder::handle_packet(net::PacketPtr pkt) {
+  const auto* h = std::get_if<net::PingHeader>(&pkt->header);
+  if (h == nullptr || h->is_reply || out_ == nullptr) return;
+  net::PingHeader reply = *h;
+  reply.is_reply = true;
+  out_->handle_packet(factory_.make(flow_, net::TrafficClass::kPing,
+                                    net::kPingWire, sim_.now(), reply));
+}
+
+PingClient::PingClient(sim::Simulator& sim, net::PacketFactory& factory,
+                       net::FlowId flow, Time interval)
+    : sim_(sim),
+      factory_(factory),
+      flow_(flow),
+      timer_(sim, interval, [this] { send_ping(); }) {}
+
+void PingClient::send_ping() {
+  if (out_ == nullptr) return;
+  net::PingHeader h;
+  h.ping_id = next_id_++;
+  h.is_reply = false;
+  h.sent_time = sim_.now();
+  out_->handle_packet(factory_.make(flow_, net::TrafficClass::kPing,
+                                    net::kPingWire, sim_.now(), h));
+}
+
+void PingClient::handle_packet(net::PacketPtr pkt) {
+  const auto* h = std::get_if<net::PingHeader>(&pkt->header);
+  if (h == nullptr || !h->is_reply) return;
+  samples_.push_back(Sample{sim_.now(), sim_.now() - h->sent_time});
+}
+
+}  // namespace cgs::core

@@ -1,0 +1,63 @@
+// Latency probe pair — the testbed's `ping` to the game server (§3.4).
+#pragma once
+
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/timer.hpp"
+
+namespace cgs::core {
+
+/// Echoes ping requests back down the (congested) downstream path.
+class PingResponder final : public net::PacketSink {
+ public:
+  PingResponder(sim::Simulator& sim, net::PacketFactory& factory,
+                net::FlowId flow)
+      : sim_(sim), factory_(factory), flow_(flow) {}
+
+  /// Downstream path entry for replies; must outlive the responder.
+  void set_output(net::PacketSink* out) { out_ = out; }
+
+  void handle_packet(net::PacketPtr pkt) override;
+
+ private:
+  sim::Simulator& sim_;
+  net::PacketFactory& factory_;
+  net::FlowId flow_;
+  net::PacketSink* out_ = nullptr;
+};
+
+/// Sends periodic ping requests upstream and records reply RTTs.
+class PingClient final : public net::PacketSink {
+ public:
+  struct Sample {
+    Time at;
+    Time rtt;
+  };
+
+  PingClient(sim::Simulator& sim, net::PacketFactory& factory,
+             net::FlowId flow, Time interval = std::chrono::milliseconds(500));
+
+  /// Upstream path entry for requests; must outlive the client.
+  void set_output(net::PacketSink* out) { out_ = out; }
+
+  void start() { timer_.start(true); }
+  void stop() { timer_.stop(); }
+
+  void handle_packet(net::PacketPtr pkt) override;
+
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+
+ private:
+  void send_ping();
+
+  sim::Simulator& sim_;
+  net::PacketFactory& factory_;
+  net::FlowId flow_;
+  net::PacketSink* out_ = nullptr;
+  sim::PeriodicTimer timer_;
+  std::uint32_t next_id_ = 1;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace cgs::core

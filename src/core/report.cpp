@@ -1,0 +1,147 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace cgs::core {
+
+std::string fmt_mean_sd(double mean, double sd, int prec) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << mean << " (" << sd << ")";
+  return os.str();
+}
+
+void TextTable::set_header(std::vector<std::string> cols) {
+  header_ = std::move(cols);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto grow = [&](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r);
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << std::left << std::setw(int(widths[i]) + 2) << cell;
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+namespace {
+/// Map value in [-1, 1] to an ANSI 256-colour background: blue (cool,
+/// negative: TCP wins) through white to red (warm, positive: game wins).
+std::string cell_color(double v) {
+  const double c = std::clamp(v, -1.0, 1.0);
+  int code;
+  if (c < -0.30) code = 27;        // strong blue
+  else if (c < -0.15) code = 75;   // blue
+  else if (c < -0.05) code = 153;  // light blue
+  else if (c <= 0.05) code = 255;  // near-white
+  else if (c <= 0.15) code = 223;  // light orange
+  else if (c <= 0.30) code = 209;  // orange
+  else code = 196;                 // red
+  return "\033[48;5;" + std::to_string(code) + ";30m";
+}
+}  // namespace
+
+std::string render_heatmap_block(
+    const std::string& title, const std::vector<double>& capacities_mbps,
+    const std::vector<double>& queue_mults,
+    const std::vector<std::vector<double>>& values, bool color) {
+  std::ostringstream os;
+  os << title << '\n';
+  os << std::setw(10) << "";
+  for (double q : queue_mults) {
+    std::ostringstream h;
+    h << q << "x BDP";
+    os << std::setw(10) << h.str();
+  }
+  os << '\n';
+  for (std::size_t r = 0; r < capacities_mbps.size(); ++r) {
+    std::ostringstream lbl;
+    lbl << capacities_mbps[r] << " Mb/s";
+    os << std::setw(10) << lbl.str();
+    for (std::size_t c = 0; c < queue_mults.size(); ++c) {
+      std::ostringstream cell;
+      cell << std::showpos << std::fixed << std::setprecision(2)
+           << values[r][c];
+      if (color) {
+        os << cell_color(values[r][c]) << std::setw(10) << cell.str()
+           << "\033[0m";
+      } else {
+        os << std::setw(10) << cell.str();
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void write_series_csv(const std::string& path, Time sample_interval,
+                      const SeriesStats& game, const SeriesStats* tcp) {
+  CsvWriter csv(path);
+  if (tcp != nullptr) {
+    csv.header({"t_s", "game_mean_mbps", "game_ci_lo", "game_ci_hi",
+                "tcp_mean_mbps", "tcp_ci_lo", "tcp_ci_hi"});
+  } else {
+    csv.header({"t_s", "game_mean_mbps", "game_ci_lo", "game_ci_hi"});
+  }
+  const double dt = to_seconds(sample_interval);
+  for (std::size_t i = 0; i < game.mean.size(); ++i) {
+    const double t = double(i) * dt;
+    if (tcp != nullptr && i < tcp->mean.size()) {
+      csv.row({t, game.mean[i], game.mean[i] - game.ci95[i],
+               game.mean[i] + game.ci95[i], tcp->mean[i],
+               tcp->mean[i] - tcp->ci95[i], tcp->mean[i] + tcp->ci95[i]});
+    } else {
+      csv.row({t, game.mean[i], game.mean[i] - game.ci95[i],
+               game.mean[i] + game.ci95[i]});
+    }
+  }
+}
+
+std::string sparkline(const std::vector<double>& series, std::size_t width) {
+  static const char* kLevels[] = {" ", "▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  if (series.empty()) return "";
+  const double hi = *std::max_element(series.begin(), series.end());
+  if (hi <= 0.0) return std::string(width, ' ');
+
+  std::string out;
+  const std::size_t n = std::min(width, series.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    // Downsample by averaging each chunk.
+    const std::size_t lo = i * series.size() / n;
+    const std::size_t up = std::max(lo + 1, (i + 1) * series.size() / n);
+    double sum = 0.0;
+    for (std::size_t k = lo; k < up; ++k) sum += series[k];
+    const double v = sum / double(up - lo);
+    const int lvl = std::clamp(int(std::lround(v / hi * 8.0)), 0, 8);
+    out += kLevels[lvl];
+  }
+  return out;
+}
+
+}  // namespace cgs::core

@@ -1,0 +1,42 @@
+// Plain-text rendering of the paper's tables, heatmaps and series — what
+// the bench binaries print, plus CSV dumping for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/aggregate.hpp"
+
+namespace cgs::core {
+
+/// "27.5 (2.3)" — the paper's mean-with-sd cell format.
+[[nodiscard]] std::string fmt_mean_sd(double mean, double sd, int prec = 1);
+
+/// Fixed-width text table.
+class TextTable {
+ public:
+  void set_header(std::vector<std::string> cols);
+  void add_row(std::vector<std::string> cells);
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render one system's 3x3 fairness heatmap block (capacities as rows,
+/// queue multipliers as columns), ANSI-coloured when `color`.
+[[nodiscard]] std::string render_heatmap_block(
+    const std::string& title, const std::vector<double>& capacities_mbps,
+    const std::vector<double>& queue_mults,
+    const std::vector<std::vector<double>>& values, bool color);
+
+/// Write a mean/CI time-series to CSV: t, mean, ci_low, ci_high [, tcp...].
+void write_series_csv(const std::string& path, Time sample_interval,
+                      const SeriesStats& game, const SeriesStats* tcp);
+
+/// Compact console sparkline of a bitrate series (for quick inspection).
+[[nodiscard]] std::string sparkline(const std::vector<double>& series,
+                                    std::size_t width = 80);
+
+}  // namespace cgs::core

@@ -1,0 +1,59 @@
+#include "core/runner.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/testbed.hpp"
+
+namespace cgs::core {
+
+std::vector<RunTrace> run_many(const Scenario& scenario,
+                               const RunnerOptions& opts) {
+  const int n = std::max(1, opts.runs);
+  std::vector<RunTrace> traces;
+  traces.resize(std::size_t(n));
+
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 4;
+  const int threads =
+      std::max(1, std::min(opts.threads > 0 ? opts.threads : int(hw), n));
+
+  std::atomic<int> next{0};
+  std::atomic<int> done{0};
+  std::mutex progress_mu;
+
+  auto worker = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1);
+      if (i >= n) return;
+      Scenario sc = scenario;
+      sc.seed = scenario.seed + std::uint64_t(i);
+      Testbed bed(sc);
+      traces[std::size_t(i)] = bed.run();
+      const int d = done.fetch_add(1) + 1;
+      if (opts.progress) {
+        std::lock_guard lk(progress_mu);
+        opts.progress(d, n);
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(std::size_t(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  return traces;
+}
+
+ConditionResult run_condition(const Scenario& scenario,
+                              const RunnerOptions& opts) {
+  return summarize(scenario, run_many(scenario, opts));
+}
+
+}  // namespace cgs::core

@@ -1,0 +1,28 @@
+// Experiment execution: N seeded runs of a Scenario, optionally in
+// parallel (each run owns an independent Simulator; nothing is shared).
+#pragma once
+
+#include <functional>
+
+#include "core/aggregate.hpp"
+#include "core/scenario.hpp"
+
+namespace cgs::core {
+
+struct RunnerOptions {
+  int runs = 15;      // paper: 15 iterations per condition (§3.4)
+  int threads = 0;    // 0 = hardware concurrency
+  /// Optional progress callback (finished_runs, total_runs).
+  std::function<void(int, int)> progress;
+};
+
+/// Execute `opts.runs` seeded repetitions of `scenario` (seeds
+/// scenario.seed, +1, ...) and return the raw traces in seed order.
+[[nodiscard]] std::vector<RunTrace> run_many(const Scenario& scenario,
+                                             const RunnerOptions& opts);
+
+/// run_many + summarize.
+[[nodiscard]] ConditionResult run_condition(const Scenario& scenario,
+                                            const RunnerOptions& opts);
+
+}  // namespace cgs::core

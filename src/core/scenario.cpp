@@ -1,0 +1,40 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cgs::core {
+
+std::string_view to_string(QueueKind k) {
+  switch (k) {
+    case QueueKind::kDropTail: return "droptail";
+    case QueueKind::kCoDel: return "codel";
+    case QueueKind::kFqCoDel: return "fq_codel";
+  }
+  return "?";
+}
+
+ByteSize Scenario::queue_bytes() const {
+  const ByteSize one_bdp = bdp(capacity, base_rtt);
+  const auto bytes =
+      std::int64_t(double(one_bdp.bytes()) * queue_bdp_mult);
+  // Never below two full-size packets, or nothing can ever be forwarded.
+  return ByteSize(std::max<std::int64_t>(bytes, 2 * 1514));
+}
+
+std::string Scenario::label() const {
+  std::ostringstream os;
+  os << stream::to_string(system) << " " << capacity.megabits_per_sec()
+     << "Mb/s " << queue_bdp_mult << "xBDP ";
+  if (tcp_algo) {
+    os << "vs " << tcp::to_string(*tcp_algo);
+  } else {
+    os << "solo";
+  }
+  if (queue_kind != QueueKind::kDropTail) {
+    os << " [" << to_string(queue_kind) << "]";
+  }
+  return os.str();
+}
+
+}  // namespace cgs::core

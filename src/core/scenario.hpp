@@ -1,0 +1,63 @@
+// Experiment configuration — one cell of the paper's parameter grid
+// (Table 2) plus the schedule constants from §3.4.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "stream/profiles.hpp"
+#include "tcp/congestion_control.hpp"
+#include "util/units.hpp"
+
+namespace cgs::core {
+
+enum class QueueKind { kDropTail, kCoDel, kFqCoDel };
+
+[[nodiscard]] std::string_view to_string(QueueKind k);
+
+struct Scenario {
+  stream::GameSystem system = stream::GameSystem::kStadia;
+
+  /// Bottleneck capacity (paper: 15, 25 or 35 Mb/s; ~1 Gb/s = unconstrained).
+  Bandwidth capacity = Bandwidth::mbps(25.0);
+
+  /// Router queue size in multiples of BDP(capacity, base_rtt)
+  /// (paper: 0.5, 2 or 7).
+  double queue_bdp_mult = 2.0;
+
+  /// Competing bulk TCP flow; nullopt = no competing traffic.
+  std::optional<tcp::CcAlgo> tcp_algo = tcp::CcAlgo::kCubic;
+
+  QueueKind queue_kind = QueueKind::kDropTail;
+
+  /// All flows are delay-padded to this base round-trip time (§3.3).
+  Time base_rtt = std::chrono::microseconds(16'500);
+
+  // Schedule (§3.4): 9-minute trace, iperf in the middle 3 minutes.
+  Time duration = std::chrono::seconds(555);
+  Time tcp_start = std::chrono::seconds(185);
+  Time tcp_stop = std::chrono::seconds(370);
+
+  std::uint64_t seed = 1;
+
+  /// Optional: replace the profile's rate controller (ablation studies,
+  /// custom-controller experiments). Called once per run.
+  std::function<std::unique_ptr<stream::RateController>()> controller_override;
+
+  /// Queue capacity in bytes implied by capacity/queue_bdp_mult/base_rtt.
+  [[nodiscard]] ByteSize queue_bytes() const;
+
+  /// Human-readable condition label, e.g. "Stadia 25Mb/s 2.0xBDP cubic".
+  [[nodiscard]] std::string label() const;
+};
+
+/// The paper's grid values.
+inline constexpr double kQueueMults[] = {0.5, 2.0, 7.0};
+inline constexpr double kCapacitiesMbps[] = {15.0, 25.0, 35.0};
+inline constexpr stream::GameSystem kAllSystems[] = {
+    stream::GameSystem::kStadia, stream::GameSystem::kGeForce,
+    stream::GameSystem::kLuna};
+
+}  // namespace cgs::core

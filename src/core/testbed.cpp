@@ -1,0 +1,117 @@
+#include "core/testbed.hpp"
+
+#include "net/codel.hpp"
+#include "util/rng.hpp"
+
+namespace cgs::core {
+
+namespace {
+/// Bottleneck propagation delay (router -> clients segment).
+constexpr Time kBottleneckProp = std::chrono::milliseconds(1);
+}  // namespace
+
+std::unique_ptr<net::Queue> Testbed::make_queue() const {
+  const ByteSize limit = scenario_.queue_bytes();
+  switch (scenario_.queue_kind) {
+    case QueueKind::kDropTail:
+      return std::make_unique<net::DropTailQueue>(limit);
+    case QueueKind::kCoDel: {
+      net::CodelParams p;
+      p.capacity = limit;
+      return std::make_unique<net::CodelQueue>(p);
+    }
+    case QueueKind::kFqCoDel: {
+      net::CodelParams p;
+      p.capacity = limit;
+      return std::make_unique<net::FqCodelQueue>(p);
+    }
+  }
+  return nullptr;
+}
+
+Testbed::Testbed(const Scenario& scenario) : scenario_(scenario) {
+  Pcg32 master(scenario.seed);
+
+  router_ = std::make_unique<net::BottleneckRouter>(
+      sim_, scenario.capacity, kBottleneckProp, make_queue());
+
+  // RTT padding (§3.3): every flow sees base_rtt end to end. One-way split:
+  // server->router access pad + bottleneck propagation downstream, a pure
+  // delay line upstream.
+  const Time pad = (scenario.base_rtt - 2 * kBottleneckProp) / 2;
+
+  // --- game stream -------------------------------------------------------
+  const auto& prof = stream::profile_for(scenario.system);
+  {
+    stream::StreamSender::Options so;
+    so.flow = kGameFlow;
+    so.burst_factor = prof.burst_factor;
+    auto controller = scenario.controller_override
+                          ? scenario.controller_override()
+                          : stream::make_controller(scenario.system);
+    game_sender_ = std::make_unique<stream::StreamSender>(
+        sim_, factory_, so, stream::frame_config_for(scenario.system),
+        std::move(controller), master.fork(0x6a6d));
+
+    stream::StreamReceiver::Options ro;
+    ro.flow = kGameFlow;
+    ro.fec_rate = prof.fec_rate;
+    ro.playout_deadline = prof.playout_deadline;
+    game_recv_ = std::make_unique<stream::StreamReceiver>(sim_, factory_, ro);
+
+    game_access_ =
+        std::make_unique<net::DelayLine>(sim_, pad, &router_->downstream_in());
+    game_sender_->set_output(game_access_.get());
+    router_->register_client(kGameFlow, game_recv_.get());
+    game_recv_->set_output(
+        &router_->make_upstream(pad + kBottleneckProp, game_sender_.get()));
+  }
+
+  // --- competing TCP flow ------------------------------------------------
+  if (scenario.tcp_algo) {
+    tcp_flow_ = std::make_unique<tcp::BulkTcpFlow>(sim_, factory_, kTcpFlow,
+                                                   *scenario.tcp_algo);
+    tcp_access_ =
+        std::make_unique<net::DelayLine>(sim_, pad, &router_->downstream_in());
+    router_->register_client(kTcpFlow, &tcp_flow_->receiver());
+    tcp_flow_->attach(
+        tcp_access_.get(),
+        &router_->make_upstream(pad + kBottleneckProp, &tcp_flow_->sender()));
+  }
+
+  // --- ping probe (client -> game server -> back through the queue) ------
+  {
+    ping_client_ = std::make_unique<PingClient>(sim_, factory_, kPingFlow);
+    ping_responder_ =
+        std::make_unique<PingResponder>(sim_, factory_, kPingFlow);
+    ping_access_ =
+        std::make_unique<net::DelayLine>(sim_, pad, &router_->downstream_in());
+    ping_responder_->set_output(ping_access_.get());
+    router_->register_client(kPingFlow, ping_client_.get());
+    ping_client_->set_output(&router_->make_upstream(pad + kBottleneckProp,
+                                                     ping_responder_.get()));
+  }
+
+  // --- collectors ---------------------------------------------------------
+  collectors_ = std::make_unique<TraceCollectors>(
+      sim_, scenario.duration, std::chrono::milliseconds(500), kGameFlow,
+      kTcpFlow);
+  collectors_->attach_bottleneck(router_->bottleneck());
+  collectors_->attach_game_receiver(*game_recv_);
+}
+
+RunTrace Testbed::run() {
+  game_recv_->start();
+  game_sender_->start();
+  ping_client_->start();
+  collectors_->start();
+
+  if (tcp_flow_) {
+    tcp_flow_->schedule(sim_, scenario_.tcp_start, scenario_.tcp_stop);
+  }
+
+  sim_.run_until(scenario_.duration);
+  return collectors_->finalize(ping_client_.get(), game_recv_.get());
+}
+
+}  // namespace cgs::core

@@ -1,0 +1,65 @@
+// Builds the paper's Figure-1 testbed for one Scenario and executes the
+// §3.4 schedule: game stream from t=0, competing iperf TCP flow over
+// [tcp_start, tcp_stop), ping probes throughout, collectors tapping the
+// bottleneck link.
+#pragma once
+
+#include <memory>
+
+#include "core/collectors.hpp"
+#include "core/ping.hpp"
+#include "core/scenario.hpp"
+#include "net/router.hpp"
+#include "stream/receiver.hpp"
+#include "stream/sender.hpp"
+#include "tcp/bulk_app.hpp"
+
+namespace cgs::core {
+
+class Testbed {
+ public:
+  static constexpr net::FlowId kGameFlow = 1;
+  static constexpr net::FlowId kTcpFlow = 2;
+  static constexpr net::FlowId kPingFlow = 3;
+
+  explicit Testbed(const Scenario& scenario);
+
+  /// Execute the full schedule; returns the measured trace.
+  [[nodiscard]] RunTrace run();
+
+  // Component access (tests, custom schedules).
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] net::BottleneckRouter& router() { return *router_; }
+  [[nodiscard]] stream::StreamSender& game_sender() { return *game_sender_; }
+  [[nodiscard]] stream::StreamReceiver& game_receiver() { return *game_recv_; }
+  [[nodiscard]] tcp::BulkTcpFlow* tcp_flow() { return tcp_flow_.get(); }
+  [[nodiscard]] PingClient& ping() { return *ping_client_; }
+  [[nodiscard]] const Scenario& scenario() const { return scenario_; }
+
+ private:
+  [[nodiscard]] std::unique_ptr<net::Queue> make_queue() const;
+
+  Scenario scenario_;
+  sim::Simulator sim_;
+  net::PacketFactory factory_;
+
+  std::unique_ptr<net::BottleneckRouter> router_;
+
+  // Game stream endpoints + path segments.
+  std::unique_ptr<stream::StreamSender> game_sender_;
+  std::unique_ptr<stream::StreamReceiver> game_recv_;
+  std::unique_ptr<net::DelayLine> game_access_;
+
+  // Competing TCP flow (optional).
+  std::unique_ptr<tcp::BulkTcpFlow> tcp_flow_;
+  std::unique_ptr<net::DelayLine> tcp_access_;
+
+  // Ping probe.
+  std::unique_ptr<PingClient> ping_client_;
+  std::unique_ptr<PingResponder> ping_responder_;
+  std::unique_ptr<net::DelayLine> ping_access_;
+
+  std::unique_ptr<TraceCollectors> collectors_;
+};
+
+}  // namespace cgs::core

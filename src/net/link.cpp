@@ -1,0 +1,61 @@
+#include "net/link.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace cgs::net {
+
+Link::Link(sim::Simulator& sim, std::string name, Bandwidth rate,
+           Time prop_delay, std::unique_ptr<Queue> queue, PacketSink* dst)
+    : sim_(sim),
+      name_(std::move(name)),
+      rate_(rate),
+      prop_delay_(prop_delay),
+      queue_(std::move(queue)),
+      dst_(dst) {
+  assert(dst_ != nullptr);
+  assert(!rate_.is_zero() && "Link requires finite capacity; use DelayLine");
+  queue_->set_drop_handler([this](const Packet& p, DropReason r, Time t) {
+    sniffer_.notify_drop(p, r, t);
+  });
+}
+
+void Link::handle_packet(PacketPtr pkt) {
+  const Time now = sim_.now();
+  sniffer_.notify_arrival(*pkt, now);
+  queue_->enqueue(std::move(pkt), now);
+  if (!busy_) try_transmit();
+}
+
+void Link::try_transmit() {
+  assert(!busy_);
+  PacketPtr pkt = queue_->dequeue(sim_.now());
+  if (!pkt) return;
+
+  busy_ = true;
+  sniffer_.notify_transmit(*pkt, sim_.now());
+  const Time ser = rate_.transmit_time(pkt->size());
+
+  // Serialisation completes after `ser`; the packet then propagates for
+  // prop_delay_ without occupying the transmitter.
+  sim_.schedule_in(ser, [this, raw = pkt.release()]() mutable {
+    PacketPtr p(raw);
+    busy_ = false;
+    ++delivered_pkts_;
+    delivered_bytes_ += p->size();
+    sim_.schedule_in(prop_delay_, [this, raw2 = p.release()]() {
+      PacketPtr q(raw2);
+      sniffer_.notify_deliver(*q, sim_.now());
+      dst_->handle_packet(std::move(q));
+    });
+    try_transmit();
+  });
+}
+
+void DelayLine::handle_packet(PacketPtr pkt) {
+  sim_.schedule_in(delay_, [this, raw = pkt.release()]() {
+    dst_->handle_packet(PacketPtr(raw));
+  });
+}
+
+}  // namespace cgs::net

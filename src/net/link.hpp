@@ -1,0 +1,74 @@
+// Point-to-point links.
+//
+// Link models a store-and-forward interface: a queue discipline in front of
+// a serialising transmitter (capacity) followed by propagation delay — the
+// `tbf + netem` pair on the paper's Raspberry Pi router.  DelayLine models
+// an uncongested path segment: pure delay, no queueing (used for reverse
+// paths and the per-flow delay padding that equalises RTTs at 16.5 ms).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "net/sniffer.hpp"
+#include "sim/simulator.hpp"
+
+namespace cgs::net {
+
+class Link final : public PacketSink {
+ public:
+  /// `dst` must outlive the link.
+  Link(sim::Simulator& sim, std::string name, Bandwidth rate, Time prop_delay,
+       std::unique_ptr<Queue> queue, PacketSink* dst);
+
+  void handle_packet(PacketPtr pkt) override;
+
+  [[nodiscard]] Queue& queue() { return *queue_; }
+  [[nodiscard]] const Queue& queue() const { return *queue_; }
+  [[nodiscard]] Sniffer& sniffer() { return sniffer_; }
+  [[nodiscard]] Bandwidth rate() const { return rate_; }
+  [[nodiscard]] Time prop_delay() const { return prop_delay_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] std::uint64_t packets_delivered() const { return delivered_pkts_; }
+  [[nodiscard]] ByteSize bytes_delivered() const { return delivered_bytes_; }
+
+  /// Change capacity mid-run (used by capacity-variation scenarios).
+  void set_rate(Bandwidth rate) { rate_ = rate; }
+
+ private:
+  void try_transmit();
+
+  sim::Simulator& sim_;
+  std::string name_;
+  Bandwidth rate_;
+  Time prop_delay_;
+  std::unique_ptr<Queue> queue_;
+  PacketSink* dst_;
+  Sniffer sniffer_;
+  bool busy_ = false;
+  std::uint64_t delivered_pkts_ = 0;
+  ByteSize delivered_bytes_{0};
+};
+
+/// Infinite-capacity fixed-delay segment.
+class DelayLine final : public PacketSink {
+ public:
+  /// `dst` must outlive the delay line.
+  DelayLine(sim::Simulator& sim, Time delay, PacketSink* dst)
+      : sim_(sim), delay_(delay), dst_(dst) {}
+
+  void handle_packet(PacketPtr pkt) override;
+
+  [[nodiscard]] Time delay() const { return delay_; }
+  void set_delay(Time delay) { delay_ = delay; }
+
+ private:
+  sim::Simulator& sim_;
+  Time delay_;
+  PacketSink* dst_;
+};
+
+}  // namespace cgs::net

@@ -1,0 +1,29 @@
+#include "net/packet.hpp"
+
+namespace cgs::net {
+
+std::string_view to_string(TrafficClass c) {
+  switch (c) {
+    case TrafficClass::kGameStream: return "game";
+    case TrafficClass::kStreamInput: return "input";
+    case TrafficClass::kTcpData: return "tcp";
+    case TrafficClass::kTcpAck: return "ack";
+    case TrafficClass::kPing: return "ping";
+  }
+  return "?";
+}
+
+PacketPtr PacketFactory::make(FlowId flow, TrafficClass klass,
+                              std::int32_t size_bytes, Time now,
+                              Header header) {
+  auto pkt = std::make_unique<Packet>();
+  pkt->uid = next_uid_++;
+  pkt->flow = flow;
+  pkt->klass = klass;
+  pkt->size_bytes = size_bytes;
+  pkt->created = now;
+  pkt->header = std::move(header);
+  return pkt;
+}
+
+}  // namespace cgs::net

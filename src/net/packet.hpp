@@ -1,0 +1,127 @@
+// Simulation packets.
+//
+// Packets carry metadata only (no payload bytes): a wire size for queueing /
+// serialisation arithmetic plus a typed header variant for the receiving
+// endpoint.  Ownership is a unique_ptr moving sender -> queue -> link ->
+// sink; raw pointers/references only observe (Core Guidelines I.11).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+
+#include "util/units.hpp"
+
+namespace cgs::net {
+
+/// Identifies one unidirectional flow end-to-end.
+using FlowId = std::uint32_t;
+
+/// Traffic class, used by collectors and FQ queues for classification.
+enum class TrafficClass : std::uint8_t {
+  kGameStream,   // UDP game video downstream
+  kStreamInput,  // player input / feedback upstream
+  kTcpData,      // bulk TCP data downstream
+  kTcpAck,       // TCP ACKs upstream
+  kPing,         // latency probes
+};
+
+[[nodiscard]] std::string_view to_string(TrafficClass c);
+
+/// One SACK-style block [start, end) in byte sequence space.
+struct SackBlock {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  [[nodiscard]] bool empty() const { return end <= start; }
+};
+
+/// TCP data segment (downstream) or ACK (upstream).
+struct TcpHeader {
+  std::uint64_t seq = 0;       // first byte of this segment
+  std::uint32_t len = 0;       // payload bytes (0 for pure ACK)
+  std::uint64_t ack = 0;       // cumulative ACK (valid on ACKs)
+  bool is_ack = false;
+  std::array<SackBlock, 3> sacks{};  // most recent out-of-order blocks
+  std::uint64_t tx_id = 0;     // unique per (re)transmission, for rate sampling
+};
+
+/// RTP-style video packet: one slice of an encoded frame.
+struct RtpHeader {
+  std::uint32_t seq = 0;           // per-flow packet sequence number
+  std::uint32_t frame_id = 0;
+  std::uint16_t pkt_index = 0;     // index of this packet within the frame
+  std::uint16_t pkts_in_frame = 0;
+  bool keyframe = false;
+  Time frame_gen_time = kTimeZero; // when the encoder emitted the frame
+};
+
+/// Receiver report for the game stream (RTCP-like), sent upstream.
+struct FeedbackHeader {
+  std::uint32_t highest_seq = 0;   // highest RTP seq seen
+  std::uint64_t cum_recv_pkts = 0;
+  std::uint64_t cum_lost_pkts = 0;
+  double window_loss_fraction = 0; // loss over the report interval
+  std::int64_t recv_rate_bps = 0;  // goodput over the report interval
+  Time avg_owd = kTimeZero;        // mean one-way delay over the interval
+  Time min_owd = kTimeZero;        // min one-way delay over the interval
+  Time report_time = kTimeZero;    // receiver clock when the report was made
+};
+
+/// ICMP-echo-like latency probe.
+struct PingHeader {
+  std::uint32_t ping_id = 0;
+  bool is_reply = false;
+  Time sent_time = kTimeZero;
+};
+
+using Header =
+    std::variant<std::monostate, TcpHeader, RtpHeader, FeedbackHeader, PingHeader>;
+
+struct Packet {
+  std::uint64_t uid = 0;      // unique within a simulation
+  FlowId flow = 0;
+  TrafficClass klass = TrafficClass::kGameStream;
+  std::int32_t size_bytes = 0;  // size on the wire, headers included
+  Time created = kTimeZero;     // when the sender emitted it
+  Time enqueued = kTimeZero;    // set by the queue (for sojourn times)
+  Header header;
+
+  [[nodiscard]] ByteSize size() const { return ByteSize(size_bytes); }
+};
+
+using PacketPtr = std::unique_ptr<Packet>;
+
+/// Factory stamping unique ids; one per simulation.
+class PacketFactory {
+ public:
+  PacketPtr make(FlowId flow, TrafficClass klass, std::int32_t size_bytes,
+                 Time now, Header header);
+
+  [[nodiscard]] std::uint64_t created_total() const { return next_uid_ - 1; }
+
+ private:
+  std::uint64_t next_uid_ = 1;
+};
+
+/// Anything that can accept a packet (endpoint, link, router port).
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void handle_packet(PacketPtr pkt) = 0;
+};
+
+/// Wire overhead constants (Ethernet + IP + transport), matching what a
+/// Wireshark capture of the paper's testbed would count.
+inline constexpr std::int32_t kIpUdpOverhead = 28;    // IPv4 20 + UDP 8
+inline constexpr std::int32_t kIpTcpOverhead = 40;    // IPv4 20 + TCP 20
+inline constexpr std::int32_t kTcpMss = 1448;         // payload per segment
+inline constexpr std::int32_t kTcpSegmentWire = kTcpMss + kIpTcpOverhead;
+inline constexpr std::int32_t kTcpAckWire = kIpTcpOverhead;
+inline constexpr std::int32_t kRtpPayload = 1172;     // video bytes per packet
+inline constexpr std::int32_t kRtpWire = kRtpPayload + kIpUdpOverhead;  // 1200
+inline constexpr std::int32_t kFeedbackWire = 80;
+inline constexpr std::int32_t kPingWire = 64;
+
+}  // namespace cgs::net

@@ -1,0 +1,23 @@
+#include "net/queue.hpp"
+
+namespace cgs::net {
+
+void DropTailQueue::enqueue(PacketPtr pkt, Time now) {
+  if (bytes_ + pkt->size() > capacity_) {
+    report_drop(*pkt, DropReason::kOverflow, now);
+    return;  // pkt destroyed: dropped
+  }
+  pkt->enqueued = now;
+  bytes_ += pkt->size();
+  q_.push_back(std::move(pkt));
+}
+
+PacketPtr DropTailQueue::dequeue(Time /*now*/) {
+  if (q_.empty()) return nullptr;
+  PacketPtr pkt = std::move(q_.front());
+  q_.pop_front();
+  bytes_ -= pkt->size();
+  return pkt;
+}
+
+}  // namespace cgs::net

@@ -1,0 +1,73 @@
+// Bottleneck queue disciplines.
+//
+// DropTailQueue is the paper's router configuration (`tc tbf limit <bytes>`):
+// a byte-limited FIFO that drops arriving packets when full.  CoDel and
+// FQ-CoDel (paper §5 future work) live in codel.hpp.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "net/packet.hpp"
+#include "util/units.hpp"
+
+namespace cgs::net {
+
+/// Why a queue dropped a packet.
+enum class DropReason : std::uint8_t { kOverflow, kAqmMark };
+
+/// Abstract queue discipline feeding a Link.
+class Queue {
+ public:
+  virtual ~Queue() = default;
+
+  /// Hand a packet to the queue; the queue may drop it (reported through the
+  /// drop handler). `now` is the arrival time.
+  virtual void enqueue(PacketPtr pkt, Time now) = 0;
+
+  /// Next packet to transmit, or nullptr when empty. AQM disciplines may
+  /// drop internally during dequeue.
+  virtual PacketPtr dequeue(Time now) = 0;
+
+  [[nodiscard]] virtual ByteSize byte_length() const = 0;
+  [[nodiscard]] virtual std::size_t packet_count() const = 0;
+  [[nodiscard]] bool empty() const { return packet_count() == 0; }
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  using DropHandler = std::function<void(const Packet&, DropReason, Time)>;
+  void set_drop_handler(DropHandler h) { on_drop_ = std::move(h); }
+
+  [[nodiscard]] std::uint64_t drops_total() const { return drops_; }
+
+ protected:
+  void report_drop(const Packet& pkt, DropReason reason, Time now) {
+    ++drops_;
+    if (on_drop_) on_drop_(pkt, reason, now);
+  }
+
+ private:
+  DropHandler on_drop_;
+  std::uint64_t drops_ = 0;
+};
+
+/// Byte-limited FIFO with tail drop.
+class DropTailQueue final : public Queue {
+ public:
+  explicit DropTailQueue(ByteSize capacity) : capacity_(capacity) {}
+
+  void enqueue(PacketPtr pkt, Time now) override;
+  PacketPtr dequeue(Time now) override;
+
+  [[nodiscard]] ByteSize byte_length() const override { return bytes_; }
+  [[nodiscard]] std::size_t packet_count() const override { return q_.size(); }
+  [[nodiscard]] ByteSize capacity() const { return capacity_; }
+  [[nodiscard]] std::string_view name() const override { return "droptail"; }
+
+ private:
+  ByteSize capacity_;
+  ByteSize bytes_{0};
+  std::deque<PacketPtr> q_;
+};
+
+}  // namespace cgs::net

@@ -1,0 +1,34 @@
+#include "net/router.hpp"
+
+#include "util/logging.hpp"
+
+namespace cgs::net {
+
+void FlowDemux::register_flow(FlowId flow, PacketSink* sink) {
+  routes_[flow] = sink;
+}
+
+void FlowDemux::handle_packet(PacketPtr pkt) {
+  auto it = routes_.find(pkt->flow);
+  if (it == routes_.end()) {
+    ++unroutable_;
+    CGS_LOG_WARN("FlowDemux: no route for flow ", pkt->flow);
+    return;  // drop
+  }
+  it->second->handle_packet(std::move(pkt));
+}
+
+BottleneckRouter::BottleneckRouter(sim::Simulator& sim, Bandwidth capacity,
+                                   Time prop_delay,
+                                   std::unique_ptr<Queue> queue)
+    : sim_(sim),
+      link_(std::make_unique<Link>(sim, "bottleneck", capacity, prop_delay,
+                                   std::move(queue), &demux_)) {}
+
+PacketSink& BottleneckRouter::make_upstream(Time delay,
+                                            PacketSink* server_sink) {
+  upstream_.push_back(std::make_unique<DelayLine>(sim_, delay, server_sink));
+  return *upstream_.back();
+}
+
+}  // namespace cgs::net

@@ -1,0 +1,64 @@
+// Flow demultiplexer and the testbed's bottleneck router.
+//
+// BottleneckRouter mirrors the paper's Figure 1: every downstream flow is
+// funnelled into one constrained link (queue + capacity + delay) whose far
+// end demuxes packets to per-flow client endpoints.  Upstream traffic
+// bypasses the bottleneck through per-flow DelayLines (the paper's upstream
+// path was never the bottleneck: 200+ Mb/s measured).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+
+namespace cgs::net {
+
+/// Routes packets to a per-flow sink.
+class FlowDemux final : public PacketSink {
+ public:
+  /// `sink` must outlive the demux.
+  void register_flow(FlowId flow, PacketSink* sink);
+  void handle_packet(PacketPtr pkt) override;
+
+  [[nodiscard]] std::uint64_t unroutable_total() const { return unroutable_; }
+
+ private:
+  std::unordered_map<FlowId, PacketSink*> routes_;
+  std::uint64_t unroutable_ = 0;
+};
+
+/// One congested downstream link shared by all flows + uncongested per-flow
+/// reverse paths.
+class BottleneckRouter {
+ public:
+  BottleneckRouter(sim::Simulator& sim, Bandwidth capacity, Time prop_delay,
+                   std::unique_ptr<Queue> queue);
+
+  /// Downstream entry point: servers send here (optionally through their own
+  /// access DelayLine for RTT padding).
+  [[nodiscard]] PacketSink& downstream_in() { return *link_; }
+
+  /// Register the client endpoint for a downstream flow.
+  void register_client(FlowId flow, PacketSink* sink) {
+    demux_.register_flow(flow, sink);
+  }
+
+  /// Create an uncongested upstream path to `server_sink` with one-way
+  /// `delay`; returns the sink clients send their upstream packets to.
+  /// The router owns the returned DelayLine.
+  PacketSink& make_upstream(Time delay, PacketSink* server_sink);
+
+  [[nodiscard]] Link& bottleneck() { return *link_; }
+  [[nodiscard]] const Link& bottleneck() const { return *link_; }
+
+ private:
+  sim::Simulator& sim_;
+  FlowDemux demux_;
+  std::unique_ptr<Link> link_;
+  std::vector<std::unique_ptr<DelayLine>> upstream_;
+};
+
+}  // namespace cgs::net

@@ -1,0 +1,4 @@
+#include "net/sniffer.hpp"
+
+// Header-only today; translation unit kept so the build exposes a stable
+// place for future out-of-line additions.

@@ -1,0 +1,47 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+
+namespace cgs::sim {
+
+EventId EventQueue::push(Time at, std::function<void()> fn) {
+  const EventId id = next_seq_++;
+  heap_.push(Entry{at, id});
+  fns_.emplace(id, std::move(fn));
+  ++live_count_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  auto it = fns_.find(id);
+  if (it == fns_.end()) return;
+  fns_.erase(it);
+  --live_count_;
+  // The heap entry stays; pop()/next_time() skip entries with no fn.
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty() && !fns_.contains(heap_.top().seq)) {
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() {
+  drop_cancelled();
+  assert(!heap_.empty() && "next_time() on empty queue");
+  return heap_.top().at;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled();
+  assert(!heap_.empty() && "pop() on empty queue");
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = fns_.find(top.seq);
+  Fired fired{top.at, std::move(it->second)};
+  fns_.erase(it);
+  --live_count_;
+  return fired;
+}
+
+}  // namespace cgs::sim

@@ -1,0 +1,64 @@
+// Cancellable discrete-event priority queue with deterministic ordering.
+//
+// Ties in time are broken by insertion sequence number, so a given seed
+// always produces a bit-identical run regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace cgs::sim {
+
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `at`. Returns a handle for cancel().
+  EventId push(Time at, std::function<void()> fn);
+
+  /// Cancel a pending event; no-op if already fired or cancelled.
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest pending event. Requires !empty().
+  [[nodiscard]] Time next_time();
+
+  /// Pop and return the earliest event. Requires !empty().
+  struct Fired {
+    Time at;
+    std::function<void()> fn;
+  };
+  Fired pop();
+
+  /// Total events ever pushed (for stats/tests).
+  [[nodiscard]] std::uint64_t pushed_total() const { return next_seq_ - 1; }
+
+ private:
+  struct Entry {
+    Time at;
+    EventId seq;
+    // Ordered for a min-heap via std::greater.
+    friend bool operator>(const Entry& a, const Entry& b) {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  // fn storage separate from heap entries so cancel() can free the closure.
+  std::unordered_map<EventId, std::function<void()>> fns_;
+  EventId next_seq_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace cgs::sim

@@ -1,0 +1,38 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+namespace cgs::sim {
+
+EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
+  return queue_.push(std::max(at, now_), std::move(fn));
+}
+
+EventId Simulator::schedule_in(Time delay, std::function<void()> fn) {
+  return schedule_at(now_ + std::max(delay, kTimeZero), std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto [at, fn] = queue_.pop();
+  now_ = at;
+  ++processed_;
+  fn();
+  return true;
+}
+
+void Simulator::run_until(Time deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+}  // namespace cgs::sim

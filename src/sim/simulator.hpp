@@ -1,0 +1,54 @@
+// The simulation clock and scheduler every component hangs off.
+//
+// Single-threaded, no global state: construct one Simulator per run; tests
+// run thousands of them in-process.
+#pragma once
+
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "util/units.hpp"
+
+namespace cgs::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time (duration since start).
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule at absolute simulation time; clamps to `now` if in the past.
+  EventId schedule_at(Time at, std::function<void()> fn);
+
+  /// Schedule `delay` from now (negative delays clamp to zero).
+  EventId schedule_in(Time delay, std::function<void()> fn);
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Run events until the queue empties or `deadline` passes. The clock is
+  /// left at min(deadline, time of last event).
+  void run_until(Time deadline);
+
+  /// Run until the event queue is empty.
+  void run();
+
+  /// Process a single event if one exists; returns false when queue empty.
+  bool step();
+
+  /// Request run()/run_until() to return after the current event.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t processed_events() const { return processed_; }
+
+ private:
+  EventQueue queue_;
+  Time now_ = kTimeZero;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace cgs::sim

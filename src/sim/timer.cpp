@@ -1,0 +1,43 @@
+#include "sim/timer.hpp"
+
+namespace cgs::sim {
+
+void OneShotTimer::arm(Time delay) {
+  cancel();
+  expiry_ = sim_->now() + delay;
+  id_ = sim_->schedule_in(delay, [this] {
+    id_ = kInvalidEventId;
+    fn_();
+  });
+}
+
+void OneShotTimer::cancel() {
+  if (id_ != kInvalidEventId) {
+    sim_->cancel(id_);
+    id_ = kInvalidEventId;
+  }
+}
+
+void PeriodicTimer::start(bool fire_now) {
+  stop();
+  if (fire_now) {
+    id_ = sim_->schedule_in(kTimeZero, [this] { fire(); });
+  } else {
+    id_ = sim_->schedule_in(period_, [this] { fire(); });
+  }
+}
+
+void PeriodicTimer::stop() {
+  if (id_ != kInvalidEventId) {
+    sim_->cancel(id_);
+    id_ = kInvalidEventId;
+  }
+}
+
+void PeriodicTimer::fire() {
+  // Re-arm before the callback so the callback may call stop().
+  id_ = sim_->schedule_in(period_, [this] { fire(); });
+  fn_();
+}
+
+}  // namespace cgs::sim

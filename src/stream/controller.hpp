@@ -1,0 +1,45 @@
+// Rate-controller interface for game-streaming system models.
+//
+// Every ~100 ms the sender digests a receiver report into a
+// FeedbackSnapshot; the controller answers with a new encoder operating
+// point.  The three commercial systems the paper measures are modelled as
+// three implementations with different control laws (see controllers/).
+#pragma once
+
+#include <string_view>
+
+#include "util/units.hpp"
+
+namespace cgs::stream {
+
+/// Digested receiver feedback handed to the controller.
+struct FeedbackSnapshot {
+  Time now = kTimeZero;
+  Bandwidth send_rate;        // what the encoder currently targets
+  Bandwidth recv_rate;        // goodput the receiver measured this interval
+  double loss_fraction = 0.0; // loss over the report interval
+  Time queuing_delay = kTimeZero;  // avg one-way delay minus observed base
+  Time base_delay = kTimeZero;     // current base (min) one-way delay
+  bool valid = false;              // false until the first report arrives
+};
+
+/// Encoder operating point chosen by the controller.
+struct ControlDecision {
+  Bandwidth target_bitrate;
+  double target_fps = 60.0;
+};
+
+class RateController {
+ public:
+  virtual ~RateController() = default;
+
+  /// Digest one feedback interval; returns the new operating point.
+  virtual ControlDecision on_feedback(const FeedbackSnapshot& fb) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Current operating point without new feedback (initial state).
+  [[nodiscard]] virtual ControlDecision current() const = 0;
+};
+
+}  // namespace cgs::stream

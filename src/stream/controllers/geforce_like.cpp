@@ -1,0 +1,40 @@
+#include "stream/controllers/geforce_like.hpp"
+
+#include <algorithm>
+
+namespace cgs::stream {
+
+GeForceLikeController::GeForceLikeController(GeForceLikeConfig cfg)
+    : cfg_(cfg),
+      rate_(cfg.start_bitrate),
+      detector_(cfg.detector),
+      standing_(cfg.standing_window, cfg.standing_floor) {}
+
+ControlDecision GeForceLikeController::current() const {
+  // GeForce holds the 60 f/s target and trades resolution instead
+  // (Table 5: resilient frame rates under every condition).
+  return {rate_, 60.0};
+}
+
+ControlDecision GeForceLikeController::on_feedback(const FeedbackSnapshot& fb) {
+  if (!fb.valid) return current();
+
+  const auto clamp_rate = [this](Bandwidth r) {
+    return std::clamp(r, cfg_.min_bitrate, cfg_.max_bitrate);
+  };
+
+  const bool congested = detector_.overused(fb.queuing_delay) ||
+                         standing_.standing(fb.queuing_delay, fb.now) ||
+                         fb.loss_fraction > cfg_.loss_threshold;
+  if (congested) {
+    const Bandwidth target = std::max(fb.recv_rate * cfg_.backoff_factor,
+                                      rate_ * 0.5);
+    rate_ = clamp_rate(std::min(rate_, target));
+    hold_until_ = fb.now + cfg_.hold_after_backoff;
+  } else if (fb.now >= hold_until_) {
+    rate_ = clamp_rate(rate_ + cfg_.increase_step);
+  }
+  return {rate_, 60.0};
+}
+
+}  // namespace cgs::stream

@@ -1,0 +1,54 @@
+// "GeForce-Now-like" rate controller.
+//
+// Models the congestion-response class the paper measures for NVidia GeForce
+// Now: strongly congestion-averse.  A tight relative-delay detector with a
+// low hard ceiling plus a light-loss trigger back the rate off hard; the
+// climb back is a slow additive ramp after a hold period.  Consequences
+// reproduced from the paper: always below the fair share against Cubic, even
+// lower against BBR (persistent standing queue + loss-blind probing keep the
+// triggers firing), slowest to settle, but the encoder holds 60 f/s and the
+// frame rate stays resilient (strong FEC in the profile).
+#pragma once
+
+#include "stream/controller.hpp"
+#include "stream/delay_detector.hpp"
+
+namespace cgs::stream {
+
+struct GeForceLikeConfig {
+  Bandwidth max_bitrate = Bandwidth::mbps(24.5);  // Table 1 baseline
+  Bandwidth min_bitrate = Bandwidth::mbps(4.0);
+  Bandwidth start_bitrate = Bandwidth::mbps(12.0);
+  DelayDetectorConfig detector{
+      .norm_gain = 0.05,
+      .rel_factor = 1.4,
+      .abs_margin = std::chrono::milliseconds(4),
+      .hard_limit = std::chrono::milliseconds(28)};
+  // Standing-queue budget (see delay_detector.hpp): GeForce also defers to
+  // a queue that never drains — BBR's signature — on top of its gradient
+  // and loss triggers.
+  Time standing_window = std::chrono::seconds(3);
+  Time standing_floor = std::chrono::milliseconds(13);
+  double loss_threshold = 0.020;         // light loss already triggers
+  double backoff_factor = 0.80;          // rate <- factor * recv_rate
+  Time hold_after_backoff = std::chrono::milliseconds(1000);
+  Bandwidth increase_step = Bandwidth::kbps(100);  // additive per interval
+};
+
+class GeForceLikeController final : public RateController {
+ public:
+  explicit GeForceLikeController(GeForceLikeConfig cfg);
+
+  ControlDecision on_feedback(const FeedbackSnapshot& fb) override;
+  [[nodiscard]] ControlDecision current() const override;
+  [[nodiscard]] std::string_view name() const override { return "geforce-like"; }
+
+ private:
+  GeForceLikeConfig cfg_;
+  Bandwidth rate_;
+  RelativeDelayDetector detector_;
+  StandingQueueDetector standing_;
+  Time hold_until_ = kTimeZero;
+};
+
+}  // namespace cgs::stream

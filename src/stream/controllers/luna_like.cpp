@@ -1,0 +1,52 @@
+#include "stream/controllers/luna_like.hpp"
+
+#include <algorithm>
+
+namespace cgs::stream {
+
+LunaLikeController::LunaLikeController(LunaLikeConfig cfg)
+    : cfg_(cfg),
+      rate_(cfg.start_bitrate),
+      detector_(cfg.detector),
+      standing_(cfg.standing_window, cfg.standing_floor) {}
+
+double LunaLikeController::fps_for(Bandwidth rate) const {
+  if (rate >= cfg_.fps60_at) return 60.0;
+  if (rate >= cfg_.fps50_at) return 50.0;
+  if (rate >= cfg_.fps40_at) return 40.0;
+  return 30.0;
+}
+
+ControlDecision LunaLikeController::current() const {
+  return {rate_, fps_for(rate_)};
+}
+
+ControlDecision LunaLikeController::on_feedback(const FeedbackSnapshot& fb) {
+  if (!fb.valid) return current();
+
+  const auto clamp_rate = [this](Bandwidth r) {
+    return std::clamp(r, cfg_.min_bitrate, cfg_.max_bitrate);
+  };
+
+  const bool hard_over = detector_.overused(fb.queuing_delay);
+  const bool standing = standing_.standing(fb.queuing_delay, fb.now);
+  const bool dirty =
+      hard_over || standing || fb.loss_fraction > cfg_.loss_threshold;
+  if (dirty) {
+    clean_streak_ = 0;
+    const Bandwidth matched = std::max(
+        fb.recv_rate * ((1.0 - fb.loss_fraction) * cfg_.backoff_factor),
+        rate_ * 0.6);
+    rate_ = clamp_rate(std::min(rate_, matched));
+  } else {
+    ++clean_streak_;
+    if (clean_streak_ >= cfg_.clean_intervals_to_climb) {
+      const Bandwidth bumped = std::max(rate_ * cfg_.climb_factor,
+                                        rate_ + cfg_.climb_floor);
+      rate_ = clamp_rate(bumped);
+    }
+  }
+  return {rate_, fps_for(rate_)};
+}
+
+}  // namespace cgs::stream

@@ -1,0 +1,67 @@
+// "Luna-like" rate controller.
+//
+// Models the congestion-response class the paper measures for Amazon Luna: a
+// throughput-matching controller (TFRC/HLS-ladder flavour).  It sets its
+// rate from the receiver-measured goodput, backs off on moderate loss or
+// delay growth, and climbs back only after a sustained clean period.
+// Consequences reproduced from the paper: fair against Cubic (whose loss
+// episodes are short, leaving clean windows to climb in), suppressed by BBR
+// (loss-blind occupancy keeps shaving its goodput, ratcheting the match
+// down), slow — sometimes failing — recovery after a BBR flow departs, and
+// a bitrate-tier-driven encoder frame-rate ladder (22 f/s at the bottom).
+#pragma once
+
+#include "stream/controller.hpp"
+#include "stream/delay_detector.hpp"
+
+namespace cgs::stream {
+
+struct LunaLikeConfig {
+  Bandwidth max_bitrate = Bandwidth::mbps(23.7);  // Table 1 baseline
+  Bandwidth min_bitrate = Bandwidth::mbps(1.5);
+  Bandwidth start_bitrate = Bandwidth::mbps(10.0);
+  // Luna's delay signal is a latency budget on the *standing* queue: the
+  // windowed-minimum queuing delay must return to (near) zero within the
+  // window.  Cubic drains the queue after every loss episode, resetting the
+  // minimum and leaving Luna clean climb windows; BBR parks a standing
+  // queue that never drains, pinning the trigger — the paper's
+  // Luna-loses-to-BBR signature, at every queue size where a standing
+  // queue fits (2x/7x), while at 0.5x persistent BBR loss does the same.
+  Time standing_window = std::chrono::seconds(3);
+  Time standing_floor = std::chrono::milliseconds(12);
+  DelayDetectorConfig detector{
+      .norm_gain = 0.05,
+      .rel_factor = 99.0,  // relative branch disabled
+      .abs_margin = std::chrono::milliseconds(5),
+      .hard_limit = std::chrono::milliseconds(30)};  // absolute safety only
+  double loss_threshold = 0.02;
+  double backoff_factor = 0.92;          // rate <- factor*(1-loss)*recv_rate
+  int clean_intervals_to_climb = 10;     // ~1 s of clean feedback
+  double climb_factor = 1.018;           // multiplicative per interval
+  Bandwidth climb_floor = Bandwidth::kbps(40);
+  // Encoder ladder: fps by absolute bitrate tier (streaming-video style).
+  Bandwidth fps60_at = Bandwidth::mbps(8.0);
+  Bandwidth fps50_at = Bandwidth::mbps(5.5);
+  Bandwidth fps40_at = Bandwidth::mbps(3.5);
+  // below fps40_at -> 30 f/s
+};
+
+class LunaLikeController final : public RateController {
+ public:
+  explicit LunaLikeController(LunaLikeConfig cfg);
+
+  ControlDecision on_feedback(const FeedbackSnapshot& fb) override;
+  [[nodiscard]] ControlDecision current() const override;
+  [[nodiscard]] std::string_view name() const override { return "luna-like"; }
+
+ private:
+  [[nodiscard]] double fps_for(Bandwidth rate) const;
+
+  LunaLikeConfig cfg_;
+  Bandwidth rate_;
+  RelativeDelayDetector detector_;
+  StandingQueueDetector standing_;
+  int clean_streak_ = 0;
+};
+
+}  // namespace cgs::stream

@@ -1,0 +1,60 @@
+#include "stream/controllers/stadia_like.hpp"
+
+#include <algorithm>
+
+namespace cgs::stream {
+
+StadiaLikeController::StadiaLikeController(StadiaLikeConfig cfg)
+    : cfg_(cfg),
+      rate_(cfg.start_bitrate),
+      detector_(cfg.detector),
+      standing_(cfg.standing_window, cfg.standing_floor) {}
+
+ControlDecision StadiaLikeController::current() const {
+  return {rate_, fps_};
+}
+
+double StadiaLikeController::pick_fps() const {
+  const double loss = loss_avg_.value_or(0.0);
+  if (loss >= cfg_.loss_for_40fps) return 40.0;
+  if (loss >= cfg_.loss_for_50fps) return 50.0;
+  return 60.0;
+}
+
+ControlDecision StadiaLikeController::on_feedback(const FeedbackSnapshot& fb) {
+  if (!fb.valid) return current();
+  loss_avg_.update(fb.loss_fraction);
+
+  const auto clamp_rate = [this](Bandwidth r) {
+    return std::clamp(r, cfg_.min_bitrate, cfg_.max_bitrate);
+  };
+
+  const bool overuse = detector_.overused(fb.queuing_delay) ||
+                       standing_.standing(fb.queuing_delay, fb.now);
+  if (overuse) {
+    // Match a backed-off fraction of what actually got through, but never
+    // halve more than once per step: a 100 ms recv_rate dip during a
+    // competing flow's startup flood is not a steady-state signal.
+    const Bandwidth target = std::max(fb.recv_rate * cfg_.backoff_factor,
+                                      rate_ * 0.5);
+    rate_ = clamp_rate(std::min(rate_, target));
+    hold_until_ = fb.now + cfg_.hold_after_backoff;
+  } else if (fb.loss_fraction > cfg_.loss_threshold) {
+    // Penalise only the loss in excess of the tolerance, multiplicatively
+    // on the current rate.  Anchoring on recv_rate here would collapse the
+    // stream during a competitor's startup flood (recv momentarily
+    // halves), handing BBR the bistable shallow-buffer equilibrium — the
+    // opposite of the near-fair split the paper measures.
+    const double excess = fb.loss_fraction - cfg_.loss_threshold;
+    rate_ = clamp_rate(rate_ * (1.0 - cfg_.loss_backoff_scale * excess));
+  } else if (fb.now >= hold_until_) {
+    const Bandwidth bumped = std::max(rate_ * cfg_.increase_factor,
+                                      rate_ + cfg_.increase_floor);
+    rate_ = clamp_rate(bumped);
+  }
+
+  fps_ = pick_fps();
+  return {rate_, fps_};
+}
+
+}  // namespace cgs::stream

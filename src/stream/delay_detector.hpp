@@ -1,0 +1,85 @@
+// Relative-delay overuse detection shared by the system controllers.
+//
+// Absolute queuing-delay thresholds starve against loss-based TCP: Cubic
+// parks a standing queue at the bottleneck, the absolute signal stays high,
+// and the stream death-spirals to its floor.  What GCC-class controllers
+// (and, per the paper's measurements, the commercial systems) actually react
+// to is delay *growth* relative to the recent norm: a stable standing queue
+// is tolerated, a swelling one is overuse.  The detector keeps a slow EWMA
+// of queuing delay and flags overuse when the current sample exceeds
+// rel_factor * norm + abs_margin.
+#pragma once
+
+#include <algorithm>
+
+#include "util/filters.hpp"
+#include "util/units.hpp"
+
+namespace cgs::stream {
+
+struct DelayDetectorConfig {
+  double norm_gain = 0.05;     // EWMA gain per feedback interval (~2 s memory)
+  double rel_factor = 1.5;     // overuse when delay > factor * norm + margin
+  Time abs_margin = std::chrono::milliseconds(5);
+  Time hard_limit = kTimeInfinite;  // absolute ceiling that always trips
+};
+
+class RelativeDelayDetector {
+ public:
+  explicit RelativeDelayDetector(DelayDetectorConfig cfg) : cfg_(cfg), norm_(cfg.norm_gain) {}
+
+  /// Feed one queuing-delay sample; returns true on overuse.
+  bool overused(Time queuing_delay) {
+    const double sample_ms = to_seconds(queuing_delay) * 1e3;
+    const double norm_ms = norm_.value_or(sample_ms);
+    const double margin_ms = to_seconds(cfg_.abs_margin) * 1e3;
+    const bool over =
+        sample_ms > cfg_.rel_factor * norm_ms + margin_ms ||
+        (cfg_.hard_limit != kTimeInfinite && queuing_delay > cfg_.hard_limit);
+    // The norm absorbs the sample either way, but slower while overusing so
+    // a long ramp does not normalise itself too quickly.
+    if (over) {
+      norm_.update(norm_ms + 0.3 * (sample_ms - norm_ms));
+    } else {
+      norm_.update(sample_ms);
+    }
+    return over;
+  }
+
+  [[nodiscard]] double norm_ms() const { return norm_.value_or(0.0); }
+  void reset() { norm_.reset(); }
+
+ private:
+  DelayDetectorConfig cfg_;
+  Ewma norm_;
+};
+
+/// Standing-queue detection: flags when the *minimum* queuing delay over a
+/// sliding window stays above a floor — i.e. the bottleneck queue never
+/// drains.  Loss-based TCP (Cubic) periodically drains the queue after each
+/// loss episode, resetting the windowed min; BBR parks a standing queue
+/// (~1 BDP of inflight cap) that never drains.  This is the signal that
+/// separates "competing with Cubic" from "competing with BBR" for
+/// latency-budgeted controllers, and it drives the paper's Luna/GeForce
+/// vs-BBR suppression patterns.
+class StandingQueueDetector {
+ public:
+  StandingQueueDetector(Time window, Time floor)
+      : floor_(floor), min_ns_(window) {}
+
+  /// Feed one queuing-delay sample; returns true while the windowed minimum
+  /// sits above the floor.
+  bool standing(Time queuing_delay, Time now) {
+    min_ns_.update(queuing_delay.count(), now);
+    return Time(min_ns_.get_or(0)) > floor_;
+  }
+
+  [[nodiscard]] Time floor() const { return floor_; }
+  void reset() { min_ns_.reset(); }
+
+ private:
+  Time floor_;
+  WindowedMinFilter<std::int64_t> min_ns_;
+};
+
+}  // namespace cgs::stream

@@ -1,0 +1,23 @@
+#include "stream/display.hpp"
+
+#include <algorithm>
+
+namespace cgs::stream {
+
+void DisplayModel::frame_presented(std::uint32_t /*frame_id*/, Time at) {
+  presented_.push_back(at);
+}
+
+void DisplayModel::frame_dropped(std::uint32_t /*frame_id*/, Time /*at*/) {
+  ++dropped_;
+}
+
+double DisplayModel::fps_over(Time from, Time to) const {
+  if (to <= from) return 0.0;
+  const auto lo = std::lower_bound(presented_.begin(), presented_.end(), from);
+  const auto hi = std::lower_bound(presented_.begin(), presented_.end(), to);
+  const auto count = double(std::distance(lo, hi));
+  return count / to_seconds(to - from);
+}
+
+}  // namespace cgs::stream

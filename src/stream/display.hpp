@@ -1,0 +1,33 @@
+// Client display model: records which frames were presented and computes
+// delivered frame rates — the simulator's PresentMon.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace cgs::stream {
+
+class DisplayModel {
+ public:
+  void frame_presented(std::uint32_t frame_id, Time at);
+  void frame_dropped(std::uint32_t frame_id, Time at);
+
+  [[nodiscard]] std::uint64_t presented_total() const { return presented_.size(); }
+  [[nodiscard]] std::uint64_t dropped_total() const { return dropped_; }
+
+  /// Average presented frames/second over [from, to).
+  [[nodiscard]] double fps_over(Time from, Time to) const;
+
+  /// Presentation timestamps (sorted), for fine-grained analysis.
+  [[nodiscard]] const std::vector<Time>& presentation_times() const {
+    return presented_;
+  }
+
+ private:
+  std::vector<Time> presented_;  // monotonically appended
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace cgs::stream

@@ -1,0 +1,17 @@
+// Encoded video frame metadata flowing from encoder to packetiser.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace cgs::stream {
+
+struct Frame {
+  std::uint32_t id = 0;
+  ByteSize bytes{0};
+  bool keyframe = false;
+  Time gen_time = kTimeZero;  // when the encoder emitted it
+};
+
+}  // namespace cgs::stream

@@ -1,0 +1,53 @@
+#include "stream/frame_source.hpp"
+
+#include <algorithm>
+
+namespace cgs::stream {
+
+FrameSource::FrameSource(sim::Simulator& sim, FrameSourceConfig cfg, Pcg32 rng,
+                         FrameHandler on_frame)
+    : sim_(sim),
+      cfg_(cfg),
+      rng_(rng),
+      on_frame_(std::move(on_frame)),
+      tick_(sim, [this] { emit_frame(); }) {}
+
+void FrameSource::start() {
+  if (running_) return;
+  running_ = true;
+  tick_.arm(kTimeZero);
+}
+
+void FrameSource::stop() {
+  running_ = false;
+  tick_.cancel();
+}
+
+void FrameSource::set_fps(double fps) {
+  cfg_.fps = std::clamp(fps, 1.0, 240.0);
+}
+
+void FrameSource::emit_frame() {
+  if (!running_) return;
+
+  const double mean_bytes =
+      double(cfg_.bitrate.bits_per_sec()) / cfg_.fps / 8.0;
+  const bool key = frames_since_key_ >= cfg_.keyframe_interval;
+  frames_since_key_ = key ? 0 : frames_since_key_ + 1;
+
+  double bytes = rng_.lognormal_by_moments(mean_bytes,
+                                           cfg_.size_cv * mean_bytes);
+  if (key) bytes *= cfg_.keyframe_scale;
+  bytes = std::max(bytes, 200.0);
+
+  Frame f;
+  f.id = next_id_++;
+  f.bytes = ByteSize(std::int64_t(bytes));
+  f.keyframe = key;
+  f.gen_time = sim_.now();
+  on_frame_(f);
+
+  tick_.arm(frame_interval());
+}
+
+}  // namespace cgs::stream

@@ -1,0 +1,28 @@
+// Splits encoded frames into RTP-style packets.
+#pragma once
+
+#include <vector>
+
+#include "net/packet.hpp"
+#include "stream/frame.hpp"
+
+namespace cgs::stream {
+
+class Packetizer {
+ public:
+  Packetizer(net::PacketFactory& factory, net::FlowId flow)
+      : factory_(&factory), flow_(flow) {}
+
+  /// Split `frame` into <= kRtpPayload-sized packets stamped at `now`.
+  [[nodiscard]] std::vector<net::PacketPtr> packetize(const Frame& frame,
+                                                      Time now);
+
+  [[nodiscard]] std::uint32_t next_seq() const { return next_seq_; }
+
+ private:
+  net::PacketFactory* factory_;
+  net::FlowId flow_;
+  std::uint32_t next_seq_ = 0;
+};
+
+}  // namespace cgs::stream

@@ -1,0 +1,77 @@
+#include "stream/profiles.hpp"
+
+#include "stream/controllers/geforce_like.hpp"
+#include "stream/controllers/luna_like.hpp"
+#include "stream/controllers/stadia_like.hpp"
+
+namespace cgs::stream {
+
+std::string_view to_string(GameSystem s) {
+  switch (s) {
+    case GameSystem::kStadia: return "Stadia";
+    case GameSystem::kGeForce: return "GeForce";
+    case GameSystem::kLuna: return "Luna";
+  }
+  return "?";
+}
+
+const SystemProfile& profile_for(GameSystem s) {
+  using std::chrono::milliseconds;
+  // Table 1: Stadia 27.5 (2.3), GeForce 24.5 (1.8), Luna 23.7 (0.9) Mb/s.
+  // Server pings (§3.3): Stadia 11.9 ms, GeForce 4.5 ms, Luna 16.4 ms.
+  static const SystemProfile kStadia{
+      GameSystem::kStadia, Bandwidth::mbps(27.5), Bandwidth::mbps(12.0),
+      0.084,  // sd/mean = 2.3/27.5
+      0.06, milliseconds(120), milliseconds(12), 1.35};
+  static const SystemProfile kGeForce{
+      GameSystem::kGeForce, Bandwidth::mbps(24.5), Bandwidth::mbps(12.0),
+      0.073,  // 1.8/24.5
+      0.13, milliseconds(150), milliseconds(5), 1.35};
+  static const SystemProfile kLuna{
+      GameSystem::kLuna, Bandwidth::mbps(23.7), Bandwidth::mbps(10.0),
+      0.038,  // 0.9/23.7 — Luna had the least variation
+      0.04, milliseconds(100), milliseconds(16), 1.35};
+  switch (s) {
+    case GameSystem::kStadia: return kStadia;
+    case GameSystem::kGeForce: return kGeForce;
+    case GameSystem::kLuna: return kLuna;
+  }
+  return kStadia;
+}
+
+std::unique_ptr<RateController> make_controller(GameSystem s) {
+  switch (s) {
+    case GameSystem::kStadia: {
+      StadiaLikeConfig cfg;
+      cfg.max_bitrate = profile_for(s).max_bitrate;
+      cfg.start_bitrate = profile_for(s).start_bitrate;
+      return std::make_unique<StadiaLikeController>(cfg);
+    }
+    case GameSystem::kGeForce: {
+      GeForceLikeConfig cfg;
+      cfg.max_bitrate = profile_for(s).max_bitrate;
+      cfg.start_bitrate = profile_for(s).start_bitrate;
+      return std::make_unique<GeForceLikeController>(cfg);
+    }
+    case GameSystem::kLuna: {
+      LunaLikeConfig cfg;
+      cfg.max_bitrate = profile_for(s).max_bitrate;
+      cfg.start_bitrate = profile_for(s).start_bitrate;
+      return std::make_unique<LunaLikeController>(cfg);
+    }
+  }
+  return nullptr;
+}
+
+FrameSourceConfig frame_config_for(GameSystem s) {
+  const SystemProfile& p = profile_for(s);
+  FrameSourceConfig cfg;
+  cfg.fps = 60.0;
+  cfg.bitrate = p.start_bitrate;
+  cfg.size_cv = p.frame_size_cv * 3.0;  // per-frame cv > per-second cv
+  cfg.keyframe_interval = 300;
+  cfg.keyframe_scale = 2.5;
+  return cfg;
+}
+
+}  // namespace cgs::stream

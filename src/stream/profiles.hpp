@@ -1,0 +1,37 @@
+// Per-system profiles: every calibrated constant for the three modelled
+// game-streaming systems lives here (DESIGN.md §4, "controller calibration").
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "stream/controller.hpp"
+#include "stream/frame_source.hpp"
+
+namespace cgs::stream {
+
+enum class GameSystem { kStadia, kGeForce, kLuna };
+
+[[nodiscard]] std::string_view to_string(GameSystem s);
+
+struct SystemProfile {
+  GameSystem system;
+  Bandwidth max_bitrate;        // Table 1 unconstrained steady state
+  Bandwidth start_bitrate;
+  double frame_size_cv;         // frame size variability (Table 1 sd)
+  double fec_rate;              // per-frame recoverable loss fraction
+  Time playout_deadline;        // frame must complete within gen + deadline
+  Time server_rtt_raw;          // measured server ping before padding (§3.3)
+  double burst_factor;          // intra-frame pacing vs target bitrate
+};
+
+/// Profile constants for one system.
+[[nodiscard]] const SystemProfile& profile_for(GameSystem s);
+
+/// Construct the system's rate controller with profile-calibrated config.
+[[nodiscard]] std::unique_ptr<RateController> make_controller(GameSystem s);
+
+/// Encoder settings consistent with the profile.
+[[nodiscard]] FrameSourceConfig frame_config_for(GameSystem s);
+
+}  // namespace cgs::stream

@@ -1,0 +1,142 @@
+#include "stream/receiver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cgs::stream {
+
+StreamReceiver::StreamReceiver(sim::Simulator& sim,
+                               net::PacketFactory& factory, Options opts)
+    : sim_(sim),
+      factory_(factory),
+      opts_(opts),
+      feedback_timer_(sim, opts.feedback_interval,
+                      [this] { send_feedback(); }) {}
+
+void StreamReceiver::start() { feedback_timer_.start(); }
+void StreamReceiver::stop() { feedback_timer_.stop(); }
+
+std::uint64_t StreamReceiver::packets_lost() const {
+  if (!any_seq_) return 0;
+  const std::uint64_t expected = std::uint64_t(highest_seq_) + 1;
+  return expected > cum_recv_ ? expected - cum_recv_ : 0;
+}
+
+double StreamReceiver::loss_rate() const {
+  if (!any_seq_) return 0.0;
+  const double expected = double(highest_seq_) + 1.0;
+  return double(packets_lost()) / expected;
+}
+
+void StreamReceiver::handle_packet(net::PacketPtr pkt) {
+  const auto* h = std::get_if<net::RtpHeader>(&pkt->header);
+  if (h == nullptr) return;
+  const Time now = sim_.now();
+
+  // Sequence/byte accounting.
+  highest_seq_ = any_seq_ ? std::max(highest_seq_, h->seq) : h->seq;
+  any_seq_ = true;
+  ++cum_recv_;
+  ++win_recv_;
+  bytes_total_ += pkt->size();
+  win_bytes_ += pkt->size();
+
+  const Time owd = now - pkt->created;
+  win_owd_sum_ += owd;
+  win_owd_min_ = std::min(win_owd_min_, owd);
+
+  // Frame assembly.  The playout deadline is relative to the frame's first
+  // packet arrival (de-jitter buffer semantics): a uniformly-delayed stream
+  // still displays every frame — what degrades frames is loss beyond the
+  // FEC budget or intra-frame delay spread, not bufferbloat per se.
+  if (any_decided_ && h->frame_id <= decided_max_ &&
+      !frames_.contains(h->frame_id)) {
+    return;  // straggler for an already-decided frame
+  }
+  auto [it, inserted] = frames_.try_emplace(h->frame_id);
+  FrameAsm& fa = it->second;
+  if (inserted) {
+    fa.expected = h->pkts_in_frame;
+    fa.gen_time = h->frame_gen_time;
+    const Time decide_at = now + opts_.playout_deadline;
+    const std::uint32_t id = h->frame_id;
+    sim_.schedule_at(decide_at, [this, id] { decide_frame(id); });
+  }
+  if (fa.decided) return;
+  ++fa.received;
+
+  // Decodable once enough packets arrived to beat the FEC erasure budget
+  // (every frame ships with at least one repair packet's worth of FEC).
+  const auto budget = std::uint16_t(
+      opts_.fec_rate > 0.0
+          ? std::ceil(opts_.fec_rate * double(fa.expected))
+          : 0.0);
+  const std::uint16_t needed =
+      std::uint16_t(fa.expected > budget ? fa.expected - budget : 1);
+  if (fa.received >= needed && !fa.complete) {
+    fa.complete = true;
+    fa.complete_at = now;
+  }
+}
+
+void StreamReceiver::decide_frame(std::uint32_t frame_id) {
+  auto it = frames_.find(frame_id);
+  if (it == frames_.end() || it->second.decided) return;
+  FrameAsm& fa = it->second;
+  fa.decided = true;
+  if (fa.complete) {
+    display_.frame_presented(frame_id, fa.complete_at);
+  } else {
+    display_.frame_dropped(frame_id, sim_.now());
+  }
+  decided_max_ = any_decided_ ? std::max(decided_max_, frame_id) : frame_id;
+  any_decided_ = true;
+  frames_.erase(it);
+}
+
+void StreamReceiver::send_feedback() {
+  if (out_ == nullptr) return;
+
+  net::FeedbackHeader fb;
+  fb.highest_seq = highest_seq_;
+  fb.cum_recv_pkts = cum_recv_;
+  fb.report_time = sim_.now();
+
+  // Loss over this interval from sequence-number progress.
+  std::uint64_t expected = 0;
+  if (any_seq_) {
+    if (win_seq_base_valid_) {
+      expected = highest_seq_ > win_seq_base_ ? highest_seq_ - win_seq_base_ : 0;
+    } else {
+      expected = std::uint64_t(highest_seq_) + 1;
+    }
+  }
+  if (expected > 0) {
+    const double lost = expected > win_recv_
+                            ? double(expected - win_recv_)
+                            : 0.0;
+    fb.window_loss_fraction = lost / double(expected);
+  }
+  fb.cum_lost_pkts = packets_lost();
+
+  fb.recv_rate_bps =
+      rate_of(win_bytes_, opts_.feedback_interval).bits_per_sec();
+  if (win_recv_ > 0) {
+    fb.avg_owd = win_owd_sum_ / std::int64_t(win_recv_);
+    fb.min_owd = win_owd_min_;
+  }
+
+  out_->handle_packet(factory_.make(opts_.flow,
+                                    net::TrafficClass::kStreamInput,
+                                    net::kFeedbackWire, sim_.now(), fb));
+
+  // Reset interval accumulators.
+  win_recv_ = 0;
+  win_bytes_ = ByteSize(0);
+  win_owd_sum_ = kTimeZero;
+  win_owd_min_ = kTimeInfinite;
+  win_seq_base_ = highest_seq_;
+  win_seq_base_valid_ = any_seq_;
+}
+
+}  // namespace cgs::stream

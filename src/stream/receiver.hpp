@@ -1,0 +1,89 @@
+// Game-streaming client: reassembles frames, measures loss/delay/rate,
+// sends periodic feedback reports upstream, and drives the display model.
+//
+// FEC is modelled logically: a frame is decodable if the fraction of its
+// packets lost is within the profile's FEC budget and the frame completes
+// before its playout deadline.
+#pragma once
+
+#include <map>
+
+#include "net/packet.hpp"
+#include "sim/timer.hpp"
+#include "stream/display.hpp"
+#include "util/filters.hpp"
+
+namespace cgs::stream {
+
+class StreamReceiver final : public net::PacketSink {
+ public:
+  struct Options {
+    net::FlowId flow = 0;
+    Time feedback_interval = std::chrono::milliseconds(100);
+    double fec_rate = 0.05;   // recoverable lost fraction per frame
+    Time playout_deadline = std::chrono::milliseconds(120);
+  };
+
+  StreamReceiver(sim::Simulator& sim, net::PacketFactory& factory,
+                 Options opts);
+
+  /// Upstream path entry for feedback; must outlive the receiver.
+  void set_output(net::PacketSink* out) { out_ = out; }
+
+  void start();
+  void stop();
+
+  void handle_packet(net::PacketPtr pkt) override;
+
+  [[nodiscard]] DisplayModel& display() { return display_; }
+  [[nodiscard]] const DisplayModel& display() const { return display_; }
+
+  [[nodiscard]] std::uint64_t packets_received() const { return cum_recv_; }
+  [[nodiscard]] std::uint64_t packets_lost() const;
+  [[nodiscard]] ByteSize bytes_received() const { return bytes_total_; }
+  /// Lifetime loss fraction (packets).
+  [[nodiscard]] double loss_rate() const;
+
+ private:
+  struct FrameAsm {
+    std::uint16_t expected = 0;
+    std::uint16_t received = 0;
+    Time gen_time = kTimeZero;
+    Time complete_at = kTimeZero;  // arrival of the decodability threshold
+    bool complete = false;
+    bool decided = false;
+  };
+
+  void send_feedback();
+  void decide_frame(std::uint32_t frame_id);
+
+  sim::Simulator& sim_;
+  net::PacketFactory& factory_;
+  Options opts_;
+  net::PacketSink* out_ = nullptr;
+
+  sim::PeriodicTimer feedback_timer_;
+  DisplayModel display_;
+
+  std::map<std::uint32_t, FrameAsm> frames_;
+  // Watermark of already-decided frames: a straggler packet arriving after
+  // its frame was decided must not resurrect the frame entry.
+  std::uint32_t decided_max_ = 0;
+  bool any_decided_ = false;
+
+  // Sequence accounting (no reordering on a single FIFO path).
+  bool any_seq_ = false;
+  std::uint32_t highest_seq_ = 0;
+  std::uint64_t cum_recv_ = 0;
+  ByteSize bytes_total_{0};
+
+  // Per-feedback-interval accumulators.
+  std::uint64_t win_recv_ = 0;
+  ByteSize win_bytes_{0};
+  Time win_owd_sum_ = kTimeZero;
+  Time win_owd_min_ = kTimeInfinite;
+  std::uint32_t win_seq_base_ = 0;  // highest_seq_ at last report
+  bool win_seq_base_valid_ = false;
+};
+
+}  // namespace cgs::stream

@@ -1,0 +1,95 @@
+#include "stream/sender.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cgs::stream {
+
+StreamSender::StreamSender(sim::Simulator& sim, net::PacketFactory& factory,
+                           Options opts, FrameSourceConfig encoder_cfg,
+                           std::unique_ptr<RateController> controller,
+                           Pcg32 rng)
+    : sim_(sim),
+      opts_(opts),
+      encoder_(sim, encoder_cfg, rng,
+               [this](const Frame& f) { on_frame(f); }),
+      packetizer_(factory, opts.flow),
+      controller_(std::move(controller)),
+      pace_timer_(sim, [this] { drain_send_queue(); }),
+      base_owd_ns_(opts.base_delay_window) {
+  assert(controller_ && "StreamSender requires a rate controller");
+  apply(controller_->current());
+}
+
+void StreamSender::start() {
+  assert(out_ != nullptr && "set_output() before start()");
+  running_ = true;
+  next_send_time_ = sim_.now();
+  encoder_.start();
+}
+
+void StreamSender::stop() {
+  running_ = false;
+  encoder_.stop();
+  send_queue_.clear();
+  pace_timer_.cancel();
+}
+
+void StreamSender::apply(const ControlDecision& d) {
+  // The controller targets a wire bitrate (what the paper measures at the
+  // router); the encoder produces payload bytes, so deduct the per-packet
+  // IP/UDP overhead share.
+  constexpr double kPayloadShare =
+      double(net::kRtpPayload) / double(net::kRtpWire);
+  encoder_.set_bitrate(d.target_bitrate * kPayloadShare);
+  encoder_.set_fps(d.target_fps);
+}
+
+void StreamSender::on_frame(const Frame& frame) {
+  auto pkts = packetizer_.packetize(frame, sim_.now());
+  for (auto& p : pkts) send_queue_.push_back(std::move(p));
+  drain_send_queue();
+}
+
+void StreamSender::drain_send_queue() {
+  while (!send_queue_.empty()) {
+    const Time now = sim_.now();
+    if (now < next_send_time_) {
+      pace_timer_.arm(next_send_time_ - now);
+      return;
+    }
+    net::PacketPtr pkt = std::move(send_queue_.front());
+    send_queue_.pop_front();
+    // Stamp the wire-send time (WebRTC abs-send-time semantics): one-way
+    // delay must measure the network, not the sender's own pacing queue.
+    pkt->created = now;
+    bytes_sent_ += pkt->size();
+
+    const Bandwidth pace_rate = encoder_.bitrate() * opts_.burst_factor;
+    next_send_time_ = std::max(next_send_time_, now) +
+                      pace_rate.transmit_time(pkt->size());
+    out_->handle_packet(std::move(pkt));
+  }
+}
+
+void StreamSender::handle_packet(net::PacketPtr pkt) {
+  const auto* fb = std::get_if<net::FeedbackHeader>(&pkt->header);
+  if (fb == nullptr || !running_) return;
+
+  base_owd_ns_.update(fb->min_owd.count(), sim_.now());
+
+  FeedbackSnapshot snap;
+  snap.now = sim_.now();
+  snap.send_rate = encoder_.bitrate();
+  snap.recv_rate = Bandwidth(fb->recv_rate_bps);
+  snap.loss_fraction = fb->window_loss_fraction;
+  snap.base_delay = Time(base_owd_ns_.get_or(fb->min_owd.count()));
+  snap.queuing_delay =
+      std::max(kTimeZero, fb->avg_owd - snap.base_delay);
+  snap.valid = true;
+  last_qdelay_ = snap.queuing_delay;
+
+  apply(controller_->on_feedback(snap));
+}
+
+}  // namespace cgs::stream

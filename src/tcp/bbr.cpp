@@ -1,0 +1,182 @@
+#include "tcp/bbr.hpp"
+
+#include <algorithm>
+
+namespace cgs::tcp {
+
+Bbr::Bbr(ByteSize mss, Time now) : mss_(mss) {
+  rt_prop_stamp_ = now;
+  cycle_stamp_ = now;
+}
+
+Bandwidth Bbr::btl_bw() const {
+  return Bandwidth(bw_filter_.get_or(0));
+}
+
+ByteSize Bbr::bdp_bytes(double gain) const {
+  if (rt_prop_ == kTimeInfinite || btl_bw().is_zero()) {
+    // No model yet: initial window of 10 segments scaled by gain.
+    return ByteSize(std::int64_t(10 * mss_.bytes() * gain));
+  }
+  const ByteSize b = bdp(btl_bw(), rt_prop_);
+  return ByteSize(std::int64_t(double(b.bytes()) * gain));
+}
+
+ByteSize Bbr::cwnd() const {
+  if (mode_ == Mode::kProbeRtt) {
+    return ByteSize(4 * mss_.bytes());
+  }
+  const ByteSize target = bdp_bytes(cwnd_gain_);
+  return std::max(target, ByteSize(4 * mss_.bytes()));
+}
+
+Bandwidth Bbr::pacing_rate() const {
+  const Bandwidth bw = btl_bw();
+  if (bw.is_zero()) {
+    // Before any sample: pace the initial window over the (unknown) RTT —
+    // use a nominal 1 ms to be effectively unpaced at startup.
+    return Bandwidth::mbps(100.0) * pacing_gain_;
+  }
+  return bw * pacing_gain_;
+}
+
+void Bbr::update_round(const AckEvent& ack) {
+  round_start_ = false;
+  if (ack.delivered_total >= next_round_delivered_) {
+    next_round_delivered_ = ack.delivered_total + ack.inflight;
+    ++round_count_;
+    round_start_ = true;
+  }
+}
+
+void Bbr::update_btl_bw(const AckEvent& ack) {
+  if (!ack.rate.valid) return;
+  if (ack.rate.app_limited &&
+      ack.rate.delivery_rate.bits_per_sec() <= bw_filter_.get_or(0)) {
+    return;  // app-limited samples may only raise the estimate
+  }
+  // The filter window is measured in rounds; reuse the time-window filter
+  // with "time" = round count.
+  bw_filter_.update(ack.rate.delivery_rate.bits_per_sec(),
+                    Time(std::int64_t(round_count_)));
+}
+
+void Bbr::update_rt_prop(const AckEvent& ack) {
+  rt_prop_expired_ = ack.now > rt_prop_stamp_ + kRtPropFilterLen;
+  if (ack.rtt > kTimeZero && (ack.rtt <= rt_prop_ || rt_prop_expired_)) {
+    rt_prop_ = ack.rtt;
+    rt_prop_stamp_ = ack.now;
+  }
+}
+
+void Bbr::check_full_pipe(const AckEvent& ack) {
+  if (filled_pipe_ || !round_start_ || ack.rate.app_limited) return;
+  // BtlBw still growing >= 25% per round?
+  if (btl_bw().bits_per_sec() >=
+      std::int64_t(double(full_bw_.bits_per_sec()) * 1.25)) {
+    full_bw_ = btl_bw();
+    full_bw_count_ = 0;
+    return;
+  }
+  if (++full_bw_count_ >= 3) filled_pipe_ = true;
+}
+
+void Bbr::enter_probe_bw(Time now) {
+  mode_ = Mode::kProbeBw;
+  pacing_gain_ = 1.0;
+  cwnd_gain_ = kCwndGain;
+  // Start in a random-ish phase in real BBR; deterministic phase 2 here
+  // (steady) keeps runs reproducible. Competing-BBR dynamics are preserved
+  // because phase advancing is data-driven.
+  cycle_index_ = 2;
+  cycle_stamp_ = now;
+}
+
+void Bbr::check_drain(const AckEvent& ack) {
+  if (mode_ == Mode::kStartup && filled_pipe_) {
+    mode_ = Mode::kDrain;
+    pacing_gain_ = kDrainGain;
+    cwnd_gain_ = kHighGain;
+  }
+  if (mode_ == Mode::kDrain && ack.inflight <= bdp_bytes(1.0)) {
+    enter_probe_bw(ack.now);
+  }
+}
+
+void Bbr::update_probe_bw_cycle(const AckEvent& ack) {
+  if (mode_ != Mode::kProbeBw) return;
+  const double gain = kPacingGainCycle[cycle_index_];
+  bool advance = false;
+  const bool elapsed = ack.now - cycle_stamp_ >
+                       (rt_prop_ == kTimeInfinite ? std::chrono::milliseconds(10)
+                                                  : rt_prop_);
+  if (gain > 1.0) {
+    // Stay in the probing phase until we've actually created 1.25x BDP of
+    // inflight (or a full rt_prop has passed and we saw losses).
+    advance = elapsed && ack.inflight >= bdp_bytes(gain);
+  } else if (gain < 1.0) {
+    advance = elapsed || ack.inflight <= bdp_bytes(1.0);
+  } else {
+    advance = elapsed;
+  }
+  if (advance) {
+    cycle_index_ = (cycle_index_ + 1) % kGainCycleLen;
+    cycle_stamp_ = ack.now;
+  }
+  pacing_gain_ = kPacingGainCycle[cycle_index_];
+}
+
+void Bbr::update_probe_rtt(const AckEvent& ack) {
+  if (rt_prop_expired_ && mode_ != Mode::kProbeRtt &&
+      mode_ != Mode::kStartup) {
+    mode_ = Mode::kProbeRtt;
+    pacing_gain_ = 1.0;
+    prior_cwnd_ = cwnd();
+    probe_rtt_done_stamp_ = kTimeZero;
+  }
+  if (mode_ != Mode::kProbeRtt) return;
+
+  if (probe_rtt_done_stamp_ == kTimeZero &&
+      ack.inflight <= ByteSize(4 * mss_.bytes())) {
+    probe_rtt_done_stamp_ = ack.now + kProbeRttDuration;
+    probe_rtt_round_done_ = false;
+    next_round_delivered_ = ack.delivered_total + ack.inflight;
+  } else if (probe_rtt_done_stamp_ != kTimeZero) {
+    if (round_start_) probe_rtt_round_done_ = true;
+    if (probe_rtt_round_done_ && ack.now > probe_rtt_done_stamp_) {
+      rt_prop_stamp_ = ack.now;
+      if (filled_pipe_) {
+        enter_probe_bw(ack.now);
+      } else {
+        mode_ = Mode::kStartup;
+        pacing_gain_ = kHighGain;
+        cwnd_gain_ = kHighGain;
+      }
+    }
+  }
+}
+
+void Bbr::on_ack(const AckEvent& ack) {
+  inflight_latest_ = ack.inflight;
+  update_round(ack);
+  update_btl_bw(ack);
+  check_full_pipe(ack);
+  check_drain(ack);
+  update_probe_bw_cycle(ack);
+  update_rt_prop(ack);
+  update_probe_rtt(ack);
+}
+
+void Bbr::on_loss_episode(const LossEvent& /*loss*/) {
+  // BBR v1 does not treat packet loss as a congestion signal; the inflight
+  // cap (cwnd = 2*BDP) is its only bound. (This is exactly the behaviour the
+  // paper references in §4.3.)
+}
+
+void Bbr::on_rto(Time /*now*/) {
+  // Draft: on RTO, save cwnd and conservatively restart; the model
+  // (BtlBw/RTprop filters) is retained.
+  prior_cwnd_ = cwnd();
+}
+
+}  // namespace cgs::tcp

@@ -1,0 +1,48 @@
+#include "tcp/bulk_app.hpp"
+
+#include "tcp/bbr.hpp"
+#include "tcp/cubic.hpp"
+#include "tcp/reno.hpp"
+#include "tcp/vegas.hpp"
+
+namespace cgs::tcp {
+
+std::string_view to_string(CcAlgo a) {
+  switch (a) {
+    case CcAlgo::kCubic: return "cubic";
+    case CcAlgo::kBbr: return "bbr";
+    case CcAlgo::kReno: return "reno";
+    case CcAlgo::kVegas: return "vegas";
+  }
+  return "?";
+}
+
+std::unique_ptr<CongestionControl> make_cc(CcAlgo algo, ByteSize mss) {
+  switch (algo) {
+    case CcAlgo::kCubic: return std::make_unique<Cubic>(mss);
+    case CcAlgo::kBbr: return std::make_unique<Bbr>(mss);
+    case CcAlgo::kReno: return std::make_unique<Reno>(mss);
+    case CcAlgo::kVegas: return std::make_unique<Vegas>(mss);
+  }
+  return nullptr;
+}
+
+BulkTcpFlow::BulkTcpFlow(sim::Simulator& sim, net::PacketFactory& factory,
+                         net::FlowId flow, CcAlgo algo, ByteSize mss)
+    : flow_(flow),
+      sender_(sim, factory, TcpSender::Options{flow, mss, net::kIpTcpOverhead},
+              make_cc(algo, mss)),
+      receiver_(sim, factory, flow) {}
+
+void BulkTcpFlow::attach(net::PacketSink* downstream,
+                         net::PacketSink* upstream) {
+  sender_.set_output(downstream);
+  receiver_.set_output(upstream);
+}
+
+void BulkTcpFlow::schedule(sim::Simulator& sim, Time start_at, Time stop_at) {
+  sim.schedule_at(start_at, [this] { sender_.start(); });
+  sim.schedule_at(stop_at, [this] { sender_.stop(); });
+}
+
+}  // namespace cgs::tcp

@@ -1,0 +1,38 @@
+// iperf-style bulk TCP flow: sender + receiver pair with scheduling helpers.
+#pragma once
+
+#include <memory>
+
+#include "tcp/tcp_receiver.hpp"
+#include "tcp/tcp_sender.hpp"
+
+namespace cgs::tcp {
+
+/// Owns one TCP sender/receiver pair and wires them to the caller-provided
+/// path entries (downstream toward the receiver, upstream toward the
+/// sender).  The equivalent of `iperf -c ... -t <dur>` in the paper.
+class BulkTcpFlow {
+ public:
+  BulkTcpFlow(sim::Simulator& sim, net::PacketFactory& factory,
+              net::FlowId flow, CcAlgo algo,
+              ByteSize mss = ByteSize(net::kTcpMss));
+
+  /// `downstream` receives data segments (server -> client path entry);
+  /// `upstream` receives ACKs (client -> server path entry). Both must
+  /// outlive the flow.
+  void attach(net::PacketSink* downstream, net::PacketSink* upstream);
+
+  /// Schedule start/stop at absolute simulation times.
+  void schedule(sim::Simulator& sim, Time start_at, Time stop_at);
+
+  [[nodiscard]] TcpSender& sender() { return sender_; }
+  [[nodiscard]] TcpReceiver& receiver() { return receiver_; }
+  [[nodiscard]] net::FlowId flow() const { return flow_; }
+
+ private:
+  net::FlowId flow_;
+  TcpSender sender_;
+  TcpReceiver receiver_;
+};
+
+}  // namespace cgs::tcp

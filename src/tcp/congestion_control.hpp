@@ -1,0 +1,61 @@
+// Pluggable TCP congestion control.
+//
+// The sender drives implementations through this interface; Cubic, BBR,
+// Reno and Vegas live in sibling files.  cwnd is in bytes; a zero pacing
+// rate means "not paced" (pure ACK clocking, as Linux Cubic without fq).
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "tcp/rate_sampler.hpp"
+#include "util/units.hpp"
+
+namespace cgs::tcp {
+
+/// Everything a CC algorithm may want to know about one incoming ACK.
+struct AckEvent {
+  Time now = kTimeZero;
+  ByteSize acked_bytes{0};     // newly cumulatively-acked + newly SACKed
+  Time rtt = kTimeZero;        // measurement from this ACK (zero if none)
+  RateSample rate;             // delivery-rate sample (may be !valid)
+  ByteSize inflight{0};        // bytes in flight after processing this ACK
+  ByteSize delivered_total{0}; // connection lifetime delivered bytes
+  bool in_recovery = false;    // sender currently in fast recovery
+};
+
+/// A loss episode (one per fast-retransmit entry, not per lost packet).
+struct LossEvent {
+  Time now = kTimeZero;
+  ByteSize inflight{0};
+  ByteSize lost_bytes{0};
+};
+
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  virtual void on_ack(const AckEvent& ack) = 0;
+  virtual void on_loss_episode(const LossEvent& loss) = 0;
+  virtual void on_rto(Time now) = 0;
+  /// Called when the sender leaves fast recovery.
+  virtual void on_exit_recovery(Time /*now*/) {}
+
+  [[nodiscard]] virtual ByteSize cwnd() const = 0;
+  /// Zero = unpaced.
+  [[nodiscard]] virtual Bandwidth pacing_rate() const { return Bandwidth::zero(); }
+  /// True for algorithms (BBR) that keep sending through loss recovery at
+  /// their model rate rather than freezing the window.
+  [[nodiscard]] virtual bool rate_driven() const { return false; }
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+using CcFactory = std::unique_ptr<CongestionControl> (*)(ByteSize mss, Time now);
+
+/// Which algorithm a scenario's competing flow runs.
+enum class CcAlgo { kCubic, kBbr, kReno, kVegas };
+
+[[nodiscard]] std::string_view to_string(CcAlgo a);
+[[nodiscard]] std::unique_ptr<CongestionControl> make_cc(CcAlgo algo, ByteSize mss);
+
+}  // namespace cgs::tcp

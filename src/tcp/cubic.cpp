@@ -1,0 +1,81 @@
+#include "tcp/cubic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cgs::tcp {
+
+Cubic::Cubic(ByteSize mss) : mss_(mss) {}
+
+ByteSize Cubic::cwnd() const {
+  return ByteSize(std::int64_t(std::max(2.0, cwnd_seg_) * double(mss_.bytes())));
+}
+
+double Cubic::w_cubic(double t_sec) const {
+  const double d = t_sec - k_;
+  return kC * d * d * d + w_max_seg_;
+}
+
+void Cubic::start_epoch(Time now) {
+  epoch_started_ = true;
+  epoch_start_ = now;
+  // W_max was recorded at the last congestion event (with fast
+  // convergence). If the window has since grown past it (post-RTO slow
+  // start), the plateau is the current window.
+  if (w_max_seg_ < cwnd_seg_) w_max_seg_ = cwnd_seg_;
+  k_ = std::cbrt(w_max_seg_ * (1.0 - kBeta) / kC);
+  w_est_seg_ = cwnd_seg_;
+}
+
+void Cubic::on_ack(const AckEvent& ack) {
+  if (ack.in_recovery) return;  // window frozen during fast recovery
+  if (ack.rtt > kTimeZero) last_rtt_ = ack.rtt;
+  const double acked_seg = double(ack.acked_bytes.bytes()) / double(mss_.bytes());
+
+  if (cwnd_seg_ < ssthresh_seg_) {
+    cwnd_seg_ += acked_seg;  // slow start
+    return;
+  }
+
+  if (!epoch_started_) start_epoch(ack.now);
+
+  const double t = to_seconds(ack.now - epoch_start_);
+  const double rtt_s = std::max(1e-4, to_seconds(last_rtt_));
+
+  // TCP-friendly window estimate (RFC 8312 §4.2).
+  w_est_seg_ += acked_seg * 3.0 * (1.0 - kBeta) / (1.0 + kBeta) / cwnd_seg_;
+
+  const double target = w_cubic(t + rtt_s);
+  double next = cwnd_seg_;
+  if (target > cwnd_seg_) {
+    next += (target - cwnd_seg_) / cwnd_seg_ * acked_seg;
+  } else {
+    // In the concave plateau / before K: grow very slowly.
+    next += 0.01 * acked_seg / cwnd_seg_;
+  }
+  cwnd_seg_ = std::max(next, w_est_seg_);
+}
+
+void Cubic::on_loss_episode(const LossEvent& loss) {
+  epoch_started_ = false;
+  // RFC 8312 fast convergence: a loss below the previous plateau means a
+  // new flow is taking bandwidth — release some by lowering W_max further.
+  if (cwnd_seg_ < w_last_max_seg_) {
+    w_max_seg_ = cwnd_seg_ * (2.0 - kBeta) / 2.0;
+  } else {
+    w_max_seg_ = cwnd_seg_;
+  }
+  w_last_max_seg_ = cwnd_seg_;
+  cwnd_seg_ = std::max(2.0, cwnd_seg_ * kBeta);
+  ssthresh_seg_ = cwnd_seg_;
+  (void)loss;
+}
+
+void Cubic::on_rto(Time /*now*/) {
+  ssthresh_seg_ = std::max(2.0, cwnd_seg_ * kBeta);
+  cwnd_seg_ = 1.0;
+  epoch_started_ = false;
+  w_last_max_seg_ = std::max(w_last_max_seg_, ssthresh_seg_);
+}
+
+}  // namespace cgs::tcp

@@ -1,0 +1,53 @@
+#include "tcp/rate_sampler.hpp"
+
+#include <algorithm>
+
+namespace cgs::tcp {
+
+TxRecord RateSampler::on_send(Time now, ByteSize inflight_before_send) {
+  if (inflight_before_send.bytes() == 0) {
+    // Restarting from idle: reset the delivery clock so idle time is not
+    // counted as transmission time.
+    first_sent_time_ = now;
+    delivered_time_ = now;
+  }
+  TxRecord rec;
+  rec.delivered_at_send = delivered_;
+  rec.delivered_time_at_send = delivered_time_;
+  rec.first_sent_time = first_sent_time_;
+  rec.sent_time = now;
+  rec.app_limited = app_limited_until_.bytes() != 0;
+  first_sent_time_ = now;
+  return rec;
+}
+
+RateSample RateSampler::on_ack(const TxRecord& rec, ByteSize acked_bytes,
+                               Time now) {
+  delivered_ += acked_bytes;
+  delivered_time_ = now;
+  if (app_limited_until_.bytes() != 0 && delivered_ > app_limited_until_) {
+    app_limited_until_ = ByteSize(0);
+  }
+
+  RateSample rs;
+  rs.app_limited = rec.app_limited;
+  rs.delivered = delivered_ - rec.delivered_at_send;
+
+  const Time send_elapsed = rec.sent_time - rec.first_sent_time;
+  const Time ack_elapsed = now - rec.delivered_time_at_send;
+  rs.interval = std::max(send_elapsed, ack_elapsed);
+  if (rs.interval <= kTimeZero || rs.delivered.bytes() <= 0 ||
+      rs.interval < min_interval_) {
+    return rs;  // not valid
+  }
+  rs.delivery_rate = rate_of(rs.delivered, rs.interval);
+  rs.valid = true;
+  return rs;
+}
+
+void RateSampler::set_app_limited(ByteSize inflight, Time /*now*/) {
+  app_limited_until_ = delivered_ + inflight;
+  if (app_limited_until_.bytes() == 0) app_limited_until_ = ByteSize(1);
+}
+
+}  // namespace cgs::tcp

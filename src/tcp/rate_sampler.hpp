@@ -1,0 +1,58 @@
+// Delivery-rate estimation per draft-cheng-iccrg-delivery-rate-estimation.
+//
+// Each transmitted segment snapshots connection delivery state; on ACK the
+// sampler produces the bandwidth actually achieved between the send and the
+// ACK — the signal BBR's model is built from.
+#pragma once
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace cgs::tcp {
+
+/// Per-segment connection snapshot taken at transmit time.
+struct TxRecord {
+  ByteSize delivered_at_send{0};  // C.delivered when this segment left
+  Time delivered_time_at_send = kTimeZero;
+  Time first_sent_time = kTimeZero;  // C.first_sent_time at send
+  Time sent_time = kTimeZero;
+  bool app_limited = false;
+};
+
+/// Result of sampling one ACKed segment.
+struct RateSample {
+  Bandwidth delivery_rate;  // zero when the interval was degenerate
+  Time interval = kTimeZero;
+  ByteSize delivered{0};    // bytes delivered over the interval
+  bool app_limited = false;
+  bool valid = false;
+};
+
+class RateSampler {
+ public:
+  /// Called when a segment is (re)transmitted; returns the snapshot that the
+  /// sender should store with the segment.
+  TxRecord on_send(Time now, ByteSize inflight_before_send);
+
+  /// Called when a segment is cumulatively ACKed or SACKed.
+  RateSample on_ack(const TxRecord& rec, ByteSize acked_bytes, Time now);
+
+  /// Mark the connection app-limited until `delivered + inflight` is acked.
+  void set_app_limited(ByteSize inflight, Time now);
+
+  /// Samples whose interval is below this are marked invalid (the draft's
+  /// `rs.interval < tp->min_rtt` guard against micro-burst inflation).
+  void set_min_interval(Time t) { min_interval_ = t; }
+
+  [[nodiscard]] ByteSize delivered_total() const { return delivered_; }
+
+ private:
+  ByteSize delivered_{0};
+  Time delivered_time_ = kTimeZero;
+  Time first_sent_time_ = kTimeZero;
+  ByteSize app_limited_until_{0};  // delivered_ threshold; 0 = not limited
+  Time min_interval_ = kTimeZero;
+};
+
+}  // namespace cgs::tcp

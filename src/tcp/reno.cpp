@@ -1,0 +1,33 @@
+#include "tcp/reno.hpp"
+
+#include <algorithm>
+
+namespace cgs::tcp {
+
+void Reno::on_ack(const AckEvent& ack) {
+  if (ack.in_recovery) return;
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += ack.acked_bytes;  // slow start: +1 MSS per MSS acked
+    return;
+  }
+  // Congestion avoidance: +1 MSS per cwnd of acked bytes.
+  ack_credit_ += ack.acked_bytes.bytes();
+  while (ack_credit_ >= cwnd_.bytes()) {
+    ack_credit_ -= cwnd_.bytes();
+    cwnd_ += mss_;
+  }
+}
+
+void Reno::on_loss_episode(const LossEvent& /*loss*/) {
+  ssthresh_ = std::max(ByteSize(cwnd_.bytes() / 2), ByteSize(2 * mss_.bytes()));
+  cwnd_ = ssthresh_;
+  ack_credit_ = 0;
+}
+
+void Reno::on_rto(Time /*now*/) {
+  ssthresh_ = std::max(ByteSize(cwnd_.bytes() / 2), ByteSize(2 * mss_.bytes()));
+  cwnd_ = mss_;
+  ack_credit_ = 0;
+}
+
+}  // namespace cgs::tcp

@@ -1,0 +1,31 @@
+// TCP NewReno-style AIMD — baseline congestion control for the ablation
+// benches and for sanity-checking the sender machinery against textbook
+// dynamics.
+#pragma once
+
+#include "tcp/congestion_control.hpp"
+
+namespace cgs::tcp {
+
+class Reno final : public CongestionControl {
+ public:
+  explicit Reno(ByteSize mss) : mss_(mss), cwnd_(10 * mss.bytes()) {}
+
+  void on_ack(const AckEvent& ack) override;
+  void on_loss_episode(const LossEvent& loss) override;
+  void on_rto(Time now) override;
+
+  [[nodiscard]] ByteSize cwnd() const override { return cwnd_; }
+  [[nodiscard]] std::string_view name() const override { return "reno"; }
+
+  [[nodiscard]] ByteSize ssthresh() const { return ssthresh_; }
+  [[nodiscard]] bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+ private:
+  ByteSize mss_;
+  ByteSize cwnd_;
+  ByteSize ssthresh_{std::int64_t(1) << 40};
+  std::int64_t ack_credit_ = 0;  // bytes acked since last CA increment
+};
+
+}  // namespace cgs::tcp

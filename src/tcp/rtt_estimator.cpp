@@ -1,0 +1,33 @@
+#include "tcp/rtt_estimator.hpp"
+
+#include <algorithm>
+
+namespace cgs::tcp {
+
+namespace {
+constexpr Time kMinRto = std::chrono::milliseconds(200);
+constexpr Time kMaxRto = std::chrono::seconds(120);
+constexpr Time kInitialRto = std::chrono::seconds(1);
+}  // namespace
+
+void RttEstimator::update(Time rtt) {
+  latest_ = rtt;
+  if (!has_sample_) {
+    srtt_ = rtt;
+    rttvar_ = rtt / 2;
+    has_sample_ = true;
+    return;
+  }
+  // RFC 6298: alpha = 1/8, beta = 1/4.
+  const Time err = rtt > srtt_ ? rtt - srtt_ : srtt_ - rtt;
+  rttvar_ = (3 * rttvar_ + err) / 4;
+  srtt_ = (7 * srtt_ + rtt) / 8;
+}
+
+Time RttEstimator::rto() const {
+  if (!has_sample_) return kInitialRto;
+  const Time raw = srtt_ + 4 * rttvar_;
+  return std::clamp(raw, kMinRto, kMaxRto);
+}
+
+}  // namespace cgs::tcp

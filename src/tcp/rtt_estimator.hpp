@@ -1,0 +1,31 @@
+// RFC 6298 smoothed RTT estimation and retransmission timeout.
+#pragma once
+
+#include "util/units.hpp"
+
+namespace cgs::tcp {
+
+class RttEstimator {
+ public:
+  /// Linux-like bounds: min RTO 200 ms, max 120 s, initial 1 s.
+  RttEstimator() = default;
+
+  /// Feed one RTT measurement (from a never-retransmitted segment — Karn).
+  void update(Time rtt);
+
+  [[nodiscard]] bool has_sample() const { return has_sample_; }
+  [[nodiscard]] Time srtt() const { return srtt_; }
+  [[nodiscard]] Time rttvar() const { return rttvar_; }
+  [[nodiscard]] Time latest() const { return latest_; }
+
+  /// Current RTO (before exponential backoff).
+  [[nodiscard]] Time rto() const;
+
+ private:
+  bool has_sample_ = false;
+  Time srtt_ = kTimeZero;
+  Time rttvar_ = kTimeZero;
+  Time latest_ = kTimeZero;
+};
+
+}  // namespace cgs::tcp

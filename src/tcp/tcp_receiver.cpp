@@ -1,0 +1,94 @@
+#include "tcp/tcp_receiver.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cgs::tcp {
+
+void TcpReceiver::handle_packet(net::PacketPtr pkt) {
+  const auto* h = std::get_if<net::TcpHeader>(&pkt->header);
+  if (h == nullptr || h->is_ack || h->len == 0) return;
+  ++pkts_;
+
+  const std::uint64_t start = h->seq;
+  const std::uint64_t end = h->seq + h->len;
+
+  if (end <= rcv_nxt_) {
+    // Duplicate of already-delivered data (spurious retransmission).
+    send_ack();
+    return;
+  }
+
+  if (start <= rcv_nxt_) {
+    rcv_nxt_ = std::max(rcv_nxt_, end);
+  } else {
+    // Insert/merge into the out-of-order interval set.
+    auto it = ooo_.lower_bound(start);
+    if (it != ooo_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= start) it = prev;
+    }
+    std::uint64_t s = start, e = end;
+    while (it != ooo_.end() && it->first <= e) {
+      s = std::min(s, it->first);
+      e = std::max(e, it->second);
+      forget_block(it->first);
+      it = ooo_.erase(it);
+    }
+    ooo_.emplace(s, e);
+    touch_block(s);
+  }
+
+  // Pull any now-contiguous out-of-order data.
+  for (auto it = ooo_.begin(); it != ooo_.end() && it->first <= rcv_nxt_;) {
+    rcv_nxt_ = std::max(rcv_nxt_, it->second);
+    forget_block(it->first);
+    it = ooo_.erase(it);
+  }
+
+  send_ack();
+}
+
+void TcpReceiver::touch_block(std::uint64_t start) {
+  forget_block(start);
+  recent_blocks_.push_front(start);
+}
+
+void TcpReceiver::forget_block(std::uint64_t start) {
+  for (auto it = recent_blocks_.begin(); it != recent_blocks_.end();) {
+    if (*it == start) {
+      it = recent_blocks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void TcpReceiver::send_ack() {
+  if (out_ == nullptr) return;
+  net::TcpHeader ack;
+  ack.is_ack = true;
+  ack.ack = rcv_nxt_;
+  // RFC 2018: most recently updated block first, then rotate through the
+  // remaining blocks so every block is reported within a few ACKs.
+  int i = 0;
+  for (std::uint64_t s : recent_blocks_) {
+    if (i >= 3) break;
+    auto it = ooo_.find(s);
+    if (it == ooo_.end()) continue;
+    ack.sacks[i++] = net::SackBlock{it->first, it->second};
+  }
+  if (i == 3 && recent_blocks_.size() > 3) {
+    // Rotate the 2nd/3rd reported blocks to the back so hidden blocks
+    // surface on subsequent ACKs (the first slot stays the freshest).
+    recent_blocks_.push_back(recent_blocks_[1]);
+    recent_blocks_.push_back(recent_blocks_[2]);
+    recent_blocks_.erase(recent_blocks_.begin() + 1,
+                         recent_blocks_.begin() + 3);
+  }
+  ++acks_;
+  out_->handle_packet(factory_.make(flow_, net::TrafficClass::kTcpAck,
+                                    net::kTcpAckWire, sim_.now(), ack));
+}
+
+}  // namespace cgs::tcp

@@ -1,0 +1,54 @@
+// TCP bulk receiver: cumulative ACKs with up to three SACK blocks.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace cgs::tcp {
+
+class TcpReceiver final : public net::PacketSink {
+ public:
+  TcpReceiver(sim::Simulator& sim, net::PacketFactory& factory,
+              net::FlowId flow)
+      : sim_(sim), factory_(factory), flow_(flow) {}
+
+  /// Upstream path entry for ACKs; must outlive the receiver.
+  void set_output(net::PacketSink* out) { out_ = out; }
+
+  void handle_packet(net::PacketPtr pkt) override;
+
+  /// In-order bytes delivered to the "application".
+  [[nodiscard]] ByteSize bytes_delivered() const {
+    return ByteSize(std::int64_t(rcv_nxt_));
+  }
+  [[nodiscard]] std::uint64_t packets_received() const { return pkts_; }
+  [[nodiscard]] std::uint64_t acks_sent() const { return acks_; }
+
+ private:
+  void send_ack();
+  /// Mark a block as most-recently-updated.
+  void touch_block(std::uint64_t start);
+  /// Remove a block from the recency list (merged or consumed).
+  void forget_block(std::uint64_t start);
+
+  sim::Simulator& sim_;
+  net::PacketFactory& factory_;
+  net::FlowId flow_;
+  net::PacketSink* out_ = nullptr;
+
+  std::uint64_t rcv_nxt_ = 0;
+  // Out-of-order intervals [start, end), disjoint, all > rcv_nxt_.
+  std::map<std::uint64_t, std::uint64_t> ooo_;
+  // Block starts in most-recently-updated-first order (RFC 2018 §4): the
+  // sender must learn about every block within a few ACKs even though only
+  // three blocks fit per ACK.
+  std::deque<std::uint64_t> recent_blocks_;
+  std::uint64_t pkts_ = 0;
+  std::uint64_t acks_ = 0;
+};
+
+}  // namespace cgs::tcp

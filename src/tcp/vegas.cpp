@@ -1,0 +1,56 @@
+#include "tcp/vegas.hpp"
+
+#include <algorithm>
+
+namespace cgs::tcp {
+
+void Vegas::on_ack(const AckEvent& ack) {
+  if (ack.rtt > kTimeZero) {
+    base_rtt_ = std::min(base_rtt_, ack.rtt);
+    min_rtt_this_rtt_ = std::min(min_rtt_this_rtt_, ack.rtt);
+  }
+  if (ack.in_recovery) return;
+
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += ack.acked_bytes;
+    // Vegas exits slow start when the delay signal appears; approximated by
+    // the per-RTT check below.
+  }
+
+  // Once per RTT (delivered-bytes round counting), compare expected vs
+  // actual throughput.
+  if (ack.delivered_total < next_adjust_at_) return;
+  next_adjust_at_ = ack.delivered_total + ack.inflight;
+
+  if (base_rtt_ == kTimeInfinite || min_rtt_this_rtt_ == kTimeInfinite) return;
+  const double base_s = to_seconds(base_rtt_);
+  const double rtt_s = std::max(base_s, to_seconds(min_rtt_this_rtt_));
+  min_rtt_this_rtt_ = kTimeInfinite;
+  if (base_s <= 0.0) return;
+
+  const double cwnd_seg = double(cwnd_.bytes()) / double(mss_.bytes());
+  const double expected = cwnd_seg / base_s;  // segments per second
+  const double actual = cwnd_seg / rtt_s;
+  const double diff_seg = (expected - actual) * base_s;
+
+  if (diff_seg < kAlphaSeg) {
+    cwnd_ += mss_;
+  } else if (diff_seg > kBetaSeg) {
+    cwnd_ = std::max(ByteSize(cwnd_.bytes() - mss_.bytes()),
+                     ByteSize(2 * mss_.bytes()));
+    ssthresh_ = cwnd_;  // leave slow start once we back off
+  }
+}
+
+void Vegas::on_loss_episode(const LossEvent& /*loss*/) {
+  cwnd_ = std::max(ByteSize(std::int64_t(double(cwnd_.bytes()) * 0.75)),
+                   ByteSize(2 * mss_.bytes()));
+  ssthresh_ = cwnd_;
+}
+
+void Vegas::on_rto(Time /*now*/) {
+  ssthresh_ = std::max(ByteSize(cwnd_.bytes() / 2), ByteSize(2 * mss_.bytes()));
+  cwnd_ = ByteSize(2 * mss_.bytes());
+}
+
+}  // namespace cgs::tcp

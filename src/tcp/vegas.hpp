@@ -1,0 +1,34 @@
+// TCP Vegas (Brakmo & Peterson 1994) — the delay-based representative from
+// Turkovic et al.'s taxonomy (paper §2.2); included as an extra baseline.
+#pragma once
+
+#include "tcp/congestion_control.hpp"
+
+namespace cgs::tcp {
+
+class Vegas final : public CongestionControl {
+ public:
+  explicit Vegas(ByteSize mss) : mss_(mss), cwnd_(10 * mss.bytes()) {}
+
+  void on_ack(const AckEvent& ack) override;
+  void on_loss_episode(const LossEvent& loss) override;
+  void on_rto(Time now) override;
+
+  [[nodiscard]] ByteSize cwnd() const override { return cwnd_; }
+  [[nodiscard]] std::string_view name() const override { return "vegas"; }
+
+  [[nodiscard]] Time base_rtt() const { return base_rtt_; }
+
+ private:
+  static constexpr double kAlphaSeg = 2.0;  // lower diff bound (segments)
+  static constexpr double kBetaSeg = 4.0;   // upper diff bound (segments)
+
+  ByteSize mss_;
+  ByteSize cwnd_;
+  ByteSize ssthresh_{std::int64_t(1) << 40};
+  Time base_rtt_ = kTimeInfinite;
+  Time min_rtt_this_rtt_ = kTimeInfinite;
+  ByteSize next_adjust_at_{0};  // delivered_total threshold for per-RTT step
+};
+
+}  // namespace cgs::tcp

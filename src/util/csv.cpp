@@ -1,0 +1,59 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cgs {
+
+std::string csv_escape(std::string_view cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(cell);
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out.push_back('"');
+  for (char c : cell) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::header(std::initializer_list<std::string_view> cols) {
+  bool first = true;
+  for (auto c : cols) {
+    if (!first) out_ << ',';
+    out_ << csv_escape(c);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  bool first = true;
+  std::ostringstream line;
+  line.precision(10);
+  for (double v : values) {
+    if (!first) line << ',';
+    line << v;
+    first = false;
+  }
+  out_ << line.str() << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  bool first = true;
+  for (const auto& c : cells) {
+    if (!first) out_ << ',';
+    out_ << csv_escape(c);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+}  // namespace cgs

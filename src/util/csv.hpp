@@ -1,0 +1,31 @@
+// Minimal CSV writer used by benches to dump plot-ready data.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cgs {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void header(std::initializer_list<std::string_view> cols);
+  void row(std::initializer_list<double> values);
+  void row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+};
+
+/// Escape a cell per RFC 4180 (quotes doubled, wrap when needed).
+std::string csv_escape(std::string_view cell);
+
+}  // namespace cgs

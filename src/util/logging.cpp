@@ -1,0 +1,30 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace cgs {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace cgs

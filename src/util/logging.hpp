@@ -1,0 +1,38 @@
+// Tiny leveled logger. Off by default so million-event simulations stay fast;
+// benches/tests flip the level when debugging.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cgs {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global minimum level. Not thread-safe by design: simulations are
+/// single-threaded; set once at startup.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, Args&&... args) {
+  if (level < log_level()) return;
+  log_line(level, detail::concat(std::forward<Args>(args)...));
+}
+
+#define CGS_LOG_DEBUG(...) ::cgs::log(::cgs::LogLevel::kDebug, __VA_ARGS__)
+#define CGS_LOG_INFO(...) ::cgs::log(::cgs::LogLevel::kInfo, __VA_ARGS__)
+#define CGS_LOG_WARN(...) ::cgs::log(::cgs::LogLevel::kWarn, __VA_ARGS__)
+
+}  // namespace cgs

@@ -1,0 +1,54 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace cgs {
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double t_critical_95(std::size_t n) {
+  if (n < 2) return 0.0;
+  const std::size_t df = n - 1;
+  // Two-sided 95% t-table; beyond 30 dof the normal value is within 2%.
+  static constexpr std::array<double, 31> kTable = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+      2.228,  2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+      2.086,  2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+      2.042};
+  if (df < kTable.size()) return kTable[df];
+  if (df <= 60) return 2.000;
+  if (df <= 120) return 1.980;
+  return 1.960;
+}
+
+double ci95_halfwidth(const RunningStats& s) {
+  if (s.count() < 2) return 0.0;
+  return t_critical_95(s.count()) * s.stddev() / std::sqrt(double(s.count()));
+}
+
+double mean_of(std::span<const double> xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.mean();
+}
+
+double stddev_of(std::span<const double> xs) {
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  return s.stddev();
+}
+
+double percentile_of(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double pos = std::clamp(p, 0.0, 1.0) * double(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - double(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+}  // namespace cgs

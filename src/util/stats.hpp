@@ -1,0 +1,44 @@
+// Streaming statistics and confidence intervals for the measurement layer.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace cgs {
+
+/// Welford streaming mean/variance.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / double(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 if fewer than 2 samples.
+  [[nodiscard]] double variance() const { return n_ > 1 ? m2_ / double(n_ - 1) : 0.0; }
+  [[nodiscard]] double stddev() const;
+  void reset() { n_ = 0; mean_ = 0.0; m2_ = 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Two-sided Student-t critical value at 95% confidence for n-1 dof.
+double t_critical_95(std::size_t n);
+
+/// Half-width of the 95% confidence interval of the mean.
+double ci95_halfwidth(const RunningStats& s);
+
+double mean_of(std::span<const double> xs);
+double stddev_of(std::span<const double> xs);
+/// p in [0,1]; linear interpolation between order statistics.
+double percentile_of(std::vector<double> xs, double p);
+
+}  // namespace cgs

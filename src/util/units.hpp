@@ -1,0 +1,117 @@
+// Strong types for time, data size and bandwidth used throughout cgstream.
+//
+// The simulation core is integer-only: time is std::chrono::nanoseconds,
+// sizes are whole bytes, bandwidth is bits per second.  Conversions that the
+// measurement layer needs (seconds as double, Mb/s as double) are explicit.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <ratio>
+
+namespace cgs {
+
+/// Simulation time. Absolute times are durations since simulation start.
+using Time = std::chrono::nanoseconds;
+
+constexpr Time kTimeZero{0};
+/// Sentinel for "no time / unset".
+constexpr Time kTimeInfinite{std::chrono::nanoseconds::max()};
+
+/// Convert an absolute simulation time to seconds (for reporting only).
+constexpr double to_seconds(Time t) {
+  return std::chrono::duration<double>(t).count();
+}
+
+/// Convert seconds (possibly fractional) to simulation time.
+constexpr Time from_seconds(double s) {
+  return std::chrono::duration_cast<Time>(std::chrono::duration<double>(s));
+}
+
+/// Size of data in whole bytes.
+class ByteSize {
+ public:
+  constexpr ByteSize() = default;
+  constexpr explicit ByteSize(std::int64_t bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] constexpr std::int64_t bytes() const { return bytes_; }
+  [[nodiscard]] constexpr std::int64_t bits() const { return bytes_ * 8; }
+  [[nodiscard]] constexpr double kilobytes() const { return double(bytes_) / 1e3; }
+  [[nodiscard]] constexpr double megabytes() const { return double(bytes_) / 1e6; }
+
+  constexpr ByteSize& operator+=(ByteSize o) { bytes_ += o.bytes_; return *this; }
+  constexpr ByteSize& operator-=(ByteSize o) { bytes_ -= o.bytes_; return *this; }
+  friend constexpr ByteSize operator+(ByteSize a, ByteSize b) { return ByteSize(a.bytes_ + b.bytes_); }
+  friend constexpr ByteSize operator-(ByteSize a, ByteSize b) { return ByteSize(a.bytes_ - b.bytes_); }
+  friend constexpr ByteSize operator*(ByteSize a, std::int64_t k) { return ByteSize(a.bytes_ * k); }
+  friend constexpr ByteSize operator*(std::int64_t k, ByteSize a) { return ByteSize(a.bytes_ * k); }
+  friend constexpr auto operator<=>(ByteSize a, ByteSize b) = default;
+
+ private:
+  std::int64_t bytes_ = 0;
+};
+
+/// Bandwidth in bits per second.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+  constexpr explicit Bandwidth(std::int64_t bits_per_sec) : bps_(bits_per_sec) {}
+
+  static constexpr Bandwidth bps(std::int64_t v) { return Bandwidth(v); }
+  static constexpr Bandwidth kbps(double v) { return Bandwidth(std::int64_t(v * 1e3)); }
+  static constexpr Bandwidth mbps(double v) { return Bandwidth(std::int64_t(v * 1e6)); }
+  static constexpr Bandwidth gbps(double v) { return Bandwidth(std::int64_t(v * 1e9)); }
+  /// Zero bandwidth (meaning: unlimited for links, or "no pacing").
+  static constexpr Bandwidth zero() { return Bandwidth(0); }
+
+  [[nodiscard]] constexpr std::int64_t bits_per_sec() const { return bps_; }
+  [[nodiscard]] constexpr double megabits_per_sec() const { return double(bps_) / 1e6; }
+  [[nodiscard]] constexpr bool is_zero() const { return bps_ == 0; }
+
+  /// Time to serialise `size` at this bandwidth. Requires non-zero bandwidth.
+  [[nodiscard]] constexpr Time transmit_time(ByteSize size) const {
+    // bits * 1e9 / bps nanoseconds; guard the multiply with __int128.
+    const auto ns = (static_cast<__int128>(size.bits()) * 1'000'000'000) / bps_;
+    return Time(static_cast<std::int64_t>(ns));
+  }
+
+  /// Bytes delivered over `dt` at this bandwidth.
+  [[nodiscard]] constexpr ByteSize bytes_over(Time dt) const {
+    const auto bits = (static_cast<__int128>(bps_) * dt.count()) / 1'000'000'000;
+    return ByteSize(static_cast<std::int64_t>(bits / 8));
+  }
+
+  friend constexpr Bandwidth operator*(Bandwidth b, double k) {
+    return Bandwidth(std::int64_t(double(b.bps_) * k));
+  }
+  friend constexpr Bandwidth operator*(double k, Bandwidth b) { return b * k; }
+  friend constexpr Bandwidth operator+(Bandwidth a, Bandwidth b) { return Bandwidth(a.bps_ + b.bps_); }
+  friend constexpr auto operator<=>(Bandwidth a, Bandwidth b) = default;
+
+ private:
+  std::int64_t bps_ = 0;
+};
+
+/// Bandwidth-delay product in bytes (rounded down to whole bytes).
+constexpr ByteSize bdp(Bandwidth bw, Time rtt) { return bw.bytes_over(rtt); }
+
+/// Rate that delivers `size` over `dt`; zero if dt == 0.
+constexpr Bandwidth rate_of(ByteSize size, Time dt) {
+  if (dt <= kTimeZero) return Bandwidth::zero();
+  const auto bps = (static_cast<__int128>(size.bits()) * 1'000'000'000) / dt.count();
+  return Bandwidth(static_cast<std::int64_t>(bps));
+}
+
+namespace literals {
+constexpr ByteSize operator""_B(unsigned long long v) { return ByteSize(std::int64_t(v)); }
+constexpr ByteSize operator""_KB(unsigned long long v) { return ByteSize(std::int64_t(v) * 1'000); }
+constexpr ByteSize operator""_MB(unsigned long long v) { return ByteSize(std::int64_t(v) * 1'000'000); }
+constexpr Bandwidth operator""_kbps(unsigned long long v) { return Bandwidth(std::int64_t(v) * 1'000); }
+constexpr Bandwidth operator""_mbps(unsigned long long v) { return Bandwidth(std::int64_t(v) * 1'000'000); }
+constexpr Bandwidth operator""_gbps(unsigned long long v) { return Bandwidth(std::int64_t(v) * 1'000'000'000); }
+constexpr Time operator""_sec(unsigned long long v) { return std::chrono::seconds(v); }
+constexpr Time operator""_ms(unsigned long long v) { return std::chrono::milliseconds(v); }
+constexpr Time operator""_us(unsigned long long v) { return std::chrono::microseconds(v); }
+}  // namespace literals
+
+}  // namespace cgs

@@ -1,0 +1,110 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgs::core {
+namespace {
+
+using namespace cgs::literals;
+
+constexpr Time kIval = 500_ms;
+
+/// Build a bitrate series: `high` before 185 s, `low` during [185, 370),
+/// `high` after, with instant transitions at the given lags.
+std::vector<double> schedule_series(double high, double low,
+                                    double response_lag_s = 0.0,
+                                    double recovery_lag_s = 0.0) {
+  std::vector<double> s(1110);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const double t = double(i) * 0.5;
+    if (t < 185.0 + response_lag_s) {
+      s[i] = t < 185.0 ? high : high;  // still high during the lag
+    } else if (t < 370.0) {
+      s[i] = low;
+    } else if (t < 370.0 + recovery_lag_s) {
+      s[i] = low;
+    } else {
+      s[i] = high;
+    }
+  }
+  return s;
+}
+
+TEST(Fairness, EqualSharesGiveZero) {
+  const auto g = schedule_series(12.5, 12.5);
+  const auto t = schedule_series(12.5, 12.5);
+  EXPECT_NEAR(fairness_ratio(g, t, kIval, 25_mbps), 0.0, 1e-9);
+}
+
+TEST(Fairness, GameDominanceIsPositive) {
+  const auto g = schedule_series(20.0, 20.0);
+  const auto t = schedule_series(5.0, 5.0);
+  EXPECT_NEAR(fairness_ratio(g, t, kIval, 25_mbps), 0.6, 1e-9);
+}
+
+TEST(Fairness, ClampedToUnitRange) {
+  const auto g = schedule_series(100.0, 100.0);
+  const auto t = schedule_series(0.0, 0.0);
+  EXPECT_DOUBLE_EQ(fairness_ratio(g, t, kIval, 25_mbps), 1.0);
+}
+
+TEST(ResponseRecovery, InstantAdaptationIsFast) {
+  const auto g = schedule_series(24.0, 12.0);
+  const auto rr = response_recovery(g, kIval, 185_sec, 370_sec);
+  EXPECT_TRUE(rr.responded);
+  EXPECT_TRUE(rr.recovered);
+  EXPECT_LT(rr.response_s, 5.0);
+  EXPECT_LT(rr.recovery_s, 6.0);
+}
+
+TEST(ResponseRecovery, LagsAreMeasured) {
+  const auto g = schedule_series(24.0, 12.0, /*response_lag=*/20.0,
+                                 /*recovery_lag=*/40.0);
+  const auto rr = response_recovery(g, kIval, 185_sec, 370_sec);
+  EXPECT_TRUE(rr.responded);
+  EXPECT_TRUE(rr.recovered);
+  EXPECT_NEAR(rr.response_s, 20.0, 4.0);
+  EXPECT_NEAR(rr.recovery_s, 40.0, 4.0);
+}
+
+TEST(ResponseRecovery, NeverRecoveringClampsToWindow) {
+  // Drops at 185 s and stays low forever.
+  std::vector<double> g(1110, 24.0);
+  for (std::size_t i = 370; i < g.size(); ++i) g[i] = 12.0;
+  const auto rr = response_recovery(g, kIval, 185_sec, 370_sec);
+  EXPECT_TRUE(rr.responded);
+  EXPECT_FALSE(rr.recovered);
+  EXPECT_DOUBLE_EQ(rr.recovery_s, 185.0);
+}
+
+TEST(ResponseRecovery, NeverRespondingClamps) {
+  // Never adjusts down: settled band (310-370 s) equals the original level,
+  // so response is trivially immediate — instead test a series that swings
+  // away from the settled level during the early competing window.
+  std::vector<double> g(1110, 24.0);
+  for (std::size_t i = 620; i < 740; ++i) g[i] = 12.0;  // 310..370 s low
+  // During 185-310 s the series stays at 24, far from the settled 12.
+  const auto rr = response_recovery(g, kIval, 185_sec, 370_sec);
+  EXPECT_GT(rr.response_s, 50.0);
+}
+
+TEST(Adaptiveness, CombinesNormalizedTimes) {
+  ResponseRecovery rr{.response_s = 10.0, .recovery_s = 20.0,
+                      .responded = true, .recovered = true};
+  // A = 0.5(1 - 10/40) + 0.5(1 - 20/80) = 0.375 + 0.375
+  EXPECT_NEAR(adaptiveness(rr, 40.0, 80.0), 0.75, 1e-12);
+  // Worst case: equal to the maxima.
+  ResponseRecovery worst{.response_s = 40.0, .recovery_s = 80.0,
+                         .responded = true, .recovered = true};
+  EXPECT_NEAR(adaptiveness(worst, 40.0, 80.0), 0.0, 1e-12);
+}
+
+TEST(JainIndex, KnownValues) {
+  EXPECT_DOUBLE_EQ(jain_index({10.0, 10.0, 10.0}), 1.0);
+  EXPECT_NEAR(jain_index({10.0, 0.0}), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(jain_index({}), 0.0);
+  EXPECT_DOUBLE_EQ(jain_index({0.0, 0.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace cgs::core

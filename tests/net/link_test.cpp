@@ -1,0 +1,156 @@
+#include "net/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/queue.hpp"
+
+namespace cgs::net {
+namespace {
+
+using namespace cgs::literals;
+
+class SinkRecorder final : public PacketSink {
+ public:
+  explicit SinkRecorder(sim::Simulator& sim) : sim_(sim) {}
+  void handle_packet(PacketPtr pkt) override {
+    arrivals.emplace_back(sim_.now(), std::move(pkt));
+  }
+  std::vector<std::pair<Time, PacketPtr>> arrivals;
+
+ private:
+  sim::Simulator& sim_;
+};
+
+PacketPtr make_pkt(PacketFactory& f, std::int32_t size, Time now,
+                   FlowId flow = 1) {
+  return f.make(flow, TrafficClass::kTcpData, size, now, {});
+}
+
+TEST(Link, SerializationPlusPropagation) {
+  sim::Simulator sim;
+  PacketFactory f;
+  SinkRecorder sink(sim);
+  // 1500 B at 12 Mb/s = 1 ms serialisation; +2 ms propagation = 3 ms.
+  Link link(sim, "l", 12_mbps, 2_ms, std::make_unique<DropTailQueue>(100_KB),
+            &sink);
+  link.handle_packet(make_pkt(f, 1500, sim.now()));
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 1u);
+  EXPECT_EQ(sink.arrivals[0].first, 3_ms);
+}
+
+TEST(Link, BackToBackPacketsSpacedBySerialization) {
+  sim::Simulator sim;
+  PacketFactory f;
+  SinkRecorder sink(sim);
+  Link link(sim, "l", 12_mbps, kTimeZero,
+            std::make_unique<DropTailQueue>(100_KB), &sink);
+  for (int i = 0; i < 3; ++i) link.handle_packet(make_pkt(f, 1500, sim.now()));
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 3u);
+  EXPECT_EQ(sink.arrivals[0].first, 1_ms);
+  EXPECT_EQ(sink.arrivals[1].first, 2_ms);
+  EXPECT_EQ(sink.arrivals[2].first, 3_ms);
+}
+
+TEST(Link, PipeliningPropagationDoesNotBlockTransmitter) {
+  sim::Simulator sim;
+  PacketFactory f;
+  SinkRecorder sink(sim);
+  // Large propagation: packets must still leave every 1 ms.
+  Link link(sim, "l", 12_mbps, 50_ms, std::make_unique<DropTailQueue>(100_KB),
+            &sink);
+  link.handle_packet(make_pkt(f, 1500, sim.now()));
+  link.handle_packet(make_pkt(f, 1500, sim.now()));
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 2u);
+  EXPECT_EQ(sink.arrivals[0].first, 51_ms);
+  EXPECT_EQ(sink.arrivals[1].first, 52_ms);
+}
+
+TEST(Link, DeliveredStats) {
+  sim::Simulator sim;
+  PacketFactory f;
+  SinkRecorder sink(sim);
+  Link link(sim, "l", 12_mbps, kTimeZero,
+            std::make_unique<DropTailQueue>(100_KB), &sink);
+  link.handle_packet(make_pkt(f, 1500, sim.now()));
+  link.handle_packet(make_pkt(f, 500, sim.now()));
+  sim.run();
+  EXPECT_EQ(link.packets_delivered(), 2u);
+  EXPECT_EQ(link.bytes_delivered().bytes(), 2000);
+}
+
+TEST(Link, SnifferSeesArrivalTransmitDeliverDrop) {
+  sim::Simulator sim;
+  PacketFactory f;
+  SinkRecorder sink(sim);
+  Link link(sim, "l", 12_mbps, kTimeZero,
+            std::make_unique<DropTailQueue>(ByteSize(1500)), &sink);
+  int arrivals = 0, transmits = 0, delivers = 0, drops = 0;
+  link.sniffer().on_arrival([&](const Packet&, Time) { ++arrivals; });
+  link.sniffer().on_transmit([&](const Packet&, Time) { ++transmits; });
+  link.sniffer().on_deliver([&](const Packet&, Time) { ++delivers; });
+  link.sniffer().on_drop([&](const Packet&, DropReason, Time) { ++drops; });
+
+  link.handle_packet(make_pkt(f, 1500, sim.now()));
+  link.handle_packet(make_pkt(f, 1500, sim.now()));  // queue full: first is
+                                                     // in the queue until
+                                                     // transmission starts
+  sim.run();
+  EXPECT_EQ(arrivals, 2);
+  EXPECT_GE(drops, 0);
+  EXPECT_EQ(transmits + drops, 2);
+  EXPECT_EQ(delivers, transmits);
+}
+
+TEST(Link, QueueOverflowDropsAreCounted) {
+  sim::Simulator sim;
+  PacketFactory f;
+  SinkRecorder sink(sim);
+  // Tiny queue: 1 packet of headroom while one is being serialised.
+  Link link(sim, "l", Bandwidth::kbps(120), kTimeZero,
+            std::make_unique<DropTailQueue>(ByteSize(1500)), &sink);
+  int drops = 0;
+  link.sniffer().on_drop([&](const Packet&, DropReason, Time) { ++drops; });
+  // First goes straight to the transmitter, second queues, rest drop.
+  for (int i = 0; i < 5; ++i) link.handle_packet(make_pkt(f, 1500, sim.now()));
+  sim.run();
+  EXPECT_EQ(drops, 3);
+  EXPECT_EQ(sink.arrivals.size(), 2u);
+}
+
+TEST(DelayLine, PureDelay) {
+  sim::Simulator sim;
+  PacketFactory f;
+  SinkRecorder sink(sim);
+  DelayLine line(sim, 7_ms, &sink);
+  line.handle_packet(make_pkt(f, 1500, sim.now()));
+  line.handle_packet(make_pkt(f, 9000, sim.now()));  // size irrelevant
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 2u);
+  EXPECT_EQ(sink.arrivals[0].first, 7_ms);
+  EXPECT_EQ(sink.arrivals[1].first, 7_ms);
+}
+
+TEST(DelayLine, PreservesOrderAcrossTime) {
+  sim::Simulator sim;
+  PacketFactory f;
+  SinkRecorder sink(sim);
+  DelayLine line(sim, 5_ms, &sink);
+  auto p1 = make_pkt(f, 100, sim.now());
+  const auto u1 = p1->uid;
+  line.handle_packet(std::move(p1));
+  sim.schedule_at(1_ms, [&] { line.handle_packet(make_pkt(f, 100, sim.now())); });
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 2u);
+  EXPECT_EQ(sink.arrivals[0].second->uid, u1);
+  EXPECT_EQ(sink.arrivals[0].first, 5_ms);
+  EXPECT_EQ(sink.arrivals[1].first, 6_ms);
+}
+
+}  // namespace
+}  // namespace cgs::net

@@ -1,0 +1,106 @@
+#include "net/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/queue.hpp"
+
+namespace cgs::net {
+namespace {
+
+using namespace cgs::literals;
+
+class Recorder final : public PacketSink {
+ public:
+  void handle_packet(PacketPtr pkt) override { pkts.push_back(std::move(pkt)); }
+  std::vector<PacketPtr> pkts;
+};
+
+TEST(FlowDemux, RoutesByFlowId) {
+  sim::Simulator sim;
+  PacketFactory f;
+  FlowDemux demux;
+  Recorder a, b;
+  demux.register_flow(1, &a);
+  demux.register_flow(2, &b);
+  demux.handle_packet(f.make(1, TrafficClass::kGameStream, 100, kTimeZero, {}));
+  demux.handle_packet(f.make(2, TrafficClass::kTcpData, 100, kTimeZero, {}));
+  demux.handle_packet(f.make(1, TrafficClass::kGameStream, 100, kTimeZero, {}));
+  EXPECT_EQ(a.pkts.size(), 2u);
+  EXPECT_EQ(b.pkts.size(), 1u);
+}
+
+TEST(FlowDemux, DropsUnroutable) {
+  PacketFactory f;
+  FlowDemux demux;
+  demux.handle_packet(f.make(9, TrafficClass::kPing, 64, kTimeZero, {}));
+  EXPECT_EQ(demux.unroutable_total(), 1u);
+}
+
+TEST(FlowDemux, ReRegistrationReplacesSink) {
+  PacketFactory f;
+  FlowDemux demux;
+  Recorder a, b;
+  demux.register_flow(1, &a);
+  demux.register_flow(1, &b);
+  demux.handle_packet(f.make(1, TrafficClass::kGameStream, 100, kTimeZero, {}));
+  EXPECT_TRUE(a.pkts.empty());
+  EXPECT_EQ(b.pkts.size(), 1u);
+}
+
+TEST(BottleneckRouter, SharedLinkDeliversToRegisteredClients) {
+  sim::Simulator sim;
+  PacketFactory f;
+  BottleneckRouter router(sim, 10_mbps, 1_ms,
+                          std::make_unique<DropTailQueue>(100_KB));
+  Recorder a, b;
+  router.register_client(1, &a);
+  router.register_client(2, &b);
+  router.downstream_in().handle_packet(
+      f.make(1, TrafficClass::kGameStream, 1000, sim.now(), {}));
+  router.downstream_in().handle_packet(
+      f.make(2, TrafficClass::kTcpData, 1000, sim.now(), {}));
+  sim.run();
+  EXPECT_EQ(a.pkts.size(), 1u);
+  EXPECT_EQ(b.pkts.size(), 1u);
+}
+
+TEST(BottleneckRouter, UpstreamBypassesBottleneck) {
+  sim::Simulator sim;
+  PacketFactory f;
+  // Slow bottleneck, but the upstream path must be pure delay.
+  BottleneckRouter router(sim, Bandwidth::kbps(8), 1_ms,
+                          std::make_unique<DropTailQueue>(100_KB));
+  Recorder server;
+  PacketSink& up = router.make_upstream(5_ms, &server);
+  up.handle_packet(f.make(1, TrafficClass::kTcpAck, 1500, sim.now(), {}));
+  sim.run();
+  ASSERT_EQ(server.pkts.size(), 1u);
+  // Delivered after exactly 5 ms, not after 1.5 s of serialisation.
+  EXPECT_EQ(sim.now(), 5_ms);
+}
+
+TEST(BottleneckRouter, SharedQueueCouplesFlows) {
+  sim::Simulator sim;
+  PacketFactory f;
+  BottleneckRouter router(sim, 10_mbps, kTimeZero,
+                          std::make_unique<DropTailQueue>(ByteSize(3000)));
+  Recorder a, b;
+  router.register_client(1, &a);
+  router.register_client(2, &b);
+  int drops = 0;
+  router.bottleneck().sniffer().on_drop(
+      [&](const Packet&, DropReason, Time) { ++drops; });
+  // Flow 1 floods the shared queue; flow 2's packet arrives last and drops.
+  for (int i = 0; i < 4; ++i) {
+    router.downstream_in().handle_packet(
+        f.make(1, TrafficClass::kTcpData, 1500, sim.now(), {}));
+  }
+  router.downstream_in().handle_packet(
+      f.make(2, TrafficClass::kGameStream, 1500, sim.now(), {}));
+  sim.run();
+  EXPECT_GT(drops, 0);
+  EXPECT_TRUE(b.pkts.empty());
+}
+
+}  // namespace
+}  // namespace cgs::net

@@ -1,0 +1,142 @@
+#include "stream/frame_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cgs::stream {
+namespace {
+
+using namespace cgs::literals;
+
+struct Capture {
+  std::vector<Frame> frames;
+  FrameSource::FrameHandler handler() {
+    return [this](const Frame& f) { frames.push_back(f); };
+  }
+};
+
+TEST(FrameSource, EmitsAtConfiguredFps) {
+  sim::Simulator sim;
+  Capture cap;
+  FrameSourceConfig cfg;
+  cfg.fps = 60.0;
+  FrameSource src(sim, cfg, Pcg32(1), cap.handler());
+  src.start();
+  sim.run_until(1_sec);
+  // 60 f/s for 1 s (first frame at t=0).
+  EXPECT_NEAR(double(cap.frames.size()), 61.0, 1.0);
+}
+
+TEST(FrameSource, AverageSizeMatchesBitrate) {
+  sim::Simulator sim;
+  Capture cap;
+  FrameSourceConfig cfg;
+  cfg.bitrate = Bandwidth::mbps(24.0);
+  cfg.fps = 60.0;
+  cfg.keyframe_interval = 1 << 30;  // no keyframes for this test
+  FrameSource src(sim, cfg, Pcg32(2), cap.handler());
+  src.start();
+  sim.run_until(30_sec);
+  double total = 0;
+  for (const auto& f : cap.frames) total += double(f.bytes.bytes());
+  const double mbps = total * 8.0 / 30.0 / 1e6;
+  EXPECT_NEAR(mbps, 24.0, 1.0);
+}
+
+TEST(FrameSource, KeyframesPeriodicAndLarger) {
+  sim::Simulator sim;
+  Capture cap;
+  FrameSourceConfig cfg;
+  cfg.keyframe_interval = 60;
+  cfg.keyframe_scale = 2.5;
+  FrameSource src(sim, cfg, Pcg32(3), cap.handler());
+  src.start();
+  sim.run_until(5_sec);
+  double key_sum = 0, p_sum = 0;
+  int keys = 0, ps = 0;
+  for (const auto& f : cap.frames) {
+    if (f.keyframe) {
+      key_sum += double(f.bytes.bytes());
+      ++keys;
+    } else {
+      p_sum += double(f.bytes.bytes());
+      ++ps;
+    }
+  }
+  ASSERT_GT(keys, 2);
+  EXPECT_GT(key_sum / keys, 1.8 * (p_sum / ps));
+}
+
+TEST(FrameSource, BitrateChangeTakesEffect) {
+  sim::Simulator sim;
+  Capture cap;
+  FrameSourceConfig cfg;
+  cfg.bitrate = Bandwidth::mbps(10.0);
+  cfg.keyframe_interval = 1 << 30;
+  FrameSource src(sim, cfg, Pcg32(4), cap.handler());
+  src.start();
+  sim.run_until(5_sec);
+  const auto before = cap.frames.size();
+  src.set_bitrate(Bandwidth::mbps(20.0));
+  sim.run_until(10_sec);
+  double early = 0, late = 0;
+  for (std::size_t i = 0; i < cap.frames.size(); ++i) {
+    (i < before ? early : late) += double(cap.frames[i].bytes.bytes());
+  }
+  EXPECT_NEAR(late / early, 2.0, 0.25);
+}
+
+TEST(FrameSource, FpsChangeAdjustsCadence) {
+  sim::Simulator sim;
+  Capture cap;
+  FrameSource src(sim, {}, Pcg32(5), cap.handler());
+  src.start();
+  sim.run_until(1_sec);
+  const auto at_60 = cap.frames.size();
+  src.set_fps(30.0);
+  sim.run_until(2_sec);
+  const auto at_30 = cap.frames.size() - at_60;
+  EXPECT_NEAR(double(at_30), double(at_60) / 2.0, 3.0);
+}
+
+TEST(FrameSource, StopHaltsEmission) {
+  sim::Simulator sim;
+  Capture cap;
+  FrameSource src(sim, {}, Pcg32(6), cap.handler());
+  src.start();
+  sim.run_until(1_sec);
+  src.stop();
+  const auto n = cap.frames.size();
+  sim.run_until(2_sec);
+  EXPECT_EQ(cap.frames.size(), n);
+}
+
+TEST(FrameSource, MonotonicFrameIds) {
+  sim::Simulator sim;
+  Capture cap;
+  FrameSource src(sim, {}, Pcg32(7), cap.handler());
+  src.start();
+  sim.run_until(2_sec);
+  for (std::size_t i = 0; i < cap.frames.size(); ++i) {
+    ASSERT_EQ(cap.frames[i].id, i);
+  }
+}
+
+TEST(FrameSource, DeterministicWithSeed) {
+  auto sizes = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    Capture cap;
+    FrameSource src(sim, {}, Pcg32(seed), cap.handler());
+    src.start();
+    sim.run_until(2_sec);
+    std::vector<std::int64_t> out;
+    for (const auto& f : cap.frames) out.push_back(f.bytes.bytes());
+    return out;
+  };
+  EXPECT_EQ(sizes(42), sizes(42));
+  EXPECT_NE(sizes(42), sizes(43));
+}
+
+}  // namespace
+}  // namespace cgs::stream

@@ -1,0 +1,163 @@
+// Unit tests for StreamReceiver: feedback report contents, windowed loss,
+// FEC decodability and playout-deadline decisions.
+#include "stream/receiver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cgs::stream {
+namespace {
+
+using namespace cgs::literals;
+
+class FeedbackCollector final : public net::PacketSink {
+ public:
+  void handle_packet(net::PacketPtr pkt) override {
+    reports.push_back(std::get<net::FeedbackHeader>(pkt->header));
+  }
+  std::vector<net::FeedbackHeader> reports;
+};
+
+struct Rig {
+  sim::Simulator sim;
+  net::PacketFactory factory;
+  FeedbackCollector fb;
+  StreamReceiver recv;
+
+  explicit Rig(StreamReceiver::Options opts = {.flow = 1,
+                                               .feedback_interval = 100_ms,
+                                               .fec_rate = 0.0,
+                                               .playout_deadline = 100_ms})
+      : recv(sim, factory, opts) {
+    recv.set_output(&fb);
+    recv.start();
+  }
+
+  /// Deliver one RTP packet of frame `fid` (index/count), sequence `seq`,
+  /// created `owd` ago.
+  void rtp(std::uint32_t seq, std::uint32_t fid, std::uint16_t idx,
+           std::uint16_t count, Time owd = 5_ms, Time gen = kTimeZero) {
+    net::RtpHeader h;
+    h.seq = seq;
+    h.frame_id = fid;
+    h.pkt_index = idx;
+    h.pkts_in_frame = count;
+    h.frame_gen_time = gen == kTimeZero ? sim.now() : gen;
+    auto pkt = factory.make(1, net::TrafficClass::kGameStream,
+                            net::kRtpWire, sim.now() - owd, h);
+    recv.handle_packet(std::move(pkt));
+  }
+};
+
+TEST(StreamReceiverUnit, FeedbackEveryInterval) {
+  Rig rig;
+  rig.sim.run_until(1_sec);
+  EXPECT_EQ(rig.fb.reports.size(), 10u);
+}
+
+TEST(StreamReceiverUnit, ReportsReceiveRate) {
+  Rig rig;
+  // 10 packets of 1200 B within the first 100 ms window.
+  for (std::uint32_t i = 0; i < 10; ++i) rig.rtp(i, 0, std::uint16_t(i), 10);
+  rig.sim.run_until(100_ms);
+  ASSERT_FALSE(rig.fb.reports.empty());
+  // 12000 B / 100 ms = 960 kb/s.
+  EXPECT_NEAR(double(rig.fb.reports[0].recv_rate_bps), 960e3, 1e3);
+}
+
+TEST(StreamReceiverUnit, WindowLossFromSequenceGaps) {
+  Rig rig;
+  // Sequences 0..9 with 2 and 5 missing -> 8 received of 10 expected.
+  for (std::uint32_t s : {0u, 1u, 3u, 4u, 6u, 7u, 8u, 9u}) {
+    rig.rtp(s, 0, 0, 1);
+  }
+  rig.sim.run_until(100_ms);
+  ASSERT_FALSE(rig.fb.reports.empty());
+  // Expected counted from seq progress: first window uses highest+1 = 10.
+  EXPECT_NEAR(rig.fb.reports[0].window_loss_fraction, 0.2, 0.01);
+  EXPECT_EQ(rig.recv.packets_lost(), 2u);
+}
+
+TEST(StreamReceiverUnit, OwdStatsInFeedback) {
+  Rig rig;
+  rig.rtp(0, 0, 0, 2, /*owd=*/10_ms);
+  rig.rtp(1, 0, 1, 2, /*owd=*/20_ms);
+  rig.sim.run_until(100_ms);
+  ASSERT_FALSE(rig.fb.reports.empty());
+  EXPECT_EQ(rig.fb.reports[0].min_owd, 10_ms);
+  EXPECT_EQ(rig.fb.reports[0].avg_owd, 15_ms);
+}
+
+TEST(StreamReceiverUnit, CompleteFramePresented) {
+  Rig rig;
+  rig.rtp(0, 0, 0, 3);
+  rig.rtp(1, 0, 1, 3);
+  rig.rtp(2, 0, 2, 3);
+  rig.sim.run_until(1_sec);  // past the deadline
+  EXPECT_EQ(rig.recv.display().presented_total(), 1u);
+  EXPECT_EQ(rig.recv.display().dropped_total(), 0u);
+}
+
+TEST(StreamReceiverUnit, IncompleteFrameDroppedWithoutFec) {
+  Rig rig;
+  rig.rtp(0, 0, 0, 3);
+  rig.rtp(2, 0, 2, 3);  // middle packet lost
+  rig.sim.run_until(1_sec);
+  EXPECT_EQ(rig.recv.display().presented_total(), 0u);
+  EXPECT_EQ(rig.recv.display().dropped_total(), 1u);
+}
+
+TEST(StreamReceiverUnit, FecRecoversSingleLoss) {
+  Rig rig({.flow = 1,
+           .feedback_interval = 100_ms,
+           .fec_rate = 0.10,  // ceil(0.1 * 10) = 1 packet budget
+           .playout_deadline = 100_ms});
+  // 9 of 10 packets arrive.
+  for (std::uint32_t i = 0; i < 9; ++i) rig.rtp(i, 0, std::uint16_t(i), 10);
+  rig.sim.run_until(1_sec);
+  EXPECT_EQ(rig.recv.display().presented_total(), 1u);
+}
+
+TEST(StreamReceiverUnit, FecBudgetExceededDrops) {
+  Rig rig({.flow = 1,
+           .feedback_interval = 100_ms,
+           .fec_rate = 0.10,
+           .playout_deadline = 100_ms});
+  // Only 8 of 10 arrive: two losses > 1-packet budget.
+  for (std::uint32_t i = 0; i < 8; ++i) rig.rtp(i, 0, std::uint16_t(i), 10);
+  rig.sim.run_until(1_sec);
+  EXPECT_EQ(rig.recv.display().presented_total(), 0u);
+}
+
+TEST(StreamReceiverUnit, LatePacketsMissDeadline) {
+  Rig rig;
+  rig.rtp(0, 0, 0, 2);
+  // Second packet arrives 150 ms after the first: past the 100 ms
+  // arrival-relative deadline.
+  rig.sim.schedule_at(150_ms, [&] { rig.rtp(1, 0, 1, 2); });
+  rig.sim.run_until(1_sec);
+  EXPECT_EQ(rig.recv.display().presented_total(), 0u);
+  EXPECT_EQ(rig.recv.display().dropped_total(), 1u);
+}
+
+TEST(StreamReceiverUnit, LifetimeLossRate) {
+  Rig rig;
+  for (std::uint32_t s : {0u, 1u, 2u, 3u, 5u, 6u, 7u, 8u, 9u}) {
+    rig.rtp(s, 0, 0, 1);
+  }
+  // 9 received, highest seq 9 -> 10 expected -> 10% loss.
+  EXPECT_NEAR(rig.recv.loss_rate(), 0.1, 1e-9);
+}
+
+TEST(StreamReceiverUnit, StopsFeedbackAfterStop) {
+  Rig rig;
+  rig.sim.run_until(300_ms);
+  rig.recv.stop();
+  const auto n = rig.fb.reports.size();
+  rig.sim.run_until(1_sec);
+  EXPECT_EQ(rig.fb.reports.size(), n);
+}
+
+}  // namespace
+}  // namespace cgs::stream

@@ -1,0 +1,143 @@
+#include "tcp/bbr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgs::tcp {
+namespace {
+
+using namespace cgs::literals;
+
+constexpr ByteSize kMss{1448};
+
+AckEvent sample(Time now, Bandwidth rate, Time rtt, ByteSize inflight,
+                ByteSize delivered_total, bool app_limited = false) {
+  AckEvent ev;
+  ev.now = now;
+  ev.acked_bytes = kMss;
+  ev.rtt = rtt;
+  ev.inflight = inflight;
+  ev.delivered_total = delivered_total;
+  ev.rate.valid = true;
+  ev.rate.delivery_rate = rate;
+  ev.rate.app_limited = app_limited;
+  return ev;
+}
+
+/// Feed a steady stream of ACK samples at `rate`/`rtt` and return the BBR.
+void feed_steady(Bbr& b, Bandwidth rate, Time rtt, int n, Time start = 1_ms) {
+  ByteSize delivered{0};
+  Time t = start;
+  for (int i = 0; i < n; ++i) {
+    delivered += kMss;
+    t += 2_ms;
+    b.on_ack(sample(t, rate, rtt, bdp(rate, rtt), delivered));
+  }
+}
+
+TEST(Bbr, StartsInStartupWithHighGain) {
+  Bbr b(kMss);
+  EXPECT_EQ(b.mode(), Bbr::Mode::kStartup);
+  // Initial cwnd: 10 segments * high gain, floored at 4 segments.
+  EXPECT_GE(b.cwnd().bytes(), 4 * 1448);
+}
+
+TEST(Bbr, BtlBwTracksMaxSample) {
+  Bbr b(kMss);
+  feed_steady(b, Bandwidth::mbps(10), 20_ms, 50);
+  EXPECT_NEAR(b.btl_bw().megabits_per_sec(), 10.0, 0.01);
+  feed_steady(b, Bandwidth::mbps(14), 20_ms, 50);
+  EXPECT_NEAR(b.btl_bw().megabits_per_sec(), 14.0, 0.01);
+}
+
+TEST(Bbr, RtPropTracksMinRtt) {
+  Bbr b(kMss);
+  feed_steady(b, Bandwidth::mbps(10), 30_ms, 20);
+  EXPECT_EQ(b.rt_prop(), 30_ms);
+  feed_steady(b, Bandwidth::mbps(10), 18_ms, 20);
+  EXPECT_EQ(b.rt_prop(), 18_ms);
+  // Larger RTTs do not raise it within the 10 s window.
+  feed_steady(b, Bandwidth::mbps(10), 40_ms, 20);
+  EXPECT_EQ(b.rt_prop(), 18_ms);
+}
+
+TEST(Bbr, ExitsStartupWhenPipeFull) {
+  Bbr b(kMss);
+  // Plateaued bandwidth for many rounds -> Startup must end.
+  feed_steady(b, Bandwidth::mbps(10), 20_ms, 400);
+  EXPECT_NE(b.mode(), Bbr::Mode::kStartup);
+}
+
+TEST(Bbr, ReachesProbeBwAndCycles) {
+  Bbr b(kMss);
+  feed_steady(b, Bandwidth::mbps(10), 20_ms, 400);
+  // Drain inflight below 1 BDP to trigger ProbeBW entry.
+  ByteSize delivered = ByteSize(400 * 1448);
+  b.on_ack(sample(2_sec, Bandwidth::mbps(10), 20_ms, ByteSize(1000),
+                  delivered));
+  EXPECT_EQ(b.mode(), Bbr::Mode::kProbeBw);
+  // Pacing gain in ProbeBW is one of the cycle values.
+  const double g = double(b.pacing_rate().bits_per_sec()) /
+                   double(b.btl_bw().bits_per_sec());
+  EXPECT_TRUE(g > 0.74 && g < 1.26);
+}
+
+TEST(Bbr, CwndIsTwoBdpInProbeBw) {
+  Bbr b(kMss);
+  feed_steady(b, Bandwidth::mbps(10), 20_ms, 400);
+  ByteSize delivered = ByteSize(400 * 1448);
+  b.on_ack(sample(2_sec, Bandwidth::mbps(10), 20_ms, ByteSize(1000),
+                  delivered));
+  ASSERT_EQ(b.mode(), Bbr::Mode::kProbeBw);
+  const ByteSize expect = bdp(Bandwidth::mbps(10), 20_ms);
+  EXPECT_NEAR(double(b.cwnd().bytes()), 2.0 * double(expect.bytes()),
+              double(expect.bytes()) * 0.05);
+}
+
+TEST(Bbr, LossIsIgnored) {
+  Bbr b(kMss);
+  feed_steady(b, Bandwidth::mbps(10), 20_ms, 100);
+  const ByteSize before = b.cwnd();
+  for (int i = 0; i < 50; ++i) {
+    b.on_loss_episode({1_sec, ByteSize(10000), kMss});
+  }
+  EXPECT_EQ(b.cwnd(), before);
+}
+
+TEST(Bbr, AppLimitedSamplesOnlyRaise) {
+  Bbr b(kMss);
+  feed_steady(b, Bandwidth::mbps(10), 20_ms, 60);
+  EXPECT_NEAR(b.btl_bw().megabits_per_sec(), 10.0, 0.01);
+  // App-limited lower samples must not drag the estimate down.
+  ByteSize delivered = ByteSize(60 * 1448);
+  Time t = 500_ms;
+  for (int i = 0; i < 60; ++i) {
+    delivered += kMss;
+    t += 2_ms;
+    b.on_ack(sample(t, Bandwidth::mbps(2), 20_ms, ByteSize(10000), delivered,
+                    /*app_limited=*/true));
+  }
+  EXPECT_NEAR(b.btl_bw().megabits_per_sec(), 10.0, 0.01);
+}
+
+TEST(Bbr, ProbeRttAfterTenSecondsWithoutNewMin) {
+  Bbr b(kMss);
+  feed_steady(b, Bandwidth::mbps(10), 20_ms, 400);
+  ByteSize delivered = ByteSize(400 * 1448);
+  b.on_ack(sample(2_sec, Bandwidth::mbps(10), 20_ms, ByteSize(1000),
+                  delivered));
+  ASSERT_EQ(b.mode(), Bbr::Mode::kProbeBw);
+  // 11 s pass with RTT above the current min -> ProbeRTT.
+  delivered += kMss;
+  b.on_ack(sample(13_sec, Bandwidth::mbps(10), 25_ms, ByteSize(50000),
+                  delivered));
+  EXPECT_EQ(b.mode(), Bbr::Mode::kProbeRtt);
+  EXPECT_EQ(b.cwnd().bytes(), 4 * 1448);
+}
+
+TEST(Bbr, PacingRatePositiveBeforeFirstSample) {
+  Bbr b(kMss);
+  EXPECT_GT(b.pacing_rate().bits_per_sec(), 0);
+}
+
+}  // namespace
+}  // namespace cgs::tcp

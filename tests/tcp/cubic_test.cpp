@@ -1,0 +1,129 @@
+#include "tcp/cubic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cgs::tcp {
+namespace {
+
+using namespace cgs::literals;
+
+constexpr ByteSize kMss{1448};
+
+AckEvent ack_at(Time now, std::int64_t bytes = 1448,
+                Time rtt = 20_ms, bool in_recovery = false) {
+  AckEvent ev;
+  ev.now = now;
+  ev.acked_bytes = ByteSize(bytes);
+  ev.rtt = rtt;
+  ev.in_recovery = in_recovery;
+  return ev;
+}
+
+TEST(Cubic, StartsInSlowStartWithIw10) {
+  Cubic c(kMss);
+  EXPECT_TRUE(c.in_slow_start());
+  EXPECT_EQ(c.cwnd().bytes(), 10 * 1448);
+}
+
+TEST(Cubic, SlowStartDoublesPerRtt) {
+  Cubic c(kMss);
+  const double before = c.cwnd_segments();
+  // Ack one full window.
+  for (int i = 0; i < 10; ++i) c.on_ack(ack_at(1_ms * i));
+  EXPECT_NEAR(c.cwnd_segments(), before * 2, 0.01);
+}
+
+TEST(Cubic, LossReducesWindowByBeta) {
+  Cubic c(kMss);
+  for (int i = 0; i < 100; ++i) c.on_ack(ack_at(1_ms * i));
+  const double before = c.cwnd_segments();
+  c.on_loss_episode({100_ms, ByteSize(100000), kMss});
+  EXPECT_NEAR(c.cwnd_segments(), before * 0.7, 0.01);
+  EXPECT_FALSE(c.in_slow_start());
+}
+
+TEST(Cubic, RecoveryFreezesWindow) {
+  Cubic c(kMss);
+  c.on_loss_episode({1_ms, ByteSize(10000), kMss});
+  const double w = c.cwnd_segments();
+  c.on_ack(ack_at(2_ms, 1448, 20_ms, /*in_recovery=*/true));
+  EXPECT_DOUBLE_EQ(c.cwnd_segments(), w);
+}
+
+TEST(Cubic, ConcaveGrowthAfterLoss) {
+  Cubic c(kMss);
+  for (int i = 0; i < 200; ++i) c.on_ack(ack_at(1_ms * i));
+  c.on_loss_episode({200_ms, ByteSize(100000), kMss});
+  const double w0 = c.cwnd_segments();
+
+  // Ack steadily for 2 simulated seconds; window must grow back toward and
+  // past w_max (cubic's plateau then convex probe).
+  Time t = 200_ms;
+  double w1 = 0;
+  for (int i = 0; i < 100; ++i) {
+    t += 20_ms;
+    c.on_ack(ack_at(t));
+    w1 = c.cwnd_segments();
+  }
+  EXPECT_GT(w1, w0);
+}
+
+TEST(Cubic, CubicFunctionReturnsToWmaxAroundK) {
+  // The defining property: the window regrows to ~W_max around t = K
+  // after a loss at W_max, given an ample ACK supply.
+  Cubic c(kMss);
+  for (int i = 0; i < 300; ++i) c.on_ack(ack_at(1_ms * i));
+  const double w_max = c.cwnd_segments();
+  c.on_loss_episode({300_ms, ByteSize(100000), kMss});
+  // K = cbrt(w_max * 0.3 / 0.4) seconds.
+  const double k = std::cbrt(w_max * 0.3 / 0.4);
+
+  // Supply a full window of ACKed bytes per RTT (what a real cwnd-sized
+  // flight generates) so the window can track the cubic curve.  Use a long
+  // RTT (100 ms): at short RTTs the RFC 8312 TCP-friendly region would
+  // legitimately dominate the cubic term.
+  Time t = 300_ms;
+  const Time k_time = t + from_seconds(1.1 * k);
+  while (t < k_time) {
+    t += 100_ms;
+    c.on_ack(ack_at(t, c.cwnd().bytes(), 100_ms));
+  }
+  EXPECT_NEAR(c.cwnd_segments(), w_max, w_max * 0.15);
+  // And it keeps probing beyond W_max afterwards (convex region).
+  for (int i = 0; i < 60; ++i) {
+    t += 100_ms;
+    c.on_ack(ack_at(t, c.cwnd().bytes(), 100_ms));
+  }
+  EXPECT_GT(c.cwnd_segments(), w_max);
+}
+
+TEST(Cubic, RtoCollapsesToOneSegment) {
+  Cubic c(kMss);
+  for (int i = 0; i < 50; ++i) c.on_ack(ack_at(1_ms * i));
+  c.on_rto(50_ms);
+  EXPECT_NEAR(c.cwnd_segments(), 1.0, 1e-9);
+  // cwnd() floors at 2 segments for usability.
+  EXPECT_EQ(c.cwnd().bytes(), 2 * 1448);
+}
+
+TEST(Cubic, FastConvergenceShrinksWmax) {
+  Cubic c(kMss);
+  for (int i = 0; i < 200; ++i) c.on_ack(ack_at(1_ms * i));
+  c.on_loss_episode({200_ms, ByteSize(0), kMss});
+  const double w_after_first = c.cwnd_segments();
+  // Second loss below the previous w_max triggers fast convergence: the
+  // next w_max is below the current cwnd.
+  c.on_loss_episode({300_ms, ByteSize(0), kMss});
+  EXPECT_LT(c.cwnd_segments(), w_after_first);
+}
+
+TEST(Cubic, NeverBelowTwoSegments) {
+  Cubic c(kMss);
+  for (int i = 0; i < 20; ++i) c.on_loss_episode({1_ms * i, ByteSize(0), kMss});
+  EXPECT_GE(c.cwnd().bytes(), 2 * 1448);
+}
+
+}  // namespace
+}  // namespace cgs::tcp

@@ -1,0 +1,98 @@
+#include "tcp/rate_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgs::tcp {
+namespace {
+
+using namespace cgs::literals;
+
+TEST(RateSampler, SteadyRateMeasured) {
+  // Pipeline with 5 segments in flight: send every 10 ms, ack 50 ms after
+  // each send, events processed in timestamp order.
+  RateSampler s;
+  std::vector<TxRecord> recs;
+  RateSample last;
+  int sent = 0, acked = 0;
+  const int n = 30;
+  for (Time t = kTimeZero; acked < n; t += 10_ms) {
+    if (sent < n) {
+      recs.push_back(s.on_send(t, ByteSize(1000 * (sent - acked))));
+      ++sent;
+    }
+    if (t >= 50_ms) {
+      last = s.on_ack(recs[std::size_t(acked)], ByteSize(1000), t);
+      ++acked;
+    }
+  }
+  ASSERT_TRUE(last.valid);
+  // Steady state: 1000 B per 10 ms = 800 kb/s.
+  EXPECT_NEAR(last.delivery_rate.megabits_per_sec(), 0.8, 0.05);
+}
+
+TEST(RateSampler, IdleRestartResetsClock) {
+  RateSampler s;
+  auto r1 = s.on_send(kTimeZero, ByteSize(0));  // idle start
+  (void)s.on_ack(r1, ByteSize(1000), 20_ms);
+  // Long idle, then restart: the idle gap must not count as send time.
+  auto r2 = s.on_send(10_sec, ByteSize(0));
+  auto rs = s.on_ack(r2, ByteSize(1000), 10_sec + 20_ms);
+  ASSERT_TRUE(rs.valid);
+  // 1000 B over 20 ms, not over 10 s.
+  EXPECT_NEAR(rs.delivery_rate.megabits_per_sec(), 0.4, 0.01);
+}
+
+TEST(RateSampler, AppLimitedPropagatesUntilAcked) {
+  RateSampler s;
+  auto r1 = s.on_send(kTimeZero, ByteSize(0));
+  s.set_app_limited(ByteSize(1000), kTimeZero);
+  auto r2 = s.on_send(1_ms, ByteSize(1000));
+  EXPECT_FALSE(r1.app_limited);
+  EXPECT_TRUE(r2.app_limited);
+  auto rs1 = s.on_ack(r1, ByteSize(1000), 20_ms);
+  EXPECT_FALSE(rs1.app_limited);
+  auto rs2 = s.on_ack(r2, ByteSize(1000), 21_ms);
+  EXPECT_TRUE(rs2.app_limited);
+  // After delivering past the marker, new sends are unconstrained.
+  auto r3 = s.on_send(30_ms, ByteSize(0));
+  EXPECT_FALSE(r3.app_limited);
+}
+
+TEST(RateSampler, DegenerateIntervalInvalid) {
+  RateSampler s;
+  auto r = s.on_send(kTimeZero, ByteSize(0));
+  auto rs = s.on_ack(r, ByteSize(1000), kTimeZero);
+  EXPECT_FALSE(rs.valid);
+}
+
+TEST(RateSampler, MinIntervalGuardRejectsMicroBursts) {
+  RateSampler s;
+  s.set_min_interval(10_ms);
+  auto r1 = s.on_send(kTimeZero, ByteSize(0));
+  (void)s.on_ack(r1, ByteSize(1000), 17_ms);
+  // Two back-to-back sends after the ack: the second has both a tiny
+  // send-gap and a tiny ack-gap when acked moments later.
+  (void)s.on_send(Time(17'100_us), ByteSize(0));
+  auto r3 = s.on_send(Time(17'200_us), ByteSize(1000));
+  auto rs = s.on_ack(r3, ByteSize(1000), Time(17'400_us));
+  EXPECT_FALSE(rs.valid);
+  // Without the guard the same sample would be valid.
+  RateSampler s2;
+  auto q1 = s2.on_send(kTimeZero, ByteSize(0));
+  (void)s2.on_ack(q1, ByteSize(1000), 17_ms);
+  (void)s2.on_send(Time(17'100_us), ByteSize(0));
+  auto q3 = s2.on_send(Time(17'200_us), ByteSize(1000));
+  EXPECT_TRUE(s2.on_ack(q3, ByteSize(1000), Time(17'400_us)).valid);
+}
+
+TEST(RateSampler, DeliveredTotalAccumulates) {
+  RateSampler s;
+  auto r1 = s.on_send(kTimeZero, ByteSize(0));
+  auto r2 = s.on_send(1_ms, ByteSize(1000));
+  (void)s.on_ack(r1, ByteSize(1000), 20_ms);
+  (void)s.on_ack(r2, ByteSize(1500), 21_ms);
+  EXPECT_EQ(s.delivered_total().bytes(), 2500);
+}
+
+}  // namespace
+}  // namespace cgs::tcp

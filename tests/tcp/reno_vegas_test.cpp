@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "tcp/reno.hpp"
+#include "tcp/vegas.hpp"
+
+namespace cgs::tcp {
+namespace {
+
+using namespace cgs::literals;
+
+constexpr ByteSize kMss{1448};
+
+AckEvent ack(Time now, std::int64_t bytes, Time rtt,
+             ByteSize delivered_total = ByteSize(0),
+             ByteSize inflight = ByteSize(14480)) {
+  AckEvent ev;
+  ev.now = now;
+  ev.acked_bytes = ByteSize(bytes);
+  ev.rtt = rtt;
+  ev.delivered_total = delivered_total;
+  ev.inflight = inflight;
+  return ev;
+}
+
+TEST(Reno, SlowStartGrowsByAckedBytes) {
+  Reno r(kMss);
+  const auto before = r.cwnd();
+  r.on_ack(ack(1_ms, 1448, 20_ms));
+  EXPECT_EQ(r.cwnd().bytes(), before.bytes() + 1448);
+  EXPECT_TRUE(r.in_slow_start());
+}
+
+TEST(Reno, CongestionAvoidanceAddsOneMssPerWindow) {
+  Reno r(kMss);
+  r.on_loss_episode({1_ms, ByteSize(0), kMss});  // leave slow start
+  EXPECT_FALSE(r.in_slow_start());
+  const auto w = r.cwnd();
+  // Ack one full window: +1 MSS.
+  std::int64_t acked = 0;
+  Time t = 2_ms;
+  while (acked < w.bytes()) {
+    r.on_ack(ack(t, 1448, 20_ms));
+    acked += 1448;
+    t += 1_ms;
+  }
+  EXPECT_NEAR(double(r.cwnd().bytes()), double(w.bytes() + 1448), 1448.0);
+}
+
+TEST(Reno, LossHalvesWindow) {
+  Reno r(kMss);
+  for (int i = 0; i < 100; ++i) r.on_ack(ack(1_ms * i, 1448, 20_ms));
+  const auto before = r.cwnd();
+  r.on_loss_episode({200_ms, ByteSize(0), kMss});
+  EXPECT_EQ(r.cwnd().bytes(), before.bytes() / 2);
+  EXPECT_EQ(r.ssthresh(), r.cwnd());
+}
+
+TEST(Reno, RtoCollapsesToOneMss) {
+  Reno r(kMss);
+  for (int i = 0; i < 100; ++i) r.on_ack(ack(1_ms * i, 1448, 20_ms));
+  r.on_rto(200_ms);
+  EXPECT_EQ(r.cwnd().bytes(), 1448);
+}
+
+TEST(Reno, RecoveryFreezes) {
+  Reno r(kMss);
+  const auto w = r.cwnd();
+  auto ev = ack(1_ms, 1448, 20_ms);
+  ev.in_recovery = true;
+  r.on_ack(ev);
+  EXPECT_EQ(r.cwnd(), w);
+}
+
+TEST(Vegas, IncreasesWhenDelayLow) {
+  Vegas v(kMss);
+  v.on_loss_episode({1_ms, ByteSize(0), kMss});  // leave slow start
+  const auto w = v.cwnd();
+  // RTT == base RTT: expected == actual -> diff 0 < alpha -> +1 MSS per RTT.
+  ByteSize delivered{0};
+  Time t = 2_ms;
+  for (int i = 0; i < 40; ++i) {
+    delivered += kMss;
+    v.on_ack(ack(t, 1448, 20_ms, delivered, ByteSize(5 * 1448)));
+    t += 1_ms;
+  }
+  EXPECT_GT(v.cwnd(), w);
+}
+
+TEST(Vegas, BacksOffWhenQueueingDetected) {
+  Vegas v(kMss);
+  // Establish base RTT = 20 ms.
+  ByteSize delivered{0};
+  Time t = 1_ms;
+  for (int i = 0; i < 30; ++i) {
+    delivered += kMss;
+    v.on_ack(ack(t, 1448, 20_ms, delivered, ByteSize(5 * 1448)));
+    t += 1_ms;
+  }
+  const auto w = v.cwnd();
+  // RTT doubles (heavy queuing): diff >> beta -> decrease per RTT.
+  for (int i = 0; i < 60; ++i) {
+    delivered += kMss;
+    v.on_ack(ack(t, 1448, 40_ms, delivered, ByteSize(5 * 1448)));
+    t += 1_ms;
+  }
+  EXPECT_LT(v.cwnd(), w);
+}
+
+TEST(Vegas, TracksBaseRttMinimum) {
+  Vegas v(kMss);
+  v.on_ack(ack(1_ms, 1448, 30_ms));
+  v.on_ack(ack(2_ms, 1448, 22_ms));
+  v.on_ack(ack(3_ms, 1448, 35_ms));
+  EXPECT_EQ(v.base_rtt(), 22_ms);
+}
+
+TEST(Vegas, NamesAndFloors) {
+  Vegas v(kMss);
+  EXPECT_EQ(v.name(), "vegas");
+  for (int i = 0; i < 30; ++i) v.on_loss_episode({1_ms * i, ByteSize(0), kMss});
+  EXPECT_GE(v.cwnd().bytes(), 2 * 1448);
+  v.on_rto(1_sec);
+  EXPECT_GE(v.cwnd().bytes(), 2 * 1448);
+}
+
+TEST(CcFactory, MakesAllAlgorithms) {
+  for (auto algo : {CcAlgo::kCubic, CcAlgo::kBbr, CcAlgo::kReno,
+                    CcAlgo::kVegas}) {
+    auto cc = make_cc(algo, kMss);
+    ASSERT_NE(cc, nullptr);
+    EXPECT_EQ(cc->name(), to_string(algo));
+    EXPECT_GT(cc->cwnd().bytes(), 0);
+  }
+}
+
+TEST(CcFactory, OnlyBbrIsRateDriven) {
+  EXPECT_TRUE(make_cc(CcAlgo::kBbr, kMss)->rate_driven());
+  EXPECT_FALSE(make_cc(CcAlgo::kCubic, kMss)->rate_driven());
+  EXPECT_FALSE(make_cc(CcAlgo::kReno, kMss)->rate_driven());
+  EXPECT_TRUE(make_cc(CcAlgo::kBbr, kMss)->pacing_rate().bits_per_sec() > 0);
+  EXPECT_TRUE(make_cc(CcAlgo::kCubic, kMss)->pacing_rate().is_zero());
+}
+
+}  // namespace
+}  // namespace cgs::tcp

@@ -1,0 +1,64 @@
+#include "tcp/rtt_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgs::tcp {
+namespace {
+
+using namespace cgs::literals;
+
+TEST(RttEstimator, InitialRtoIsOneSecond) {
+  RttEstimator e;
+  EXPECT_FALSE(e.has_sample());
+  EXPECT_EQ(e.rto(), 1_sec);
+}
+
+TEST(RttEstimator, FirstSampleSeedsSrttAndVar) {
+  RttEstimator e;
+  e.update(100_ms);
+  EXPECT_TRUE(e.has_sample());
+  EXPECT_EQ(e.srtt(), 100_ms);
+  EXPECT_EQ(e.rttvar(), 50_ms);
+  // RTO = srtt + 4*var = 300 ms.
+  EXPECT_EQ(e.rto(), 300_ms);
+}
+
+TEST(RttEstimator, ConvergesOnConstantRtt) {
+  RttEstimator e;
+  for (int i = 0; i < 100; ++i) e.update(50_ms);
+  EXPECT_NEAR(to_seconds(e.srtt()), 0.050, 1e-4);
+  EXPECT_LT(e.rttvar(), 1_ms);
+  // RTO floors at 200 ms even when srtt + 4var is lower.
+  EXPECT_EQ(e.rto(), 200_ms);
+}
+
+TEST(RttEstimator, VarianceGrowsWithJitter) {
+  RttEstimator low, high;
+  for (int i = 0; i < 50; ++i) {
+    low.update(50_ms);
+    high.update(i % 2 == 0 ? 20_ms : 80_ms);
+  }
+  EXPECT_GT(high.rttvar(), low.rttvar());
+  // Both RTOs may clamp to the 200 ms floor; the raw srtt+4var must differ.
+  EXPECT_GT(high.srtt() + 4 * high.rttvar(), low.srtt() + 4 * low.rttvar());
+}
+
+TEST(RttEstimator, TracksLatestSample) {
+  RttEstimator e;
+  e.update(10_ms);
+  e.update(30_ms);
+  EXPECT_EQ(e.latest(), 30_ms);
+}
+
+TEST(RttEstimator, RfcExampleWeights) {
+  RttEstimator e;
+  e.update(100_ms);
+  e.update(200_ms);
+  // srtt = 7/8*100 + 1/8*200 = 112.5 ms
+  EXPECT_NEAR(to_seconds(e.srtt()) * 1e3, 112.5, 0.01);
+  // rttvar = 3/4*50 + 1/4*|200-100| = 62.5 ms
+  EXPECT_NEAR(to_seconds(e.rttvar()) * 1e3, 62.5, 0.01);
+}
+
+}  // namespace
+}  // namespace cgs::tcp

@@ -1,0 +1,134 @@
+// Unit tests for the TCP receiver's cumulative-ACK + SACK machinery.
+#include "tcp/tcp_receiver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace cgs::tcp {
+namespace {
+
+using namespace cgs::literals;
+
+class AckCollector final : public net::PacketSink {
+ public:
+  void handle_packet(net::PacketPtr pkt) override {
+    acks.push_back(std::get<net::TcpHeader>(pkt->header));
+  }
+  std::vector<net::TcpHeader> acks;
+};
+
+struct Rx {
+  sim::Simulator sim;
+  net::PacketFactory factory;
+  AckCollector sink;
+  TcpReceiver recv{sim, factory, 1};
+
+  Rx() { recv.set_output(&sink); }
+
+  void data(std::uint64_t seq, std::uint32_t len) {
+    net::TcpHeader h;
+    h.seq = seq;
+    h.len = len;
+    recv.handle_packet(factory.make(1, net::TrafficClass::kTcpData,
+                                    std::int32_t(len) + 40, sim.now(), h));
+  }
+  const net::TcpHeader& last_ack() { return sink.acks.back(); }
+};
+
+TEST(TcpReceiver, InOrderAdvancesCumAck) {
+  Rx rx;
+  rx.data(0, 1000);
+  EXPECT_EQ(rx.last_ack().ack, 1000u);
+  rx.data(1000, 1000);
+  EXPECT_EQ(rx.last_ack().ack, 2000u);
+  EXPECT_EQ(rx.recv.bytes_delivered().bytes(), 2000);
+}
+
+TEST(TcpReceiver, GapHoldsCumAckAndSacks) {
+  Rx rx;
+  rx.data(0, 1000);
+  rx.data(2000, 1000);  // hole at [1000, 2000)
+  const auto& ack = rx.last_ack();
+  EXPECT_EQ(ack.ack, 1000u);
+  EXPECT_EQ(ack.sacks[0].start, 2000u);
+  EXPECT_EQ(ack.sacks[0].end, 3000u);
+}
+
+TEST(TcpReceiver, FillingHoleAdvancesPastSackedData) {
+  Rx rx;
+  rx.data(0, 1000);
+  rx.data(2000, 1000);
+  rx.data(1000, 1000);  // fills the hole
+  EXPECT_EQ(rx.last_ack().ack, 3000u);
+  EXPECT_TRUE(rx.last_ack().sacks[0].empty());
+}
+
+TEST(TcpReceiver, MergesAdjacentOooBlocks) {
+  Rx rx;
+  rx.data(0, 1000);
+  rx.data(2000, 1000);
+  rx.data(3000, 1000);  // extends the block
+  const auto& ack = rx.last_ack();
+  EXPECT_EQ(ack.sacks[0].start, 2000u);
+  EXPECT_EQ(ack.sacks[0].end, 4000u);
+}
+
+TEST(TcpReceiver, MostRecentBlockReportedFirst) {
+  Rx rx;
+  rx.data(0, 1000);
+  rx.data(2000, 1000);   // block A
+  rx.data(4000, 1000);   // block B (newest)
+  const auto& ack = rx.last_ack();
+  EXPECT_EQ(ack.sacks[0].start, 4000u);
+  EXPECT_EQ(ack.sacks[1].start, 2000u);
+}
+
+TEST(TcpReceiver, ManyBlocksRotateThroughSackSlots) {
+  Rx rx;
+  rx.data(0, 1000);
+  // Five disjoint OOO blocks: 2000, 4000, 6000, 8000, 10000.
+  for (std::uint64_t s = 2000; s <= 10000; s += 2000) rx.data(s, 1000);
+  // Collect reported block starts over several duplicate ACKs.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 6; ++i) {
+    rx.data(0, 1000);  // duplicate triggers another ACK
+    for (const auto& b : rx.last_ack().sacks) {
+      if (!b.empty()) seen.insert(b.start);
+    }
+  }
+  // Every hidden block must eventually surface.
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(TcpReceiver, DuplicateDataReAcked) {
+  Rx rx;
+  rx.data(0, 1000);
+  const auto n = rx.sink.acks.size();
+  rx.data(0, 1000);  // spurious retransmission
+  EXPECT_EQ(rx.sink.acks.size(), n + 1);
+  EXPECT_EQ(rx.last_ack().ack, 1000u);
+}
+
+TEST(TcpReceiver, OverlappingSegmentsMerge) {
+  Rx rx;
+  rx.data(0, 1000);
+  rx.data(1500, 1000);
+  rx.data(1000, 1000);  // overlaps the OOO block [1500, 2500)
+  EXPECT_EQ(rx.last_ack().ack, 2500u);
+}
+
+TEST(TcpReceiver, PureAcksIgnored) {
+  Rx rx;
+  net::TcpHeader h;
+  h.is_ack = true;
+  h.ack = 5000;
+  rx.recv.handle_packet(
+      rx.factory.make(1, net::TrafficClass::kTcpAck, 40, kTimeZero, h));
+  EXPECT_TRUE(rx.sink.acks.empty());
+  EXPECT_EQ(rx.recv.packets_received(), 0u);
+}
+
+}  // namespace
+}  // namespace cgs::tcp

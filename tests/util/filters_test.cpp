@@ -1,0 +1,88 @@
+#include "util/filters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgs {
+namespace {
+
+using namespace cgs::literals;
+
+TEST(WindowedMaxFilter, TracksMaximum) {
+  WindowedMaxFilter<int> f(10_sec);
+  f.update(5, 1_sec);
+  f.update(3, 2_sec);
+  EXPECT_EQ(f.get(), 5);
+  f.update(9, 3_sec);
+  EXPECT_EQ(f.get(), 9);
+}
+
+TEST(WindowedMaxFilter, ExpiresOldSamples) {
+  WindowedMaxFilter<int> f(10_sec);
+  f.update(9, 1_sec);
+  f.update(5, 2_sec);
+  f.update(4, 12_sec);  // the 9 at t=1 is now outside the 10 s window
+  EXPECT_EQ(f.get(), 5);
+  f.update(1, 13_sec);  // 5 at t=2 expires too
+  EXPECT_EQ(f.get(), 4);
+}
+
+TEST(WindowedMaxFilter, GetOrOnEmpty) {
+  WindowedMaxFilter<int> f(1_sec);
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.get_or(-1), -1);
+  f.update(3, 1_sec);
+  EXPECT_EQ(f.get_or(-1), 3);
+}
+
+TEST(WindowedMinFilter, TracksMinimum) {
+  WindowedMinFilter<std::int64_t> f(10_sec);
+  f.update(100, 1_sec);
+  f.update(50, 2_sec);
+  f.update(80, 3_sec);
+  EXPECT_EQ(f.get(), 50);
+  f.update(60, 13_sec);  // the 50 expires
+  EXPECT_EQ(f.get(), 60);
+}
+
+TEST(WindowedMinFilter, MonotonicDequeBehaviour) {
+  WindowedMinFilter<int> f(100_sec);
+  for (int i = 10; i > 0; --i) f.update(i, Time(std::chrono::seconds(11 - i)));
+  EXPECT_EQ(f.get(), 1);
+  // A larger value cannot displace the current min.
+  f.update(5, 11_sec);
+  EXPECT_EQ(f.get(), 1);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  Ewma e(0.2);
+  EXPECT_FALSE(e.initialized());
+  EXPECT_DOUBLE_EQ(e.value_or(7.0), 7.0);
+  for (int i = 0; i < 100; ++i) e.update(10.0);
+  EXPECT_NEAR(e.value(), 10.0, 1e-9);
+}
+
+TEST(Ewma, FirstSampleInitializes) {
+  Ewma e(0.1);
+  e.update(42.0);
+  EXPECT_DOUBLE_EQ(e.value(), 42.0);
+  e.update(52.0);
+  EXPECT_DOUBLE_EQ(e.value(), 43.0);  // 42 + 0.1 * 10
+}
+
+TEST(RateMeter, ComputesWindowRate) {
+  RateMeter m(1_sec);
+  m.add(ByteSize(125'000), 500_ms);  // 1 Mbit
+  EXPECT_EQ(m.rate(1_sec).bits_per_sec(), 1'000'000);
+}
+
+TEST(RateMeter, ExpiresOutsideWindow) {
+  RateMeter m(1_sec);
+  m.add(ByteSize(125'000), 100_ms);
+  m.add(ByteSize(125'000), 1500_ms);
+  // At t=2s the first entry (age 1.9 s) is out of the window.
+  EXPECT_EQ(m.rate(2_sec).bits_per_sec(), 1'000'000);
+  EXPECT_EQ(m.bytes_in_window().bytes(), 125'000);
+}
+
+}  // namespace
+}  // namespace cgs

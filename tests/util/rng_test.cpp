@@ -1,0 +1,111 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cgs {
+namespace {
+
+TEST(Pcg32, DeterministicForSameSeed) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u32(), b.next_u32());
+  }
+}
+
+TEST(Pcg32, DifferentSeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u32() == b.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Pcg32, DoubleInUnitInterval) {
+  Pcg32 g(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = g.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Pcg32, BoundedRespectsBound) {
+  Pcg32 g(9);
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_LT(g.next_bounded(17), 17u);
+  }
+  EXPECT_EQ(g.next_bounded(1), 0u);
+  EXPECT_EQ(g.next_bounded(0), 0u);
+}
+
+TEST(Pcg32, UniformMeanNearCenter) {
+  Pcg32 g(11);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += g.uniform(10.0, 20.0);
+  EXPECT_NEAR(sum / n, 15.0, 0.05);
+}
+
+TEST(Pcg32, NormalMoments) {
+  Pcg32 g(13);
+  double sum = 0, sq = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = g.normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.03);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Pcg32, LognormalByMomentsMatchesTarget) {
+  Pcg32 g(17);
+  double sum = 0, sq = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = g.lognormal_by_moments(100.0, 25.0);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double sd = std::sqrt(sq / n - mean * mean);
+  EXPECT_NEAR(mean, 100.0, 1.0);
+  EXPECT_NEAR(sd, 25.0, 1.0);
+}
+
+TEST(Pcg32, ExponentialMean) {
+  Pcg32 g(19);
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += g.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Pcg32, BernoulliProbability) {
+  Pcg32 g(23);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += g.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(double(hits) / n, 0.3, 0.01);
+}
+
+TEST(Pcg32, ForkIndependence) {
+  Pcg32 parent(31);
+  Pcg32 c1 = parent.fork(1);
+  Pcg32 c2 = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1.next_u32() == c2.next_u32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace cgs

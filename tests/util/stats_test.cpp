@@ -1,0 +1,74 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace cgs {
+namespace {
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, Reset) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(TCritical, KnownValues) {
+  EXPECT_DOUBLE_EQ(t_critical_95(2), 12.706);   // 1 dof
+  EXPECT_DOUBLE_EQ(t_critical_95(15), 2.145);   // 14 dof — the paper's n
+  EXPECT_DOUBLE_EQ(t_critical_95(31), 2.042);   // 30 dof
+  EXPECT_DOUBLE_EQ(t_critical_95(1000), 1.960);
+  EXPECT_DOUBLE_EQ(t_critical_95(1), 0.0);
+  EXPECT_DOUBLE_EQ(t_critical_95(0), 0.0);
+}
+
+TEST(Ci95, HalfWidth) {
+  RunningStats s;
+  // 15 samples, sd = 1 -> hw = 2.145 / sqrt(15).
+  for (int i = 0; i < 15; ++i) s.add(i % 2 == 0 ? 1.0 : -1.0);
+  const double hw = ci95_halfwidth(s);
+  EXPECT_NEAR(hw, 2.145 * s.stddev() / std::sqrt(15.0), 1e-12);
+  RunningStats one;
+  one.add(5.0);
+  EXPECT_DOUBLE_EQ(ci95_halfwidth(one), 0.0);
+}
+
+TEST(SpanStats, MeanStd) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 3.0);
+  EXPECT_NEAR(stddev_of(xs), std::sqrt(2.5), 1e-12);
+}
+
+TEST(Percentile, InterpolatesAndClamps) {
+  std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(percentile_of({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_of({7.0}, 0.9), 7.0);
+}
+
+}  // namespace
+}  // namespace cgs

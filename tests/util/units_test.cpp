@@ -1,0 +1,72 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgs {
+namespace {
+
+using namespace cgs::literals;
+
+TEST(Units, ByteSizeArithmetic) {
+  EXPECT_EQ((5_KB).bytes(), 5'000);
+  EXPECT_EQ((2_MB).bytes(), 2'000'000);
+  EXPECT_EQ((1_KB + 500_B).bytes(), 1'500);
+  EXPECT_EQ((2_KB - 500_B).bytes(), 1'500);
+  EXPECT_EQ((3 * 100_B).bytes(), 300);
+  EXPECT_EQ((100_B * 3).bytes(), 300);
+  EXPECT_EQ((1_KB).bits(), 8'000);
+}
+
+TEST(Units, ByteSizeComparison) {
+  EXPECT_LT(1_KB, 2_KB);
+  EXPECT_EQ(1000_B, 1_KB);
+  EXPECT_GE(1_MB, 999_KB);
+}
+
+TEST(Units, BandwidthConstruction) {
+  EXPECT_EQ((25_mbps).bits_per_sec(), 25'000'000);
+  EXPECT_DOUBLE_EQ((25_mbps).megabits_per_sec(), 25.0);
+  EXPECT_EQ(Bandwidth::mbps(1.5).bits_per_sec(), 1'500'000);
+  EXPECT_TRUE(Bandwidth::zero().is_zero());
+  EXPECT_FALSE((1_kbps).is_zero());
+}
+
+TEST(Units, TransmitTime) {
+  // 1500 bytes at 12 Mb/s = 12000 bits / 12e6 bps = 1 ms.
+  EXPECT_EQ((12_mbps).transmit_time(1500_B), 1_ms);
+  // 1 byte at 8 bps = 1 s.
+  EXPECT_EQ(Bandwidth::bps(8).transmit_time(1_B), 1_sec);
+}
+
+TEST(Units, BytesOver) {
+  EXPECT_EQ((8_mbps).bytes_over(1_sec).bytes(), 1'000'000);
+  EXPECT_EQ((8_mbps).bytes_over(500_ms).bytes(), 500'000);
+  EXPECT_EQ((8_mbps).bytes_over(kTimeZero).bytes(), 0);
+}
+
+TEST(Units, BdpMatchesPaperScenario) {
+  // Paper: 25 Mb/s with 16.5 ms RTT -> BDP = 25e6 * 0.0165 / 8 bytes.
+  const ByteSize b = bdp(25_mbps, std::chrono::microseconds(16'500));
+  EXPECT_EQ(b.bytes(), 51'562);
+}
+
+TEST(Units, RateOf) {
+  EXPECT_EQ(rate_of(1500_B, 1_ms).bits_per_sec(), 12'000'000);
+  EXPECT_TRUE(rate_of(1500_B, kTimeZero).is_zero());
+  EXPECT_TRUE(rate_of(1500_B, -1_ms + kTimeZero).is_zero());
+}
+
+TEST(Units, BandwidthScaling) {
+  EXPECT_EQ((10_mbps * 0.5).bits_per_sec(), 5'000'000);
+  EXPECT_EQ((0.25 * 10_mbps).bits_per_sec(), 2'500'000);
+  EXPECT_EQ((10_mbps + 5_mbps).bits_per_sec(), 15'000'000);
+}
+
+TEST(Units, SecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_seconds(1500_ms), 1.5);
+  EXPECT_EQ(from_seconds(1.5), 1500_ms);
+  EXPECT_EQ(from_seconds(0.0), kTimeZero);
+}
+
+}  // namespace
+}  // namespace cgs
