@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_aqm.dir/ablation_aqm.cpp.o"
+  "CMakeFiles/ablation_aqm.dir/ablation_aqm.cpp.o.d"
+  "ablation_aqm"
+  "ablation_aqm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_aqm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tcp_vs_tcp.dir/ablation_tcp_vs_tcp.cpp.o"
+  "CMakeFiles/ablation_tcp_vs_tcp.dir/ablation_tcp_vs_tcp.cpp.o.d"
+  "ablation_tcp_vs_tcp"
+  "ablation_tcp_vs_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tcp_vs_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_harm.dir/ext_harm.cpp.o"
+  "CMakeFiles/ext_harm.dir/ext_harm.cpp.o.d"
+  "ext_harm"
+  "ext_harm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_harm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

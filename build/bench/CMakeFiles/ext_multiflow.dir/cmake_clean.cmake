@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multiflow.dir/ext_multiflow.cpp.o"
+  "CMakeFiles/ext_multiflow.dir/ext_multiflow.cpp.o.d"
+  "ext_multiflow"
+  "ext_multiflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multiflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_video_competition.dir/ext_video_competition.cpp.o"
+  "CMakeFiles/ext_video_competition.dir/ext_video_competition.cpp.o.d"
+  "ext_video_competition"
+  "ext_video_competition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_video_competition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_bitrate_timeseries.dir/fig2_bitrate_timeseries.cpp.o"
+  "CMakeFiles/fig2_bitrate_timeseries.dir/fig2_bitrate_timeseries.cpp.o.d"
+  "fig2_bitrate_timeseries"
+  "fig2_bitrate_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_bitrate_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_bitrate_timeseries.
+# This may be replaced when dependencies are built.

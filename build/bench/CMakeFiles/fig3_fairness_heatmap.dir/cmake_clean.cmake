@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_fairness_heatmap.dir/fig3_fairness_heatmap.cpp.o"
+  "CMakeFiles/fig3_fairness_heatmap.dir/fig3_fairness_heatmap.cpp.o.d"
+  "fig3_fairness_heatmap"
+  "fig3_fairness_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_fairness_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_adaptiveness_fairness.dir/fig4_adaptiveness_fairness.cpp.o"
+  "CMakeFiles/fig4_adaptiveness_fairness.dir/fig4_adaptiveness_fairness.cpp.o.d"
+  "fig4_adaptiveness_fairness"
+  "fig4_adaptiveness_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_adaptiveness_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_simcore.dir/perf_simcore.cpp.o"
+  "CMakeFiles/perf_simcore.dir/perf_simcore.cpp.o.d"
+  "perf_simcore"
+  "perf_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_baseline_bitrates.dir/table1_baseline_bitrates.cpp.o"
+  "CMakeFiles/table1_baseline_bitrates.dir/table1_baseline_bitrates.cpp.o.d"
+  "table1_baseline_bitrates"
+  "table1_baseline_bitrates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_baseline_bitrates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_rtt_solo.dir/table3_rtt_solo.cpp.o"
+  "CMakeFiles/table3_rtt_solo.dir/table3_rtt_solo.cpp.o.d"
+  "table3_rtt_solo"
+  "table3_rtt_solo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_rtt_solo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

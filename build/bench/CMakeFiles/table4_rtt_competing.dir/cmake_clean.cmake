@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_rtt_competing.dir/table4_rtt_competing.cpp.o"
+  "CMakeFiles/table4_rtt_competing.dir/table4_rtt_competing.cpp.o.d"
+  "table4_rtt_competing"
+  "table4_rtt_competing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_rtt_competing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_framerate.dir/table5_framerate.cpp.o"
+  "CMakeFiles/table5_framerate.dir/table5_framerate.cpp.o.d"
+  "table5_framerate"
+  "table5_framerate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_framerate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

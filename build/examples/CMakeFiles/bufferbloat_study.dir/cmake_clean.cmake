@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bufferbloat_study.dir/bufferbloat_study.cpp.o"
+  "CMakeFiles/bufferbloat_study.dir/bufferbloat_study.cpp.o.d"
+  "bufferbloat_study"
+  "bufferbloat_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bufferbloat_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

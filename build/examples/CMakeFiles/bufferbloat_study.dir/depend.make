@@ -1,0 +1,2 @@
+# Empty dependencies file for bufferbloat_study.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_response.dir/congestion_response.cpp.o"
+  "CMakeFiles/congestion_response.dir/congestion_response.cpp.o.d"
+  "congestion_response"
+  "congestion_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_controller.dir/custom_controller.cpp.o"
+  "CMakeFiles/custom_controller.dir/custom_controller.cpp.o.d"
+  "custom_controller"
+  "custom_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

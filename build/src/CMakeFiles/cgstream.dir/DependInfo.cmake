@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/dash_video.cpp" "src/CMakeFiles/cgstream.dir/apps/dash_video.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/apps/dash_video.cpp.o.d"
+  "/root/repo/src/core/aggregate.cpp" "src/CMakeFiles/cgstream.dir/core/aggregate.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/core/aggregate.cpp.o.d"
+  "/root/repo/src/core/collectors.cpp" "src/CMakeFiles/cgstream.dir/core/collectors.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/core/collectors.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/cgstream.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/ping.cpp" "src/CMakeFiles/cgstream.dir/core/ping.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/core/ping.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/cgstream.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/runner.cpp" "src/CMakeFiles/cgstream.dir/core/runner.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/core/runner.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/CMakeFiles/cgstream.dir/core/scenario.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/core/scenario.cpp.o.d"
+  "/root/repo/src/core/testbed.cpp" "src/CMakeFiles/cgstream.dir/core/testbed.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/core/testbed.cpp.o.d"
+  "/root/repo/src/core/tracelog.cpp" "src/CMakeFiles/cgstream.dir/core/tracelog.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/core/tracelog.cpp.o.d"
+  "/root/repo/src/net/codel.cpp" "src/CMakeFiles/cgstream.dir/net/codel.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/net/codel.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/cgstream.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/cgstream.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/queue.cpp" "src/CMakeFiles/cgstream.dir/net/queue.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/net/queue.cpp.o.d"
+  "/root/repo/src/net/router.cpp" "src/CMakeFiles/cgstream.dir/net/router.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/net/router.cpp.o.d"
+  "/root/repo/src/net/sniffer.cpp" "src/CMakeFiles/cgstream.dir/net/sniffer.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/net/sniffer.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/cgstream.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/cgstream.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/timer.cpp" "src/CMakeFiles/cgstream.dir/sim/timer.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/sim/timer.cpp.o.d"
+  "/root/repo/src/stream/controllers/geforce_like.cpp" "src/CMakeFiles/cgstream.dir/stream/controllers/geforce_like.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/stream/controllers/geforce_like.cpp.o.d"
+  "/root/repo/src/stream/controllers/luna_like.cpp" "src/CMakeFiles/cgstream.dir/stream/controllers/luna_like.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/stream/controllers/luna_like.cpp.o.d"
+  "/root/repo/src/stream/controllers/stadia_like.cpp" "src/CMakeFiles/cgstream.dir/stream/controllers/stadia_like.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/stream/controllers/stadia_like.cpp.o.d"
+  "/root/repo/src/stream/display.cpp" "src/CMakeFiles/cgstream.dir/stream/display.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/stream/display.cpp.o.d"
+  "/root/repo/src/stream/frame_source.cpp" "src/CMakeFiles/cgstream.dir/stream/frame_source.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/stream/frame_source.cpp.o.d"
+  "/root/repo/src/stream/packetizer.cpp" "src/CMakeFiles/cgstream.dir/stream/packetizer.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/stream/packetizer.cpp.o.d"
+  "/root/repo/src/stream/profiles.cpp" "src/CMakeFiles/cgstream.dir/stream/profiles.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/stream/profiles.cpp.o.d"
+  "/root/repo/src/stream/receiver.cpp" "src/CMakeFiles/cgstream.dir/stream/receiver.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/stream/receiver.cpp.o.d"
+  "/root/repo/src/stream/sender.cpp" "src/CMakeFiles/cgstream.dir/stream/sender.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/stream/sender.cpp.o.d"
+  "/root/repo/src/tcp/bbr.cpp" "src/CMakeFiles/cgstream.dir/tcp/bbr.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/tcp/bbr.cpp.o.d"
+  "/root/repo/src/tcp/bulk_app.cpp" "src/CMakeFiles/cgstream.dir/tcp/bulk_app.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/tcp/bulk_app.cpp.o.d"
+  "/root/repo/src/tcp/cubic.cpp" "src/CMakeFiles/cgstream.dir/tcp/cubic.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/tcp/cubic.cpp.o.d"
+  "/root/repo/src/tcp/rate_sampler.cpp" "src/CMakeFiles/cgstream.dir/tcp/rate_sampler.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/tcp/rate_sampler.cpp.o.d"
+  "/root/repo/src/tcp/reno.cpp" "src/CMakeFiles/cgstream.dir/tcp/reno.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/tcp/reno.cpp.o.d"
+  "/root/repo/src/tcp/rtt_estimator.cpp" "src/CMakeFiles/cgstream.dir/tcp/rtt_estimator.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/tcp/rtt_estimator.cpp.o.d"
+  "/root/repo/src/tcp/tcp_receiver.cpp" "src/CMakeFiles/cgstream.dir/tcp/tcp_receiver.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/tcp/tcp_receiver.cpp.o.d"
+  "/root/repo/src/tcp/tcp_sender.cpp" "src/CMakeFiles/cgstream.dir/tcp/tcp_sender.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/tcp/tcp_sender.cpp.o.d"
+  "/root/repo/src/tcp/vegas.cpp" "src/CMakeFiles/cgstream.dir/tcp/vegas.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/tcp/vegas.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/cgstream.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/cgstream.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/cgstream.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/cgstream.dir/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

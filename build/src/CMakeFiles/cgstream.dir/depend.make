@@ -1,0 +1,2 @@
+# Empty dependencies file for cgstream.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bbr_test.dir/tcp/bbr_test.cpp.o"
+  "CMakeFiles/bbr_test.dir/tcp/bbr_test.cpp.o.d"
+  "bbr_test"
+  "bbr_test.pdb"
+  "bbr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bbr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

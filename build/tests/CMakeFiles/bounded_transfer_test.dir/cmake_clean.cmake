@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_transfer_test.dir/tcp/bounded_transfer_test.cpp.o"
+  "CMakeFiles/bounded_transfer_test.dir/tcp/bounded_transfer_test.cpp.o.d"
+  "bounded_transfer_test"
+  "bounded_transfer_test.pdb"
+  "bounded_transfer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codel_test.dir/net/codel_test.cpp.o"
+  "CMakeFiles/codel_test.dir/net/codel_test.cpp.o.d"
+  "codel_test"
+  "codel_test.pdb"
+  "codel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

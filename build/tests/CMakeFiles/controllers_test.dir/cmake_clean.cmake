@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/controllers_test.dir/stream/controllers_test.cpp.o"
+  "CMakeFiles/controllers_test.dir/stream/controllers_test.cpp.o.d"
+  "controllers_test"
+  "controllers_test.pdb"
+  "controllers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/controllers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

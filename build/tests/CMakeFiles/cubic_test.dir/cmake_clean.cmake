@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cubic_test.dir/tcp/cubic_test.cpp.o"
+  "CMakeFiles/cubic_test.dir/tcp/cubic_test.cpp.o.d"
+  "cubic_test"
+  "cubic_test.pdb"
+  "cubic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cubic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

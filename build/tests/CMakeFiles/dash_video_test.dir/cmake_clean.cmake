@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dash_video_test.dir/apps/dash_video_test.cpp.o"
+  "CMakeFiles/dash_video_test.dir/apps/dash_video_test.cpp.o.d"
+  "dash_video_test"
+  "dash_video_test.pdb"
+  "dash_video_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dash_video_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filters_test.dir/util/filters_test.cpp.o"
+  "CMakeFiles/filters_test.dir/util/filters_test.cpp.o.d"
+  "filters_test"
+  "filters_test.pdb"
+  "filters_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

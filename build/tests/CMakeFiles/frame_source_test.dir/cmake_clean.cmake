@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_source_test.dir/stream/frame_source_test.cpp.o"
+  "CMakeFiles/frame_source_test.dir/stream/frame_source_test.cpp.o.d"
+  "frame_source_test"
+  "frame_source_test.pdb"
+  "frame_source_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_source_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

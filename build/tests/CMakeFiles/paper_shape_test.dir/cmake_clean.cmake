@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_shape_test.dir/integration/paper_shape_test.cpp.o"
+  "CMakeFiles/paper_shape_test.dir/integration/paper_shape_test.cpp.o.d"
+  "paper_shape_test"
+  "paper_shape_test.pdb"
+  "paper_shape_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_shape_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rate_sampler_test.dir/tcp/rate_sampler_test.cpp.o"
+  "CMakeFiles/rate_sampler_test.dir/tcp/rate_sampler_test.cpp.o.d"
+  "rate_sampler_test"
+  "rate_sampler_test.pdb"
+  "rate_sampler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rate_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/receiver_test.dir/stream/receiver_test.cpp.o"
+  "CMakeFiles/receiver_test.dir/stream/receiver_test.cpp.o.d"
+  "receiver_test"
+  "receiver_test.pdb"
+  "receiver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/receiver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

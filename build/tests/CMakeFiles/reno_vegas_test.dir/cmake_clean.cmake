@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reno_vegas_test.dir/tcp/reno_vegas_test.cpp.o"
+  "CMakeFiles/reno_vegas_test.dir/tcp/reno_vegas_test.cpp.o.d"
+  "reno_vegas_test"
+  "reno_vegas_test.pdb"
+  "reno_vegas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reno_vegas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

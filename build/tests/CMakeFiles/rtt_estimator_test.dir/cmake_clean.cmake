@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtt_estimator_test.dir/tcp/rtt_estimator_test.cpp.o"
+  "CMakeFiles/rtt_estimator_test.dir/tcp/rtt_estimator_test.cpp.o.d"
+  "rtt_estimator_test"
+  "rtt_estimator_test.pdb"
+  "rtt_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtt_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_e2e_test.dir/stream/stream_e2e_test.cpp.o"
+  "CMakeFiles/stream_e2e_test.dir/stream/stream_e2e_test.cpp.o.d"
+  "stream_e2e_test"
+  "stream_e2e_test.pdb"
+  "stream_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

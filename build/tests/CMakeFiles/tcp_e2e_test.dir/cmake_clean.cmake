@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_e2e_test.dir/tcp/tcp_e2e_test.cpp.o"
+  "CMakeFiles/tcp_e2e_test.dir/tcp/tcp_e2e_test.cpp.o.d"
+  "tcp_e2e_test"
+  "tcp_e2e_test.pdb"
+  "tcp_e2e_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_receiver_test.dir/tcp/tcp_receiver_test.cpp.o"
+  "CMakeFiles/tcp_receiver_test.dir/tcp/tcp_receiver_test.cpp.o.d"
+  "tcp_receiver_test"
+  "tcp_receiver_test.pdb"
+  "tcp_receiver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_receiver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

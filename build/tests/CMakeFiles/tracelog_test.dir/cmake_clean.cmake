@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracelog_test.dir/core/tracelog_test.cpp.o"
+  "CMakeFiles/tracelog_test.dir/core/tracelog_test.cpp.o.d"
+  "tracelog_test"
+  "tracelog_test.pdb"
+  "tracelog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracelog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/units_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/filters_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/queue_test[1]_include.cmake")
+include("/root/repo/build/tests/link_test[1]_include.cmake")
+include("/root/repo/build/tests/codel_test[1]_include.cmake")
+include("/root/repo/build/tests/rtt_estimator_test[1]_include.cmake")
+include("/root/repo/build/tests/rate_sampler_test[1]_include.cmake")
+include("/root/repo/build/tests/cubic_test[1]_include.cmake")
+include("/root/repo/build/tests/bbr_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_receiver_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_e2e_test[1]_include.cmake")
+include("/root/repo/build/tests/frame_source_test[1]_include.cmake")
+include("/root/repo/build/tests/controllers_test[1]_include.cmake")
+include("/root/repo/build/tests/stream_e2e_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/testbed_test[1]_include.cmake")
+include("/root/repo/build/tests/dash_video_test[1]_include.cmake")
+include("/root/repo/build/tests/bounded_transfer_test[1]_include.cmake")
+include("/root/repo/build/tests/invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/reno_vegas_test[1]_include.cmake")
+include("/root/repo/build/tests/router_test[1]_include.cmake")
+include("/root/repo/build/tests/tracelog_test[1]_include.cmake")
+include("/root/repo/build/tests/paper_shape_test[1]_include.cmake")
+include("/root/repo/build/tests/receiver_test[1]_include.cmake")
