@@ -22,6 +22,47 @@ void BM_EventQueuePushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueuePushPop);
 
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  // RTO-style workload: every event is rescheduled several times and most
+  // are cancelled before firing, so the lazy-deletion + compaction path and
+  // O(1) generation-tagged cancel dominate.
+  for (auto _ : state) {
+    cgs::sim::EventQueue q;
+    cgs::sim::EventId ids[64] = {};
+    for (int round = 0; round < 100; ++round) {
+      for (int i = 0; i < 64; ++i) {
+        if (ids[i] != cgs::sim::kInvalidEventId) q.cancel(ids[i]);
+        ids[i] = q.push(cgs::Time((round * 64 + i) * 1000), [] {});
+      }
+      for (int i = 0; i < 64; i += 2) {
+        ids[i] = q.reschedule(ids[i], cgs::Time((round * 64 + i) * 2000));
+      }
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * 100 * (64 + 32));
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+void BM_PacketChurn(benchmark::State& state) {
+  // Steady-state make/free cycling through the factory pool: after the
+  // first lap every acquire is a recycled packet, no allocator traffic.
+  cgs::net::PacketFactory f;
+  for (auto _ : state) {
+    cgs::net::PacketPtr window[32];
+    for (int lap = 0; lap < 32; ++lap) {
+      for (int i = 0; i < 32; ++i) {
+        window[std::size_t(i)] =
+            f.make(1, cgs::net::TrafficClass::kTcpData, 1500,
+                   cgs::Time(lap * 32 + i), cgs::net::TcpHeader{});
+      }
+      for (auto& p : window) p.reset();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * 32);
+}
+BENCHMARK(BM_PacketChurn);
+
 void BM_SimulatorTimerChurn(benchmark::State& state) {
   for (auto _ : state) {
     cgs::sim::Simulator sim;

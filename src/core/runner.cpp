@@ -1,6 +1,7 @@
 #include "core/runner.hpp"
 
 #include <atomic>
+#include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -24,14 +25,26 @@ std::vector<RunTrace> run_many(const Scenario& scenario,
   std::atomic<int> done{0};
   std::mutex progress_mu;
 
+  // A Testbed::run() throw inside a std::thread would reach std::terminate;
+  // capture the first exception and rethrow it on the joining thread.
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
   auto worker = [&] {
     for (;;) {
       const int i = next.fetch_add(1);
       if (i >= n) return;
-      Scenario sc = scenario;
-      sc.seed = scenario.seed + std::uint64_t(i);
-      Testbed bed(sc);
-      traces[std::size_t(i)] = bed.run();
+      try {
+        Scenario sc = scenario;
+        sc.seed = scenario.seed + std::uint64_t(i);
+        Testbed bed(sc);
+        traces[std::size_t(i)] = bed.run();
+      } catch (...) {
+        std::lock_guard lk(error_mu);
+        if (!first_error) first_error = std::current_exception();
+        next.store(n);  // stop handing out further runs
+        return;
+      }
       const int d = done.fetch_add(1) + 1;
       if (opts.progress) {
         std::lock_guard lk(progress_mu);
@@ -48,6 +61,7 @@ std::vector<RunTrace> run_many(const Scenario& scenario,
     for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (auto& t : pool) t.join();
   }
+  if (first_error) std::rethrow_exception(first_error);
   return traces;
 }
 

@@ -18,8 +18,7 @@ void CodelQueue::enqueue(PacketPtr pkt, Time now) {
 
 PacketPtr CodelQueue::pop_head() {
   if (q_.empty()) return nullptr;
-  PacketPtr pkt = std::move(q_.front());
-  q_.pop_front();
+  PacketPtr pkt = q_.pop_front();
   bytes_ -= pkt->size();
   return pkt;
 }
@@ -128,7 +127,7 @@ void FqCodelQueue::enqueue(PacketPtr pkt, Time now) {
 
 PacketPtr FqCodelQueue::dequeue(Time now) {
   for (int guard = 0; guard < 1'000'000; ++guard) {
-    std::deque<FlowId>* list = nullptr;
+    cgs::util::RingBuffer<FlowId>* list = nullptr;
     if (!new_flows_.empty()) {
       list = &new_flows_;
     } else if (!old_flows_.empty()) {
@@ -142,7 +141,7 @@ PacketPtr FqCodelQueue::dequeue(Time now) {
 
     if (s.deficit <= 0) {
       s.deficit += quantum_.bytes();
-      list->pop_front();
+      (void)list->pop_front();
       old_flows_.push_back(flow);
       continue;
     }
@@ -151,7 +150,7 @@ PacketPtr FqCodelQueue::dequeue(Time now) {
     if (!pkt) {
       // Empty: a new flow that empties is recycled to old once (RFC 8290);
       // an old flow that empties goes inactive.
-      list->pop_front();
+      (void)list->pop_front();
       if (list == &new_flows_) {
         old_flows_.push_back(flow);
       } else {

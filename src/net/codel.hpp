@@ -4,10 +4,10 @@
 // these implementations back the `ablation_aqm` bench that explores it.
 #pragma once
 
-#include <deque>
 #include <map>
 
 #include "net/queue.hpp"
+#include "util/ring_buffer.hpp"
 
 namespace cgs::net {
 
@@ -37,7 +37,7 @@ class CodelQueue final : public Queue {
   bool should_drop(const Packet& pkt, Time now);
 
   CodelParams params_;
-  std::deque<PacketPtr> q_;
+  util::RingBuffer<PacketPtr> q_;
   ByteSize bytes_{0};
 
   // CoDel state machine (RFC 8289 §5).
@@ -77,8 +77,8 @@ class FqCodelQueue final : public Queue {
   CodelParams params_;
   ByteSize quantum_;
   std::map<FlowId, SubQueue> flows_;
-  std::deque<FlowId> new_flows_;
-  std::deque<FlowId> old_flows_;
+  util::RingBuffer<FlowId> new_flows_;
+  util::RingBuffer<FlowId> old_flows_;
   ByteSize bytes_{0};
   std::size_t count_ = 0;
   // True while a sub-queue enqueue runs: an overflow drop there concerns a

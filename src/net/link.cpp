@@ -37,14 +37,14 @@ void Link::try_transmit() {
   const Time ser = rate_.transmit_time(pkt->size());
 
   // Serialisation completes after `ser`; the packet then propagates for
-  // prop_delay_ without occupying the transmitter.
-  sim_.schedule_in(ser, [this, raw = pkt.release()]() mutable {
-    PacketPtr p(raw);
+  // prop_delay_ without occupying the transmitter. The move-only EventFn
+  // lets the closures own the PacketPtr directly (keeping the pool deleter
+  // intact), where std::function used to force a release()/rewrap dance.
+  sim_.schedule_in(ser, [this, p = std::move(pkt)]() mutable {
     busy_ = false;
     ++delivered_pkts_;
     delivered_bytes_ += p->size();
-    sim_.schedule_in(prop_delay_, [this, raw2 = p.release()]() {
-      PacketPtr q(raw2);
+    sim_.schedule_in(prop_delay_, [this, q = std::move(p)]() mutable {
       sniffer_.notify_deliver(*q, sim_.now());
       dst_->handle_packet(std::move(q));
     });
@@ -53,8 +53,8 @@ void Link::try_transmit() {
 }
 
 void DelayLine::handle_packet(PacketPtr pkt) {
-  sim_.schedule_in(delay_, [this, raw = pkt.release()]() {
-    dst_->handle_packet(PacketPtr(raw));
+  sim_.schedule_in(delay_, [this, p = std::move(pkt)]() mutable {
+    dst_->handle_packet(std::move(p));
   });
 }
 

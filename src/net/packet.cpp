@@ -13,17 +13,33 @@ std::string_view to_string(TrafficClass c) {
   return "?";
 }
 
+Packet* PacketPool::acquire() {
+  if (!free_.empty()) {
+    Packet* p = free_.back();
+    free_.pop_back();
+    ++recycled_;
+    return p;
+  }
+  if (chunk_fill_ == kChunkSize) {
+    chunks_.push_back(std::make_unique<Packet[]>(kChunkSize));
+    chunk_fill_ = 0;
+  }
+  storage_count_++;
+  return &chunks_.back()[chunk_fill_++];
+}
+
 PacketPtr PacketFactory::make(FlowId flow, TrafficClass klass,
                               std::int32_t size_bytes, Time now,
                               Header header) {
-  auto pkt = std::make_unique<Packet>();
-  pkt->uid = next_uid_++;
-  pkt->flow = flow;
-  pkt->klass = klass;
-  pkt->size_bytes = size_bytes;
-  pkt->created = now;
-  pkt->header = std::move(header);
-  return pkt;
+  Packet* p = pool_->acquire();
+  p->uid = next_uid_++;
+  p->flow = flow;
+  p->klass = klass;
+  p->size_bytes = size_bytes;
+  p->created = now;
+  p->enqueued = kTimeZero;
+  p->header = std::move(header);
+  return PacketPtr(p, PacketDeleter{pool_});
 }
 
 }  // namespace cgs::net

@@ -11,6 +11,7 @@
 #include <memory>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "util/units.hpp"
 
@@ -91,17 +92,67 @@ struct Packet {
   [[nodiscard]] ByteSize size() const { return ByteSize(size_bytes); }
 };
 
-using PacketPtr = std::unique_ptr<Packet>;
+/// Recycling store backing a PacketFactory: packets live in chunked arenas
+/// and circulate through a free list, so steady-state traffic reuses
+/// storage instead of hitting the allocator. Shared (via shared_ptr in the
+/// deleter) so in-flight packets keep the pool alive even if the factory
+/// is destroyed first.
+class PacketPool {
+ public:
+  PacketPool() = default;
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
 
-/// Factory stamping unique ids; one per simulation.
+  [[nodiscard]] Packet* acquire();
+  void release(Packet* p) noexcept { free_.push_back(p); }
+
+  /// Packets currently parked in the free list.
+  [[nodiscard]] std::size_t free_count() const { return free_.size(); }
+  /// Distinct Packet objects ever carved from the arenas.
+  [[nodiscard]] std::size_t storage_count() const { return storage_count_; }
+  /// acquire() calls served from the free list rather than fresh storage.
+  [[nodiscard]] std::uint64_t recycled_total() const { return recycled_; }
+
+ private:
+  static constexpr std::size_t kChunkSize = 128;
+
+  std::vector<std::unique_ptr<Packet[]>> chunks_;
+  std::vector<Packet*> free_;
+  std::size_t chunk_fill_ = kChunkSize;  // next unused index in last chunk
+  std::size_t storage_count_ = 0;
+  std::uint64_t recycled_ = 0;
+};
+
+/// Returns the packet to its pool; a default-constructed deleter (no pool)
+/// falls back to `delete` so detached PacketPtrs stay safe.
+struct PacketDeleter {
+  std::shared_ptr<PacketPool> pool;
+  void operator()(Packet* p) const noexcept {
+    if (pool) {
+      pool->release(p);
+    } else {
+      delete p;
+    }
+  }
+};
+
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
+
+/// Factory stamping unique ids; one per simulation. Hands out recycled
+/// storage from its pool; `created_total()` counts logical packets (every
+/// make()), not distinct allocations.
 class PacketFactory {
  public:
+  PacketFactory() : pool_(std::make_shared<PacketPool>()) {}
+
   PacketPtr make(FlowId flow, TrafficClass klass, std::int32_t size_bytes,
                  Time now, Header header);
 
   [[nodiscard]] std::uint64_t created_total() const { return next_uid_ - 1; }
+  [[nodiscard]] const PacketPool& pool() const { return *pool_; }
 
  private:
+  std::shared_ptr<PacketPool> pool_;
   std::uint64_t next_uid_ = 1;
 };
 

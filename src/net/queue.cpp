@@ -14,8 +14,7 @@ void DropTailQueue::enqueue(PacketPtr pkt, Time now) {
 
 PacketPtr DropTailQueue::dequeue(Time /*now*/) {
   if (q_.empty()) return nullptr;
-  PacketPtr pkt = std::move(q_.front());
-  q_.pop_front();
+  PacketPtr pkt = q_.pop_front();
   bytes_ -= pkt->size();
   return pkt;
 }

@@ -5,10 +5,10 @@
 // FQ-CoDel (paper §5 future work) live in codel.hpp.
 #pragma once
 
-#include <deque>
 #include <functional>
 
 #include "net/packet.hpp"
+#include "util/ring_buffer.hpp"
 #include "util/units.hpp"
 
 namespace cgs::net {
@@ -67,7 +67,7 @@ class DropTailQueue final : public Queue {
  private:
   ByteSize capacity_;
   ByteSize bytes_{0};
-  std::deque<PacketPtr> q_;
+  util::RingBuffer<PacketPtr> q_;
 };
 
 }  // namespace cgs::net

@@ -4,44 +4,194 @@
 
 namespace cgs::sim {
 
-EventId EventQueue::push(Time at, std::function<void()> fn) {
-  const EventId id = next_seq_++;
-  heap_.push(Entry{at, id});
-  fns_.emplace(id, std::move(fn));
+EventQueue::EventQueue() = default;
+
+EventQueue::~EventQueue() {
+  for (Slot* chunk : chunks_) delete[] chunk;
+}
+
+std::uint32_t EventQueue::alloc_slot() {
+  if (free_head_ == kNoSlot) {
+    // Grow the slab by one fixed-address chunk; existing slots never move,
+    // so callbacks executing in place stay valid while new events are
+    // scheduled. Chunks are threaded onto the free list lowest-index-first
+    // to keep slot assignment deterministic.
+    auto* chunk = new Slot[kChunkSize];
+    chunks_.push_back(chunk);
+    const std::uint32_t base = slot_count_;
+    slot_count_ += kChunkSize;
+    for (std::uint32_t i = kChunkSize; i-- > 0;) {
+      chunk[i].next_free = free_head_;
+      free_head_ = base + i;
+    }
+  }
+  const std::uint32_t i = free_head_;
+  free_head_ = slot(i).next_free;
+  return i;
+}
+
+void EventQueue::free_slot(std::uint32_t i) {
+  Slot& s = slot(i);
+  s.fn.reset();
+  s.next_free = free_head_;
+  free_head_ = i;
+}
+
+EventId EventQueue::push(Time at, EventFn fn) {
+  const std::uint32_t i = alloc_slot();
+  Slot& s = slot(i);
+  s.fn = std::move(fn);
+  heap_push(HeapEntry{at, next_seq_++, i, s.gen});
   ++live_count_;
-  return id;
+  return make_id(i, s.gen);
 }
 
 void EventQueue::cancel(EventId id) {
-  auto it = fns_.find(id);
-  if (it == fns_.end()) return;
-  fns_.erase(it);
+  if (id == kInvalidEventId) return;
+  const std::uint32_t i = std::uint32_t(id >> 32) - 1;
+  if (i >= slot_count_) return;
+  Slot& s = slot(i);
+  if (s.gen != std::uint32_t(id)) return;  // already fired or cancelled
+  if (i == running_slot_) {
+    // Cancelling the in-flight reschedule of the currently executing
+    // event: just drop the pending re-push; the slot is released (and its
+    // callback destroyed) only after the callback returns.
+    resched_pending_ = false;
+    return;
+  }
+  ++s.gen;  // heap entries for this firing are now stale
+  free_slot(i);
   --live_count_;
-  // The heap entry stays; pop()/next_time() skip entries with no fn.
+  maybe_compact();
 }
 
-void EventQueue::drop_cancelled() {
-  while (!heap_.empty() && !fns_.contains(heap_.top().seq)) {
-    heap_.pop();
+EventId EventQueue::reschedule(EventId id, Time at) {
+  if (id == kInvalidEventId) return kInvalidEventId;
+  const std::uint32_t i = std::uint32_t(id >> 32) - 1;
+  if (i >= slot_count_) return kInvalidEventId;
+  Slot& s = slot(i);
+  if (s.gen != std::uint32_t(id)) return kInvalidEventId;
+  if (i == running_slot_) {
+    resched_at_ = at;
+    resched_seq_ = next_seq_++;
+    resched_pending_ = true;
+    return id;
   }
+  ++s.gen;  // the old heap entry goes stale; lazy deletion reaps it
+  heap_push(HeapEntry{at, next_seq_++, i, s.gen});
+  maybe_compact();
+  return make_id(i, s.gen);
+}
+
+EventId EventQueue::reschedule_current(Time at) {
+  assert(running_slot_ != kNoSlot &&
+         "reschedule_current() outside a run_top() callback");
+  resched_at_ = at;
+  // The sequence number is claimed now, not at the deferred heap push, so
+  // events scheduled later in the same callback order after this one —
+  // identical to the old cancel+push timer behaviour.
+  resched_seq_ = next_seq_++;
+  resched_pending_ = true;
+  return make_id(running_slot_, slot(running_slot_).gen);
+}
+
+void EventQueue::drop_stale() {
+  while (!heap_.empty() && stale(heap_[0])) heap_pop_root();
 }
 
 Time EventQueue::next_time() {
-  drop_cancelled();
+  drop_stale();
   assert(!heap_.empty() && "next_time() on empty queue");
-  return heap_.top().at;
+  return heap_[0].at;
 }
 
 EventQueue::Fired EventQueue::pop() {
-  drop_cancelled();
+  drop_stale();
   assert(!heap_.empty() && "pop() on empty queue");
-  const Entry top = heap_.top();
-  heap_.pop();
-  auto it = fns_.find(top.seq);
-  Fired fired{top.at, std::move(it->second)};
-  fns_.erase(it);
+  const HeapEntry top = heap_[0];
+  heap_pop_root();
+  Slot& s = slot(top.slot);
+  ++s.gen;
   --live_count_;
+  Fired fired{top.at, std::move(s.fn)};
+  free_slot(top.slot);
   return fired;
+}
+
+void EventQueue::run_top() {
+  drop_stale();
+  assert(!heap_.empty() && "run_top() on empty queue");
+  const HeapEntry top = heap_[0];
+  heap_pop_root();
+  Slot& s = slot(top.slot);
+  ++s.gen;  // the fired handle is stale from here on (cancel = no-op)
+  --live_count_;
+  running_slot_ = top.slot;
+  resched_pending_ = false;
+  s.fn();  // slot storage is chunk-stable; pushes inside never move it
+  running_slot_ = kNoSlot;
+  if (resched_pending_) {
+    // In-place periodic path: the callback stays in its slot untouched.
+    heap_push(HeapEntry{resched_at_, resched_seq_, top.slot, s.gen});
+    ++live_count_;
+  } else {
+    free_slot(top.slot);
+  }
+}
+
+void EventQueue::heap_push(const HeapEntry& e) {
+  heap_.push_back(e);
+  sift_up(heap_.size() - 1);
+}
+
+void EventQueue::heap_pop_root() {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  const HeapEntry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const HeapEntry e = heap_[i];
+  for (;;) {
+    const std::size_t first = (i << 2) + 1;
+    if (first >= n) break;
+    const std::size_t last = first + 4 < n ? first + 4 : n;
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::maybe_compact() {
+  // Lazy deletion can leave the heap dominated by stale entries under
+  // cancel-heavy workloads (RTO timers re-armed per ACK). When stale
+  // entries outnumber live ones by 2x, sweep and rebuild in O(n).
+  if (heap_.size() < 64 || heap_.size() < 2 * live_count_) return;
+  std::size_t kept = 0;
+  for (const HeapEntry& e : heap_) {
+    if (!stale(e)) heap_[kept++] = e;
+  }
+  heap_.resize(kept);
+  if (kept > 1) {
+    for (std::size_t i = ((kept - 2) >> 2) + 1; i-- > 0;) sift_down(i);
+  }
 }
 
 }  // namespace cgs::sim

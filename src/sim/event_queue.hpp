@@ -2,28 +2,58 @@
 //
 // Ties in time are broken by insertion sequence number, so a given seed
 // always produces a bit-identical run regardless of heap internals.
+//
+// Hot-path design (see DESIGN.md §"Performance architecture"):
+//  - Event records live in a slab of fixed-address chunks threaded on a
+//    free list; steady-state push/pop/cancel never touches the allocator.
+//  - EventIds are generation-tagged slot references, so cancel() is an
+//    O(1) array store (no hashing) and stale handles are simply ignored.
+//  - The heap is a flat 4-ary min-heap with lazy deletion: cancelled
+//    events stay in the heap until they surface (or a compaction sweep
+//    removes them when stale entries outnumber live ones).
+//  - Callbacks are SboFunction: captures up to 48 bytes are stored inline
+//    in the slot, so scheduling a lambda allocates nothing.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "util/sbo_function.hpp"
 #include "util/units.hpp"
 
 namespace cgs::sim {
 
+/// Generation-tagged handle: (slot index + 1) in the high 32 bits, the
+/// slot's generation counter in the low 32. Never 0 for a real event.
 using EventId = std::uint64_t;
 constexpr EventId kInvalidEventId = 0;
 
+/// Move-only callback type; inline capacity covers every closure the
+/// simulation schedules (the largest captures a PacketPtr + this).
+using EventFn = util::SboFunction<48>;
+
 class EventQueue {
  public:
+  EventQueue();
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+  ~EventQueue();
+
   /// Schedule `fn` at absolute time `at`. Returns a handle for cancel().
-  EventId push(Time at, std::function<void()> fn);
+  EventId push(Time at, EventFn fn);
 
   /// Cancel a pending event; no-op if already fired or cancelled.
   void cancel(EventId id);
+
+  /// Move a *pending* event to a new time without touching its callback.
+  /// Returns the replacement handle (the old one becomes stale), or
+  /// kInvalidEventId if `id` no longer names a pending event.
+  EventId reschedule(EventId id, Time at);
+
+  /// From inside a callback running under run_top(): re-push the current
+  /// event at `at`, reusing its stored callback in place (no destroy, no
+  /// reconstruct, no allocation). Returns the handle for the new firing.
+  EventId reschedule_current(Time at);
 
   [[nodiscard]] bool empty() const { return live_count_ == 0; }
   [[nodiscard]] std::size_t size() const { return live_count_; }
@@ -34,31 +64,76 @@ class EventQueue {
   /// Pop and return the earliest event. Requires !empty().
   struct Fired {
     Time at;
-    std::function<void()> fn;
+    EventFn fn;
   };
   Fired pop();
 
-  /// Total events ever pushed (for stats/tests).
+  /// Pop the earliest event and invoke its callback in place (the slot is
+  /// only released after the callback returns, enabling
+  /// reschedule_current()). Requires !empty().
+  void run_top();
+
+  /// Total events ever pushed (for stats/tests). Counts initial pushes
+  /// and reschedules alike, matching the sequence-number stream.
   [[nodiscard]] std::uint64_t pushed_total() const { return next_seq_ - 1; }
 
  private:
-  struct Entry {
-    Time at;
-    EventId seq;
-    // Ordered for a min-heap via std::greater.
-    friend bool operator>(const Entry& a, const Entry& b) {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+  struct Slot {
+    EventFn fn;
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = 0;
   };
 
-  void drop_cancelled();
+  struct HeapEntry {
+    Time at;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  // fn storage separate from heap entries so cancel() can free the closure.
-  std::unordered_map<EventId, std::function<void()>> fns_;
-  EventId next_seq_ = 1;
+  static constexpr std::uint32_t kChunkShift = 7;  // 128 slots per chunk
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  [[nodiscard]] Slot& slot(std::uint32_t i) {
+    return chunks_[i >> kChunkShift][i & kChunkMask];
+  }
+  [[nodiscard]] static EventId make_id(std::uint32_t slot_index,
+                                       std::uint32_t gen) {
+    return (EventId(slot_index) + 1) << 32 | gen;
+  }
+
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t i);
+  [[nodiscard]] bool stale(const HeapEntry& e) {
+    return slot(e.slot).gen != e.gen;
+  }
+
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+  void heap_push(const HeapEntry& e);
+  void heap_pop_root();
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void drop_stale();
+  void maybe_compact();
+
+  std::vector<Slot*> chunks_;
+  std::uint32_t free_head_ = kNoSlot;
+  std::uint32_t slot_count_ = 0;
+
+  std::vector<HeapEntry> heap_;
+  std::uint64_t next_seq_ = 1;
   std::size_t live_count_ = 0;
+
+  // State for the event currently executing under run_top().
+  std::uint32_t running_slot_ = kNoSlot;
+  bool resched_pending_ = false;
+  Time resched_at_ = kTimeZero;
+  std::uint64_t resched_seq_ = 0;
 };
 
 }  // namespace cgs::sim

@@ -4,20 +4,33 @@
 
 namespace cgs::sim {
 
-EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
+EventId Simulator::schedule_at(Time at, EventFn fn) {
   return queue_.push(std::max(at, now_), std::move(fn));
 }
 
-EventId Simulator::schedule_in(Time delay, std::function<void()> fn) {
+EventId Simulator::schedule_in(Time delay, EventFn fn) {
   return schedule_at(now_ + std::max(delay, kTimeZero), std::move(fn));
+}
+
+EventId Simulator::reschedule_at(EventId id, Time at) {
+  return queue_.reschedule(id, std::max(at, now_));
+}
+
+EventId Simulator::reschedule_in(EventId id, Time delay) {
+  return reschedule_at(id, now_ + std::max(delay, kTimeZero));
+}
+
+EventId Simulator::reschedule_current_in(Time delay) {
+  return queue_.reschedule_current(now_ + std::max(delay, kTimeZero));
 }
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  auto [at, fn] = queue_.pop();
-  now_ = at;
+  now_ = queue_.next_time();
   ++processed_;
-  fn();
+  // Runs the callback in place in its slot: no move of the closure, and
+  // reschedule_current_in() can re-arm it with zero churn.
+  queue_.run_top();
   return true;
 }
 

@@ -4,8 +4,6 @@
 // run thousands of them in-process.
 #pragma once
 
-#include <functional>
-
 #include "sim/event_queue.hpp"
 #include "util/units.hpp"
 
@@ -21,12 +19,25 @@ class Simulator {
   [[nodiscard]] Time now() const { return now_; }
 
   /// Schedule at absolute simulation time; clamps to `now` if in the past.
-  EventId schedule_at(Time at, std::function<void()> fn);
+  EventId schedule_at(Time at, EventFn fn);
 
   /// Schedule `delay` from now (negative delays clamp to zero).
-  EventId schedule_in(Time delay, std::function<void()> fn);
+  EventId schedule_in(Time delay, EventFn fn);
 
   void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Move a pending event to a new absolute time (clamped to `now`),
+  /// keeping its callback in place. Returns the replacement handle, or
+  /// kInvalidEventId if the event already fired or was cancelled.
+  EventId reschedule_at(EventId id, Time at);
+
+  /// reschedule_at with a now-relative delay (clamped to zero).
+  EventId reschedule_in(EventId id, Time delay);
+
+  /// From inside an event callback: re-arm the currently executing event
+  /// `delay` from now, reusing its stored callback with no allocation or
+  /// callback churn (the PeriodicTimer fast path).
+  EventId reschedule_current_in(Time delay);
 
   /// Run events until the queue empties or `deadline` passes. The clock is
   /// left at min(deadline, time of last event).

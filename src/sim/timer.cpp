@@ -1,11 +1,21 @@
 #include "sim/timer.hpp"
 
+#include <algorithm>
+
 namespace cgs::sim {
 
 void OneShotTimer::arm(Time delay) {
-  cancel();
-  expiry_ = sim_->now() + delay;
-  id_ = sim_->schedule_in(delay, [this] {
+  expiry_ = sim_->now() + std::max(delay, kTimeZero);
+  if (id_ != kInvalidEventId) {
+    // Re-arm while pending (the per-ACK TCP RTO restart): move the event
+    // in place instead of cancel + fresh push.
+    const EventId moved = sim_->reschedule_at(id_, expiry_);
+    if (moved != kInvalidEventId) {
+      id_ = moved;
+      return;
+    }
+  }
+  id_ = sim_->schedule_at(expiry_, [this] {
     id_ = kInvalidEventId;
     fn_();
   });
@@ -35,8 +45,10 @@ void PeriodicTimer::stop() {
 }
 
 void PeriodicTimer::fire() {
-  // Re-arm before the callback so the callback may call stop().
-  id_ = sim_->schedule_in(period_, [this] { fire(); });
+  // Re-arm before the callback so the callback may call stop(). The
+  // rescheduled event reuses this closure in its slot: no cancel, no
+  // push, no callback reconstruction per tick.
+  id_ = sim_->reschedule_current_in(period_);
   fn_();
 }
 

@@ -54,10 +54,11 @@ void TcpSender::try_send() {
     std::uint64_t seq_to_send = 0;
     Segment* seg = nullptr;
     if (lost_pending_ > 0) {
-      for (auto& [s, sg] : segs_) {
-        if (sg.lost && !sg.sacked) {
-          seq_to_send = s;
-          seg = &sg;
+      for (std::size_t i = 0; i < segs_.size(); ++i) {
+        auto& e = segs_[i];
+        if (e.seg.lost && !e.seg.sacked) {
+          seq_to_send = e.seq;
+          seg = &e.seg;
           break;
         }
       }
@@ -74,11 +75,10 @@ void TcpSender::try_send() {
       const auto len = std::uint32_t(std::min<std::uint64_t>(
           std::uint64_t(opts_.mss.bytes()), app_limit_ - next_seq_));
       if (inflight_ + ByteSize(len) > cwnd) return;
-      auto [it, inserted] = segs_.emplace(
-          next_seq_, Segment{len, {}, false, false, false, false});
-      assert(inserted);
+      auto& entry =
+          segs_.push_back(next_seq_, Segment{len, {}, false, false, false, false});
       seq_to_send = next_seq_;
-      seg = &it->second;
+      seg = &entry.seg;
       next_seq_ += len;
     } else if (inflight_ + ByteSize(seg->len) > cwnd && inflight_.bytes() > 0) {
       // Window full even for the retransmission; wait for more ACKs.
@@ -184,10 +184,10 @@ void TcpSender::process_cumulative_ack(const net::TcpHeader& h, AckEvent& ev) {
   RateSample best;
   Time best_sent = kTimeZero;
   while (!segs_.empty()) {
-    auto it = segs_.begin();
-    const std::uint64_t end = it->first + it->second.len;
+    auto& front = segs_.front();
+    const std::uint64_t end = front.seq + front.seg.len;
     if (end > h.ack) break;
-    Segment& seg = it->second;
+    Segment& seg = front.seg;
 
     if (seg.counted_inflight) {
       inflight_ -= ByteSize(seg.len);
@@ -213,7 +213,8 @@ void TcpSender::process_cumulative_ack(const net::TcpHeader& h, AckEvent& ev) {
       }
     }
     if (seg.lost && lost_pending_ > 0) --lost_pending_;
-    segs_.erase(it);
+    if (seg.sacked) sacked_bytes_ -= seg.len;
+    segs_.pop_front();
   }
   snd_una_ = std::max(snd_una_, h.ack);
   if (best.valid) ev.rate = best;
@@ -222,11 +223,12 @@ void TcpSender::process_cumulative_ack(const net::TcpHeader& h, AckEvent& ev) {
 void TcpSender::process_sack(const net::TcpHeader& h, AckEvent& ev) {
   for (const auto& blk : h.sacks) {
     if (blk.empty()) continue;
-    auto it = segs_.lower_bound(blk.start);
-    for (; it != segs_.end() && it->first + it->second.len <= blk.end; ++it) {
-      Segment& seg = it->second;
+    for (std::size_t i = segs_.lower_bound(blk.start);
+         i < segs_.size() && segs_[i].seq + segs_[i].seg.len <= blk.end; ++i) {
+      Segment& seg = segs_[i].seg;
       if (seg.sacked) continue;
       seg.sacked = true;
+      sacked_bytes_ += seg.len;
       if (seg.lost && lost_pending_ > 0) --lost_pending_;
       if (seg.counted_inflight) {
         inflight_ -= ByteSize(seg.len);
@@ -253,25 +255,29 @@ void TcpSender::detect_loss(const net::TcpHeader& h) {
 
   // RFC 6675-style: an un-SACKed segment with >= 3 SACKed segments above it
   // is lost — but a segment already retransmitted may only be re-marked by
-  // an RTO (prevents spurious-retransmission storms).
-  std::int64_t sacked_above = 0;
-  for (auto it = segs_.rbegin(); it != segs_.rend(); ++it) {
-    Segment& seg = it->second;
-    if (seg.sacked) {
-      sacked_above += seg.len;
-    } else if (!seg.lost && !seg.retransmitted &&
-               sacked_above >= 3 * opts_.mss.bytes()) {
-      mark_lost(it->first, seg);
-      found_loss = true;
+  // an RTO (prevents spurious-retransmission storms).  The scan can only
+  // mark something when at least 3 MSS are currently SACKed, which is never
+  // the case on the in-order fast path — skip the O(window) walk there.
+  if (sacked_bytes_ >= 3 * opts_.mss.bytes()) {
+    std::int64_t sacked_above = 0;
+    for (std::size_t i = segs_.size(); i-- > 0;) {
+      Segment& seg = segs_[i].seg;
+      if (seg.sacked) {
+        sacked_above += seg.len;
+      } else if (!seg.lost && !seg.retransmitted &&
+                 sacked_above >= 3 * opts_.mss.bytes()) {
+        mark_lost(segs_[i].seq, seg);
+        found_loss = true;
+      }
     }
   }
 
   // Classic triple-dupACK fast retransmit: fires once on the third dupACK,
   // not on every subsequent duplicate.
   if (dupacks_ == 3 && !segs_.empty()) {
-    auto& [seq, seg] = *segs_.begin();
-    if (!seg.lost && !seg.sacked && !seg.retransmitted) {
-      mark_lost(seq, seg);
+    auto& front = segs_.front();
+    if (!front.seg.lost && !front.seg.sacked && !front.seg.retransmitted) {
+      mark_lost(front.seq, front.seg);
       found_loss = true;
     }
   }
@@ -280,11 +286,10 @@ void TcpSender::detect_loss(const net::TcpHeader& h) {
   // recovery point exposes the next hole as lost too.
   if (in_recovery_ && snd_una_ < recover_point_ && dupacks_ == 0 &&
       !segs_.empty()) {
-    auto it = segs_.begin();
-    Segment& seg = it->second;
-    if (it->first == snd_una_ && !seg.lost && !seg.sacked &&
-        !seg.retransmitted) {
-      mark_lost(it->first, seg);
+    auto& front = segs_.front();
+    if (front.seq == snd_una_ && !front.seg.lost && !front.seg.sacked &&
+        !front.seg.retransmitted) {
+      mark_lost(front.seq, front.seg);
       found_loss = true;
     }
   }
@@ -320,8 +325,9 @@ void TcpSender::on_rto_fire() {
   ++rto_count_;
   ++rto_backoff_;
   // Everything unacked is presumed lost (no forward progress).
-  for (auto& [seq, seg] : segs_) {
-    if (!seg.sacked) mark_lost(seq, seg);
+  for (std::size_t i = 0; i < segs_.size(); ++i) {
+    auto& e = segs_[i];
+    if (!e.seg.sacked) mark_lost(e.seq, e.seg);
   }
   dupacks_ = 0;
   in_recovery_ = true;

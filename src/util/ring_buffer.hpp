@@ -1,0 +1,67 @@
+// Growable power-of-two FIFO ring.
+//
+// std::deque allocates and frees ~512-byte nodes as elements stream through,
+// which puts the allocator on the per-packet path of every queue discipline.
+// RingBuffer keeps one flat buffer that only ever grows: steady-state
+// push/pop recycles the same storage.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace cgs::util {
+
+template <typename T>
+class RingBuffer {
+ public:
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  [[nodiscard]] T& operator[](std::size_t i) {
+    assert(i < count_);
+    return buf_[(head_ + i) & mask_];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    assert(i < count_);
+    return buf_[(head_ + i) & mask_];
+  }
+  [[nodiscard]] T& front() { return (*this)[0]; }
+  [[nodiscard]] T& back() { return (*this)[count_ - 1]; }
+
+  void push_back(T value) {
+    if (count_ == buf_.size()) grow();
+    buf_[(head_ + count_++) & mask_] = std::move(value);
+  }
+
+  T pop_front() {
+    assert(count_ > 0);
+    T value = std::move(buf_[head_]);
+    buf_[head_] = T{};  // release resources held by the vacated slot
+    head_ = (head_ + 1) & mask_;
+    --count_;
+    return value;
+  }
+
+  void clear() {
+    while (count_ > 0) (void)pop_front();
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = buf_.empty() ? 16 : buf_.size() * 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < count_; ++i) next[i] = std::move((*this)[i]);
+    buf_ = std::move(next);
+    mask_ = cap - 1;
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;
+  std::size_t mask_ = 0;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace cgs::util

@@ -1,0 +1,87 @@
+// Packet pool recycling: created_total() keeps counting logical packets
+// while the arena reuses physical storage.
+#include <gtest/gtest.h>
+
+#include <variant>
+
+#include "net/packet.hpp"
+
+namespace cgs::net {
+namespace {
+
+PacketPtr make(PacketFactory& f, Time at = kTimeZero) {
+  return f.make(1, TrafficClass::kTcpData, 1500, at, TcpHeader{});
+}
+
+TEST(PacketPool, CreatedTotalCountsLogicalPackets) {
+  PacketFactory factory;
+  PacketPtr a = make(factory);
+  PacketPtr b = make(factory);
+  PacketPtr c = make(factory);
+  EXPECT_EQ(factory.created_total(), 3u);
+
+  a.reset();
+  b.reset();
+  EXPECT_EQ(factory.pool().free_count(), 2u);
+
+  PacketPtr d = make(factory);
+  PacketPtr e = make(factory);
+  // Recycled storage still counts as new logical packets with fresh uids.
+  EXPECT_EQ(factory.created_total(), 5u);
+  EXPECT_EQ(factory.pool().recycled_total(), 2u);
+  EXPECT_EQ(factory.pool().storage_count(), 3u);
+  EXPECT_NE(d->uid, c->uid);
+  EXPECT_NE(e->uid, d->uid);
+}
+
+TEST(PacketPool, ReusesAddressesLifo) {
+  PacketFactory factory;
+  PacketPtr p = make(factory);
+  const Packet* addr = p.get();
+  p.reset();
+  PacketPtr q = make(factory);
+  EXPECT_EQ(q.get(), addr);
+  EXPECT_EQ(factory.created_total(), 2u);
+}
+
+TEST(PacketPool, RecycledPacketsAreFullyReset) {
+  PacketFactory factory;
+  {
+    PacketPtr p = make(factory, Time(std::chrono::seconds(3)));
+    std::get<TcpHeader>(p->header).seq = 999;
+    p->enqueued = Time(std::chrono::seconds(4));
+  }
+  PacketPtr q = factory.make(7, TrafficClass::kGameStream, 300,
+                             Time(std::chrono::seconds(5)), RtpHeader{});
+  EXPECT_EQ(q->flow, 7u);
+  EXPECT_EQ(q->klass, TrafficClass::kGameStream);
+  EXPECT_EQ(q->size_bytes, 300);
+  EXPECT_TRUE(std::holds_alternative<RtpHeader>(q->header));
+  EXPECT_EQ(std::get<RtpHeader>(q->header).seq, 0u);
+  EXPECT_EQ(q->enqueued, kTimeZero);
+}
+
+TEST(PacketPool, PoolOutlivesFactory) {
+  PacketPtr survivor;
+  {
+    PacketFactory factory;
+    survivor = make(factory);
+    PacketPtr tmp = make(factory);
+  }  // factory gone; survivor's deleter still owns the pool
+  std::get<TcpHeader>(survivor->header).seq = 42;  // storage still valid
+  EXPECT_EQ(std::get<TcpHeader>(survivor->header).seq, 42u);
+  survivor.reset();  // releases into the (soon-destroyed) pool, not free()
+}
+
+TEST(PacketPool, DistinctFactoriesDistinctPools) {
+  PacketFactory f1;
+  PacketFactory f2;
+  PacketPtr a = make(f1);
+  PacketPtr b = make(f2);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(f1.created_total(), 1u);
+  EXPECT_EQ(f2.created_total(), 1u);
+}
+
+}  // namespace
+}  // namespace cgs::net

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Run bench/perf_simcore and record the perf trajectory in BENCH_simcore.json.
+
+Usage: bench_simcore_json.py <perf_simcore-binary> [output-json]
+
+Writes one entry per benchmark with the median-of-repetitions wall time and
+items/sec, so successive PRs have a machine-readable baseline to compare
+against (see DESIGN.md "Performance architecture"). Run via the CMake target:
+
+    cmake --build build --target bench_simcore_json
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    binary = sys.argv[1]
+    out_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_simcore.json"
+
+    with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
+        try:
+            subprocess.run(
+                [
+                    binary,
+                    "--benchmark_repetitions=5",
+                    "--benchmark_report_aggregates_only=true",
+                    f"--benchmark_out={tmp.name}",
+                    "--benchmark_out_format=json",
+                ],
+                check=True,
+            )
+        except (OSError, subprocess.CalledProcessError) as err:
+            print(f"error: failed to run {binary}: {err}", file=sys.stderr)
+            return 1
+        raw = json.load(open(tmp.name))
+
+    results = {}
+    for bench in raw["benchmarks"]:
+        if bench.get("aggregate_name") != "median":
+            continue
+        name = bench["run_name"]
+        entry = {
+            "real_time": bench["real_time"],
+            "time_unit": bench["time_unit"],
+        }
+        if "items_per_second" in bench:
+            entry["items_per_second"] = bench["items_per_second"]
+        results[name] = entry
+
+    doc = {
+        "context": {
+            "host": raw["context"].get("host_name", "unknown"),
+            "num_cpus": raw["context"].get("num_cpus"),
+            "mhz_per_cpu": raw["context"].get("mhz_per_cpu"),
+            "build_type": raw["context"].get("library_build_type"),
+        },
+        "benchmarks": results,
+    }
+    with open(out_path, "w") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {out_path} ({len(results)} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
