@@ -19,6 +19,7 @@
 #include "core/scenario.hpp"     // IWYU pragma: export
 #include "core/testbed.hpp"      // IWYU pragma: export
 #include "net/codel.hpp"         // IWYU pragma: export
+#include "net/impairment.hpp"    // IWYU pragma: export
 #include "net/link.hpp"          // IWYU pragma: export
 #include "net/packet.hpp"        // IWYU pragma: export
 #include "net/queue.hpp"         // IWYU pragma: export

@@ -1,8 +1,11 @@
 #include "core/runner.hpp"
 
+#include <algorithm>
 #include <atomic>
-#include <exception>
 #include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -12,7 +15,14 @@ namespace cgs::core {
 
 std::vector<RunTrace> run_many(const Scenario& scenario,
                                const RunnerOptions& opts) {
-  const int n = std::max(1, opts.runs);
+  if (opts.runs <= 0) {
+    throw std::invalid_argument("RunnerOptions: runs must be > 0 (got " +
+                                std::to_string(opts.runs) + ")");
+  }
+  // Fail nonsensical configs on the calling thread, before spawning workers.
+  scenario.validate();
+
+  const int n = opts.runs;
   std::vector<RunTrace> traces;
   traces.resize(std::size_t(n));
 
@@ -25,30 +35,45 @@ std::vector<RunTrace> run_many(const Scenario& scenario,
   std::atomic<int> done{0};
   std::mutex progress_mu;
 
-  // A Testbed::run() throw inside a std::thread would reach std::terminate;
-  // capture the first exception and rethrow it on the joining thread.
-  std::exception_ptr first_error;
-  std::mutex error_mu;
+  // A Testbed::run() throw inside a std::thread would reach std::terminate.
+  // Collect *every* failure with its seed and rethrow after the join, so a
+  // fault-injected livelock reads "seed 7 tripped the watchdog", not a
+  // hung job or an anonymous first-exception rethrow.
+  struct Failure {
+    std::uint64_t seed;
+    std::string what;
+  };
+  std::vector<Failure> failures;
+  std::mutex failures_mu;
 
   auto worker = [&] {
     for (;;) {
       const int i = next.fetch_add(1);
       if (i >= n) return;
+      const std::uint64_t seed = scenario.seed + std::uint64_t(i);
       try {
         Scenario sc = scenario;
-        sc.seed = scenario.seed + std::uint64_t(i);
+        sc.seed = seed;
         Testbed bed(sc);
         traces[std::size_t(i)] = bed.run();
+      } catch (const std::exception& e) {
+        std::lock_guard lk(failures_mu);
+        failures.push_back({seed, e.what()});
+        continue;  // keep draining the remaining runs
       } catch (...) {
-        std::lock_guard lk(error_mu);
-        if (!first_error) first_error = std::current_exception();
-        next.store(n);  // stop handing out further runs
-        return;
+        std::lock_guard lk(failures_mu);
+        failures.push_back({seed, "unknown exception"});
+        continue;
       }
       const int d = done.fetch_add(1) + 1;
       if (opts.progress) {
         std::lock_guard lk(progress_mu);
-        opts.progress(d, n);
+        try {
+          opts.progress(d, n);
+        } catch (...) {
+          // A throwing progress callback must not kill a worker thread (it
+          // would strand the remaining runs); reporting is best-effort.
+        }
       }
     }
   };
@@ -61,7 +86,19 @@ std::vector<RunTrace> run_many(const Scenario& scenario,
     for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (auto& t : pool) t.join();
   }
-  if (first_error) std::rethrow_exception(first_error);
+
+  if (!failures.empty()) {
+    // Workers race, so sort by seed for a stable, scannable message.
+    std::sort(failures.begin(), failures.end(),
+              [](const Failure& a, const Failure& b) { return a.seed < b.seed; });
+    std::ostringstream os;
+    os << "run_many: " << failures.size() << " of " << n
+       << " runs failed:";
+    for (const Failure& f : failures) {
+      os << "\n  seed " << f.seed << ": " << f.what;
+    }
+    throw std::runtime_error(os.str());
+  }
   return traces;
 }
 

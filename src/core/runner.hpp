@@ -12,12 +12,17 @@ namespace cgs::core {
 struct RunnerOptions {
   int runs = 15;      // paper: 15 iterations per condition (§3.4)
   int threads = 0;    // 0 = hardware concurrency
-  /// Optional progress callback (finished_runs, total_runs).
+  /// Optional progress callback (finished_runs, total_runs).  Exceptions it
+  /// throws are swallowed — reporting must not kill a worker thread.
   std::function<void(int, int)> progress;
 };
 
 /// Execute `opts.runs` seeded repetitions of `scenario` (seeds
 /// scenario.seed, +1, ...) and return the raw traces in seed order.
+/// Throws std::invalid_argument for runs <= 0 or an invalid scenario; if
+/// any run throws (including a WatchdogError from a livelocked run), every
+/// remaining run still executes and a std::runtime_error listing each
+/// failing seed and message is thrown after the join.
 [[nodiscard]] std::vector<RunTrace> run_many(const Scenario& scenario,
                                              const RunnerOptions& opts);
 

@@ -1,9 +1,57 @@
 #include "core/scenario.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 namespace cgs::core {
+
+namespace {
+[[noreturn]] void invalid(const std::string& msg) {
+  throw std::invalid_argument("Scenario: " + msg);
+}
+}  // namespace
+
+void Scenario::validate() const {
+  if (capacity.bits_per_sec() <= 0) {
+    std::ostringstream os;
+    os << "capacity must be > 0 (got " << capacity.bits_per_sec() << " b/s)";
+    invalid(os.str());
+  }
+  if (!(queue_bdp_mult > 0.0) || !std::isfinite(queue_bdp_mult)) {
+    std::ostringstream os;
+    os << "queue_bdp_mult must be > 0 (got " << queue_bdp_mult << ")";
+    invalid(os.str());
+  }
+  if (duration <= kTimeZero) {
+    std::ostringstream os;
+    os << "duration must be > 0 (got " << to_seconds(duration) << " s)";
+    invalid(os.str());
+  }
+  if (base_rtt <= kTimeZero) {
+    std::ostringstream os;
+    os << "base_rtt must be > 0 (got " << to_seconds(base_rtt) << " s)";
+    invalid(os.str());
+  }
+  // The TCP schedule only matters when a competing flow exists.
+  if (tcp_algo) {
+    if (tcp_start > tcp_stop) {
+      std::ostringstream os;
+      os << "tcp_start (" << to_seconds(tcp_start)
+         << " s) must not exceed tcp_stop (" << to_seconds(tcp_stop) << " s)";
+      invalid(os.str());
+    }
+    if (tcp_stop > duration) {
+      std::ostringstream os;
+      os << "tcp_stop (" << to_seconds(tcp_stop)
+         << " s) must not exceed duration (" << to_seconds(duration) << " s)";
+      invalid(os.str());
+    }
+  }
+  impair_down.validate("impair_down");
+  impair_up.validate("impair_up");
+}
 
 std::string_view to_string(QueueKind k) {
   switch (k) {

@@ -7,6 +7,7 @@
 #include <optional>
 #include <string>
 
+#include "net/impairment.hpp"
 #include "stream/profiles.hpp"
 #include "tcp/congestion_control.hpp"
 #include "util/units.hpp"
@@ -42,9 +43,30 @@ struct Scenario {
 
   std::uint64_t seed = 1;
 
+  /// Path impairments — the netem half of the paper's router.  The
+  /// downstream stage sits in front of the shared bottleneck link (all
+  /// downstream flows pass through it); the upstream spec is instantiated
+  /// once per flow on its reverse path.  Defaults are no-ops.
+  net::ImpairmentConfig impair_down;
+  net::ImpairmentConfig impair_up;
+
+  /// Disables the simulation watchdog when stored in watchdog_event_budget.
+  static constexpr std::uint64_t kWatchdogDisabled = ~std::uint64_t{0};
+
+  /// Event budget for the run's watchdog: a run processing more events than
+  /// this aborts with a WatchdogError diagnostic instead of spinning (a
+  /// fault-injected livelock becomes a test failure, not a hung CI job).
+  /// 0 derives a generous duration-proportional budget.
+  std::uint64_t watchdog_event_budget = 0;
+
   /// Optional: replace the profile's rate controller (ablation studies,
   /// custom-controller experiments). Called once per run.
   std::function<std::unique_ptr<stream::RateController>()> controller_override;
+
+  /// Throws std::invalid_argument naming the offending field for
+  /// nonsensical configurations (capacity <= 0, tcp_start > tcp_stop, ...).
+  /// Testbed validates on construction; call directly to fail earlier.
+  void validate() const;
 
   /// Queue capacity in bytes implied by capacity/queue_bdp_mult/base_rtt.
   [[nodiscard]] ByteSize queue_bytes() const;

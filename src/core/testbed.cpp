@@ -30,10 +30,45 @@ std::unique_ptr<net::Queue> Testbed::make_queue() const {
 }
 
 Testbed::Testbed(const Scenario& scenario) : scenario_(scenario) {
+  scenario_.validate();
   Pcg32 master(scenario.seed);
+
+  // Watchdog (fault-injection hardening): a run whose event count explodes
+  // is livelocked; abort it with a diagnostic instead of spinning forever.
+  // The auto budget is ~20x the busiest measured event rate per sim-second.
+  std::uint64_t budget = scenario.watchdog_event_budget;
+  if (budget == 0) {
+    const auto secs =
+        std::chrono::duration_cast<std::chrono::seconds>(scenario.duration)
+            .count();
+    budget = std::uint64_t(secs + 1) * 1'000'000;
+  }
+  if (budget != Scenario::kWatchdogDisabled) sim_.set_watchdog(budget);
 
   router_ = std::make_unique<net::BottleneckRouter>(
       sim_, scenario.capacity, kBottleneckProp, make_queue());
+
+  // Downstream impairment sits between the access delay lines and the
+  // bottleneck (netem on the router's ingress: one stage, all flows).
+  // Impairment RNGs are derived straight from the seed on private PCG
+  // streams so enabling them never perturbs the endpoint RNG forks.
+  net::PacketSink* down_entry = &router_->downstream_in();
+  if (scenario.impair_down.any()) {
+    down_impair_ = std::make_unique<net::Impairment>(
+        sim_, factory_, "down", scenario.impair_down,
+        Pcg32(scenario.seed, 0xd01), &router_->downstream_in());
+    down_entry = down_impair_.get();
+  }
+  // Upstream impairment is per reverse path (feedback / ACK / ping-request
+  // direction); each stage draws from its own stream.
+  const auto upstream_entry = [&](net::PacketSink& up, const char* name,
+                                  std::uint64_t stream) -> net::PacketSink* {
+    if (!scenario.impair_up.any()) return &up;
+    up_impairs_.push_back(std::make_unique<net::Impairment>(
+        sim_, factory_, name, scenario.impair_up,
+        Pcg32(scenario.seed, stream), &up));
+    return up_impairs_.back().get();
+  };
 
   // RTT padding (§3.3): every flow sees base_rtt end to end. One-way split:
   // server->router access pad + bottleneck propagation downstream, a pure
@@ -59,24 +94,25 @@ Testbed::Testbed(const Scenario& scenario) : scenario_(scenario) {
     ro.playout_deadline = prof.playout_deadline;
     game_recv_ = std::make_unique<stream::StreamReceiver>(sim_, factory_, ro);
 
-    game_access_ =
-        std::make_unique<net::DelayLine>(sim_, pad, &router_->downstream_in());
+    game_access_ = std::make_unique<net::DelayLine>(sim_, pad, down_entry);
     game_sender_->set_output(game_access_.get());
     router_->register_client(kGameFlow, game_recv_.get());
-    game_recv_->set_output(
-        &router_->make_upstream(pad + kBottleneckProp, game_sender_.get()));
+    game_recv_->set_output(upstream_entry(
+        router_->make_upstream(pad + kBottleneckProp, game_sender_.get()),
+        "up-game", 0xa01));
   }
 
   // --- competing TCP flow ------------------------------------------------
   if (scenario.tcp_algo) {
     tcp_flow_ = std::make_unique<tcp::BulkTcpFlow>(sim_, factory_, kTcpFlow,
                                                    *scenario.tcp_algo);
-    tcp_access_ =
-        std::make_unique<net::DelayLine>(sim_, pad, &router_->downstream_in());
+    tcp_access_ = std::make_unique<net::DelayLine>(sim_, pad, down_entry);
     router_->register_client(kTcpFlow, &tcp_flow_->receiver());
     tcp_flow_->attach(
         tcp_access_.get(),
-        &router_->make_upstream(pad + kBottleneckProp, &tcp_flow_->sender()));
+        upstream_entry(
+            router_->make_upstream(pad + kBottleneckProp, &tcp_flow_->sender()),
+            "up-tcp", 0xa02));
   }
 
   // --- ping probe (client -> game server -> back through the queue) ------
@@ -84,12 +120,12 @@ Testbed::Testbed(const Scenario& scenario) : scenario_(scenario) {
     ping_client_ = std::make_unique<PingClient>(sim_, factory_, kPingFlow);
     ping_responder_ =
         std::make_unique<PingResponder>(sim_, factory_, kPingFlow);
-    ping_access_ =
-        std::make_unique<net::DelayLine>(sim_, pad, &router_->downstream_in());
+    ping_access_ = std::make_unique<net::DelayLine>(sim_, pad, down_entry);
     ping_responder_->set_output(ping_access_.get());
     router_->register_client(kPingFlow, ping_client_.get());
-    ping_client_->set_output(&router_->make_upstream(pad + kBottleneckProp,
-                                                     ping_responder_.get()));
+    ping_client_->set_output(upstream_entry(
+        router_->make_upstream(pad + kBottleneckProp, ping_responder_.get()),
+        "up-ping", 0xa03));
   }
 
   // --- collectors ---------------------------------------------------------

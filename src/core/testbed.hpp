@@ -30,6 +30,15 @@ class Testbed {
   // Component access (tests, custom schedules).
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] net::BottleneckRouter& router() { return *router_; }
+  /// Downstream impairment stage, or nullptr when the scenario has none.
+  [[nodiscard]] net::Impairment* downstream_impairment() {
+    return down_impair_.get();
+  }
+  /// Per-flow upstream impairment stages (empty when the scenario has none).
+  [[nodiscard]] const std::vector<std::unique_ptr<net::Impairment>>&
+  upstream_impairments() const {
+    return up_impairs_;
+  }
   [[nodiscard]] stream::StreamSender& game_sender() { return *game_sender_; }
   [[nodiscard]] stream::StreamReceiver& game_receiver() { return *game_recv_; }
   [[nodiscard]] tcp::BulkTcpFlow* tcp_flow() { return tcp_flow_.get(); }
@@ -44,6 +53,10 @@ class Testbed {
   net::PacketFactory factory_;
 
   std::unique_ptr<net::BottleneckRouter> router_;
+
+  // Optional netem-style impairment stages (scenario.impair_down/up).
+  std::unique_ptr<net::Impairment> down_impair_;
+  std::vector<std::unique_ptr<net::Impairment>> up_impairs_;
 
   // Game stream endpoints + path segments.
   std::unique_ptr<stream::StreamSender> game_sender_;

@@ -1,0 +1,177 @@
+#include "net/impairment.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace cgs::net {
+
+std::string_view to_string(OutagePolicy p) {
+  switch (p) {
+    case OutagePolicy::kDrop: return "drop";
+    case OutagePolicy::kHold: return "hold";
+  }
+  return "?";
+}
+
+bool ImpairmentConfig::any() const {
+  return loss_rate > 0.0 || gilbert_elliott.has_value() ||
+         jitter > kTimeZero || duplicate_rate > 0.0 || !outages.empty();
+}
+
+namespace {
+
+[[noreturn]] void fail(std::string_view where, const std::string& what) {
+  std::ostringstream os;
+  os << "ImpairmentConfig(" << where << "): " << what;
+  throw std::invalid_argument(os.str());
+}
+
+void check_probability(std::string_view where, std::string_view field,
+                       double v) {
+  // The negated comparison also rejects NaN.
+  if (!(v >= 0.0 && v <= 1.0)) {
+    std::ostringstream os;
+    os << field << " must be a probability in [0, 1], got " << v;
+    fail(where, os.str());
+  }
+}
+
+}  // namespace
+
+void ImpairmentConfig::validate(std::string_view where) const {
+  check_probability(where, "loss_rate", loss_rate);
+  check_probability(where, "duplicate_rate", duplicate_rate);
+  if (gilbert_elliott) {
+    const GilbertElliott& ge = *gilbert_elliott;
+    check_probability(where, "gilbert_elliott.p_good_bad", ge.p_good_bad);
+    check_probability(where, "gilbert_elliott.p_bad_good", ge.p_bad_good);
+    check_probability(where, "gilbert_elliott.good_loss", ge.good_loss);
+    check_probability(where, "gilbert_elliott.bad_loss", ge.bad_loss);
+  }
+  if (jitter < kTimeZero) {
+    fail(where, "jitter must be >= 0");
+  }
+  for (const Outage& o : outages) {
+    if (o.start < kTimeZero || o.stop <= o.start) {
+      std::ostringstream os;
+      os << "outage [" << to_seconds(o.start) << "s, " << to_seconds(o.stop)
+         << "s) must satisfy 0 <= start < stop";
+      fail(where, os.str());
+    }
+  }
+}
+
+Impairment::Impairment(sim::Simulator& sim, PacketFactory& factory,
+                       std::string name, ImpairmentConfig config, Pcg32 rng,
+                       PacketSink* dst)
+    : sim_(sim),
+      factory_(factory),
+      name_(std::move(name)),
+      config_(std::move(config)),
+      rng_(rng),
+      dst_(dst) {
+  assert(dst_ != nullptr);
+  config_.validate(name_);
+  std::sort(config_.outages.begin(), config_.outages.end(),
+            [](const Outage& a, const Outage& b) { return a.start < b.start; });
+  // Each hold outage gets a release event at its end; release_held() checks
+  // whether the link is genuinely back up, so overlapping outages behave.
+  for (const Outage& o : config_.outages) {
+    if (o.policy == OutagePolicy::kHold) {
+      sim_.schedule_at(o.stop, [this] { release_held(); });
+    }
+  }
+}
+
+const Outage* Impairment::active_outage() const {
+  const Time now = sim_.now();
+  for (const Outage& o : config_.outages) {
+    if (o.start > now) break;  // sorted by start
+    if (now < o.stop) return &o;
+  }
+  return nullptr;
+}
+
+bool Impairment::roll_loss() {
+  if (config_.gilbert_elliott) {
+    const GilbertElliott& ge = *config_.gilbert_elliott;
+    if (ge_bad_) {
+      if (rng_.bernoulli(ge.p_bad_good)) ge_bad_ = false;
+    } else {
+      if (rng_.bernoulli(ge.p_good_bad)) ge_bad_ = true;
+    }
+    const double p = ge_bad_ ? ge.bad_loss : ge.good_loss;
+    if (p > 0.0 && rng_.bernoulli(p)) return true;
+  }
+  return config_.loss_rate > 0.0 && rng_.bernoulli(config_.loss_rate);
+}
+
+void Impairment::handle_packet(PacketPtr pkt) {
+  ++counters_.received;
+
+  if (const Outage* o = active_outage()) {
+    if (o->policy == OutagePolicy::kDrop) {
+      ++counters_.dropped_outage;
+      return;  // the PacketPtr deleter recycles the packet
+    }
+    ++counters_.held;
+    held_.push_back(std::move(pkt));
+    return;
+  }
+
+  impair_and_forward(std::move(pkt));
+}
+
+void Impairment::impair_and_forward(PacketPtr pkt) {
+  if (roll_loss()) {
+    ++counters_.dropped_random;
+    return;
+  }
+  if (config_.duplicate_rate > 0.0 && rng_.bernoulli(config_.duplicate_rate)) {
+    ++counters_.duplicated;
+    // The copy keeps the original's creation stamp so one-way-delay
+    // measurement downstream is unaffected; only the uid differs.
+    forward(factory_.make(pkt->flow, pkt->klass, pkt->size_bytes, pkt->created,
+                          pkt->header));
+  }
+  forward(std::move(pkt));
+}
+
+void Impairment::forward(PacketPtr pkt) {
+  const Time now = sim_.now();
+  Time release = now;
+  if (config_.jitter > kTimeZero) {
+    release += Time(std::int64_t(rng_.next_double() *
+                                 double(config_.jitter.count())));
+  }
+  if (!config_.allow_reorder) {
+    // netem `delay ... jitter` without reordering: releases are clamped to
+    // be monotone, turning jitter into short standing-queue episodes.
+    release = std::max(release, last_release_);
+    last_release_ = release;
+  }
+  ++counters_.delivered;
+  if (release <= now) {
+    dst_->handle_packet(std::move(pkt));
+    return;
+  }
+  sim_.schedule_at(release, [this, p = std::move(pkt)]() mutable {
+    dst_->handle_packet(std::move(p));
+  });
+}
+
+void Impairment::release_held() {
+  if (active_outage() != nullptr) return;  // another outage still covers now
+  while (!held_.empty()) {
+    PacketPtr p = std::move(held_.front());
+    held_.pop_front();
+    ++counters_.released;
+    // The loss/duplication roll happens at release: the link transmits the
+    // parked burst only once it is back up.
+    impair_and_forward(std::move(p));
+  }
+}
+
+}  // namespace cgs::net

@@ -1,0 +1,112 @@
+// netem-style path impairment stage.
+//
+// Impairment is a PacketSink chained in front of any Link/DelayLine — the
+// half of the paper's `tc tbf + netem` router that Link does not model:
+// random i.i.d. loss, Gilbert–Elliott bursty loss, jitter with optional
+// packet reordering, duplication, and scheduled link outages (blackhole or
+// hold-and-release).  All randomness is drawn from one seeded Pcg32, so an
+// impaired run is still bit-identical across same-seed repeats.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace cgs::net {
+
+/// Two-state Markov (Gilbert–Elliott) burst-loss model.  The chain advances
+/// once per packet; the stationary bad-state share is
+/// p_good_bad / (p_good_bad + p_bad_good), so the long-run loss rate is
+/// that share times bad_loss plus the good-state share times good_loss.
+struct GilbertElliott {
+  double p_good_bad = 0.0;  ///< P(good -> bad) per packet
+  double p_bad_good = 1.0;  ///< P(bad -> good) per packet
+  double good_loss = 0.0;   ///< drop probability while in the good state
+  double bad_loss = 1.0;    ///< drop probability while in the bad state
+};
+
+/// What happens to packets arriving while a scheduled outage is active.
+enum class OutagePolicy : std::uint8_t {
+  kDrop,  ///< blackhole every arrival (a pulled cable)
+  kHold,  ///< park arrivals, release them in order when the link comes back
+};
+
+[[nodiscard]] std::string_view to_string(OutagePolicy p);
+
+/// One scheduled link outage covering [start, stop).
+struct Outage {
+  Time start = kTimeZero;
+  Time stop = kTimeZero;
+  OutagePolicy policy = OutagePolicy::kDrop;
+};
+
+/// Declarative impairment description; a default-constructed config is a
+/// no-op (Testbed then skips the stage entirely).
+struct ImpairmentConfig {
+  double loss_rate = 0.0;       ///< i.i.d. drop probability in [0, 1]
+  std::optional<GilbertElliott> gilbert_elliott;
+  Time jitter = kTimeZero;      ///< extra delay, uniform in [0, jitter)
+  bool allow_reorder = false;   ///< false: jittered packets keep FIFO order
+  double duplicate_rate = 0.0;  ///< probability a packet is delivered twice
+  std::vector<Outage> outages;
+
+  /// True when any impairment is configured.
+  [[nodiscard]] bool any() const;
+
+  /// Throws std::invalid_argument naming `where` and the offending field.
+  void validate(std::string_view where) const;
+};
+
+class Impairment final : public PacketSink {
+ public:
+  struct Counters {
+    std::uint64_t received = 0;        ///< packets entering the stage
+    std::uint64_t delivered = 0;       ///< packets forwarded (incl. copies)
+    std::uint64_t dropped_random = 0;  ///< i.i.d. + Gilbert–Elliott losses
+    std::uint64_t dropped_outage = 0;  ///< losses to a kDrop outage
+    std::uint64_t duplicated = 0;      ///< extra copies injected
+    std::uint64_t held = 0;            ///< parked by a kHold outage
+    std::uint64_t released = 0;        ///< held packets released at outage end
+  };
+
+  /// `dst` must outlive the impairment. `config` is validated on entry.
+  Impairment(sim::Simulator& sim, PacketFactory& factory, std::string name,
+             ImpairmentConfig config, Pcg32 rng, PacketSink* dst);
+
+  void handle_packet(PacketPtr pkt) override;
+
+  /// False while a scheduled outage covers the current simulation time.
+  [[nodiscard]] bool link_up() const { return active_outage() == nullptr; }
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+  [[nodiscard]] const ImpairmentConfig& config() const { return config_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  [[nodiscard]] const Outage* active_outage() const;
+  [[nodiscard]] bool roll_loss();
+  /// Loss + duplication roll, then forward.
+  void impair_and_forward(PacketPtr pkt);
+  /// Apply jitter (and the FIFO-order clamp) and hand the packet to dst_.
+  void forward(PacketPtr pkt);
+  /// Flush the hold buffer if no outage is active anymore.
+  void release_held();
+
+  sim::Simulator& sim_;
+  PacketFactory& factory_;
+  std::string name_;
+  ImpairmentConfig config_;
+  Pcg32 rng_;
+  PacketSink* dst_;
+
+  bool ge_bad_ = false;            // Gilbert–Elliott chain state
+  Time last_release_ = kTimeZero;  // monotone release clock (no-reorder mode)
+  std::deque<PacketPtr> held_;
+  Counters counters_;
+};
+
+}  // namespace cgs::net

@@ -63,6 +63,7 @@ struct FeedbackHeader {
   std::uint32_t highest_seq = 0;   // highest RTP seq seen
   std::uint64_t cum_recv_pkts = 0;
   std::uint64_t cum_lost_pkts = 0;
+  std::uint32_t window_recv_pkts = 0;  // packets this interval (0 = blackout)
   double window_loss_fraction = 0; // loss over the report interval
   std::int64_t recv_rate_bps = 0;  // goodput over the report interval
   Time avg_owd = kTimeZero;        // mean one-way delay over the interval

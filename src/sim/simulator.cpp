@@ -1,8 +1,17 @@
 #include "sim/simulator.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 namespace cgs::sim {
+
+void Simulator::watchdog_fail(const char* budget) const {
+  std::ostringstream os;
+  os << "simulation watchdog: " << budget << " exceeded after " << processed_
+     << " events at sim time " << to_seconds(now_) << " s with "
+     << queue_.size() << " pending events (likely livelock)";
+  throw WatchdogError(os.str());
+}
 
 EventId Simulator::schedule_at(Time at, EventFn fn) {
   return queue_.push(std::max(at, now_), std::move(fn));
@@ -27,6 +36,12 @@ EventId Simulator::reschedule_current_in(Time delay) {
 bool Simulator::step() {
   if (queue_.empty()) return false;
   now_ = queue_.next_time();
+  if (watchdog_events_ != 0 && processed_ >= watchdog_events_) {
+    watchdog_fail("event budget");
+  }
+  if (now_ > watchdog_time_) {
+    watchdog_fail("sim-time budget");
+  }
   ++processed_;
   // Runs the callback in place in its slot: no move of the closure, and
   // reschedule_current_in() can re-arm it with zero churn.

@@ -4,10 +4,20 @@
 // run thousands of them in-process.
 #pragma once
 
+#include <stdexcept>
+
 #include "sim/event_queue.hpp"
 #include "util/units.hpp"
 
 namespace cgs::sim {
+
+/// Thrown by step()/run*() when a watchdog budget is exceeded: the run is
+/// almost certainly livelocked (events rescheduling each other without
+/// making progress), so abort with a diagnostic instead of spinning.
+class WatchdogError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class Simulator {
  public:
@@ -52,14 +62,31 @@ class Simulator {
   /// Request run()/run_until() to return after the current event.
   void stop() { stopped_ = true; }
 
+  /// Arm the watchdog: step() throws WatchdogError once more than
+  /// `max_events` events have been processed or the clock passes
+  /// `max_sim_time`.  0 / kTimeInfinite disable the respective budget.
+  void set_watchdog(std::uint64_t max_events,
+                    Time max_sim_time = kTimeInfinite) {
+    watchdog_events_ = max_events;
+    watchdog_time_ = max_sim_time;
+  }
+
+  [[nodiscard]] std::uint64_t watchdog_event_budget() const {
+    return watchdog_events_;
+  }
+
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t processed_events() const { return processed_; }
 
  private:
+  [[noreturn]] void watchdog_fail(const char* budget) const;
+
   EventQueue queue_;
   Time now_ = kTimeZero;
   std::uint64_t processed_ = 0;
   bool stopped_ = false;
+  std::uint64_t watchdog_events_ = 0;   // 0 = no event budget
+  Time watchdog_time_ = kTimeInfinite;  // kTimeInfinite = no time budget
 };
 
 }  // namespace cgs::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace cgs::stream {
 
@@ -15,6 +16,32 @@ StreamReceiver::StreamReceiver(sim::Simulator& sim,
 
 void StreamReceiver::start() { feedback_timer_.start(); }
 void StreamReceiver::stop() { feedback_timer_.stop(); }
+
+bool StreamReceiver::SeqWindow::accept(std::uint32_t seq) {
+  if (!any_) {
+    any_ = true;
+    max_ = seq;
+    set(seq);
+    return true;
+  }
+  if (seq > max_) {
+    // Advance the window: bits for the skipped (not-yet-seen) sequence
+    // numbers must be cleared before they can be claimed by `seq % kBits`.
+    if (seq - max_ >= kBits) {
+      bits_.fill(0);
+    } else {
+      for (std::uint32_t s = max_ + 1; s != seq; ++s) clear(s);
+      clear(seq);
+    }
+    max_ = seq;
+    set(seq);
+    return true;
+  }
+  if (max_ - seq >= kBits) return false;  // too old to distinguish from replay
+  if (test(seq)) return false;            // duplicate
+  set(seq);
+  return true;
+}
 
 std::uint64_t StreamReceiver::packets_lost() const {
   if (!any_seq_) return 0;
@@ -31,6 +58,12 @@ double StreamReceiver::loss_rate() const {
 void StreamReceiver::handle_packet(net::PacketPtr pkt) {
   const auto* h = std::get_if<net::RtpHeader>(&pkt->header);
   if (h == nullptr) return;
+  // Replay/duplicate suppression first: a duplicated or ancient packet must
+  // not inflate receive counters, rates, or frame-completion counts.
+  if (!seq_window_.accept(h->seq)) {
+    ++dups_;
+    return;
+  }
   const Time now = sim_.now();
 
   // Sequence/byte accounting.
@@ -87,6 +120,7 @@ void StreamReceiver::decide_frame(std::uint32_t frame_id) {
   if (fa.complete) {
     display_.frame_presented(frame_id, fa.complete_at);
   } else {
+    ++concealed_;
     display_.frame_dropped(frame_id, sim_.now());
   }
   decided_max_ = any_decided_ ? std::max(decided_max_, frame_id) : frame_id;
@@ -115,9 +149,11 @@ void StreamReceiver::send_feedback() {
     const double lost = expected > win_recv_
                             ? double(expected - win_recv_)
                             : 0.0;
-    fb.window_loss_fraction = lost / double(expected);
+    fb.window_loss_fraction = std::clamp(lost / double(expected), 0.0, 1.0);
   }
   fb.cum_lost_pkts = packets_lost();
+  fb.window_recv_pkts = std::uint32_t(std::min<std::uint64_t>(
+      win_recv_, std::numeric_limits<std::uint32_t>::max()));
 
   fb.recv_rate_bps =
       rate_of(win_bytes_, opts_.feedback_interval).bits_per_sec();

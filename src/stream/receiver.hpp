@@ -6,6 +6,7 @@
 // before its playout deadline.
 #pragma once
 
+#include <array>
 #include <map>
 
 #include "net/packet.hpp"
@@ -43,8 +44,40 @@ class StreamReceiver final : public net::PacketSink {
   [[nodiscard]] ByteSize bytes_received() const { return bytes_total_; }
   /// Lifetime loss fraction (packets).
   [[nodiscard]] double loss_rate() const;
+  /// Duplicated / ancient packets rejected by the replay window (path
+  /// duplication or extreme reordering); they touch no other counter.
+  [[nodiscard]] std::uint64_t duplicates_discarded() const { return dups_; }
+  /// Frames that missed their FEC budget and were concealed (frozen) by the
+  /// display instead of presented.
+  [[nodiscard]] std::uint64_t frames_concealed() const { return concealed_; }
 
  private:
+  /// SRTP-style replay window: a bitmap over the last kBits sequence
+  /// numbers.  Rejects duplicates (path duplication) and packets older than
+  /// the window (they cannot be told apart from replays), so every counter
+  /// downstream of it sees each sequence number at most once.
+  class SeqWindow {
+   public:
+    /// Marks `seq` seen; returns false for duplicates / too-old packets.
+    [[nodiscard]] bool accept(std::uint32_t seq);
+
+   private:
+    static constexpr std::uint32_t kBits = 4096;
+    [[nodiscard]] bool test(std::uint32_t seq) const {
+      return (bits_[(seq % kBits) >> 6] >> (seq % 64)) & 1u;
+    }
+    void set(std::uint32_t seq) {
+      bits_[(seq % kBits) >> 6] |= std::uint64_t{1} << (seq % 64);
+    }
+    void clear(std::uint32_t seq) {
+      bits_[(seq % kBits) >> 6] &= ~(std::uint64_t{1} << (seq % 64));
+    }
+
+    std::array<std::uint64_t, kBits / 64> bits_{};
+    std::uint32_t max_ = 0;
+    bool any_ = false;
+  };
+
   struct FrameAsm {
     std::uint16_t expected = 0;
     std::uint16_t received = 0;
@@ -71,10 +104,14 @@ class StreamReceiver final : public net::PacketSink {
   std::uint32_t decided_max_ = 0;
   bool any_decided_ = false;
 
-  // Sequence accounting (no reordering on a single FIFO path).
+  // Sequence accounting.  An impaired path can reorder and duplicate, so
+  // everything below the replay window counts distinct sequence numbers.
+  SeqWindow seq_window_;
   bool any_seq_ = false;
   std::uint32_t highest_seq_ = 0;
   std::uint64_t cum_recv_ = 0;
+  std::uint64_t dups_ = 0;
+  std::uint64_t concealed_ = 0;
   ByteSize bytes_total_{0};
 
   // Per-feedback-interval accumulators.

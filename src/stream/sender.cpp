@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace cgs::stream {
 
@@ -76,13 +77,35 @@ void StreamSender::handle_packet(net::PacketPtr pkt) {
   const auto* fb = std::get_if<net::FeedbackHeader>(&pkt->header);
   if (fb == nullptr || !running_) return;
 
+  // A report covering zero packets (total blackout) carries no signal: its
+  // OWD fields read zero (which would corrupt the base-delay min filter)
+  // and its loss reads zero (which would let the controller ramp into a
+  // dead link).  Hold the current rate until data flows again.
+  if (fb->window_recv_pkts == 0) {
+    ++stalled_windows_;
+    resync_loss_ = true;
+    return;
+  }
+
   base_owd_ns_.update(fb->min_owd.count(), sim_.now());
+
+  double loss = std::isfinite(fb->window_loss_fraction)
+                    ? std::clamp(fb->window_loss_fraction, 0.0, 1.0)
+                    : 0.0;
+  if (resync_loss_) {
+    // First report after a blackout: its loss figure aggregates the whole
+    // outage's sequence gap, measuring the outage rather than the recovered
+    // path.  Resync the loss baseline (delay and rate are still genuine) so
+    // one stale gap does not slam the controller to its floor.
+    loss = 0.0;
+    resync_loss_ = false;
+  }
 
   FeedbackSnapshot snap;
   snap.now = sim_.now();
   snap.send_rate = encoder_.bitrate();
-  snap.recv_rate = Bandwidth(fb->recv_rate_bps);
-  snap.loss_fraction = fb->window_loss_fraction;
+  snap.recv_rate = Bandwidth(std::max<std::int64_t>(fb->recv_rate_bps, 0));
+  snap.loss_fraction = loss;
   snap.base_delay = Time(base_owd_ns_.get_or(fb->min_owd.count()));
   snap.queuing_delay =
       std::max(kTimeZero, fb->avg_owd - snap.base_delay);

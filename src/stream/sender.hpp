@@ -48,6 +48,11 @@ class StreamSender final : public net::PacketSink {
   [[nodiscard]] ByteSize bytes_sent() const { return bytes_sent_; }
   [[nodiscard]] net::FlowId flow() const { return opts_.flow; }
   [[nodiscard]] Time last_queuing_delay() const { return last_qdelay_; }
+  /// Feedback reports that covered zero received packets (link outage);
+  /// the controller is frozen for those windows rather than fed zeros.
+  [[nodiscard]] std::uint64_t stalled_windows() const {
+    return stalled_windows_;
+  }
 
  private:
   void on_frame(const Frame& frame);
@@ -69,6 +74,10 @@ class StreamSender final : public net::PacketSink {
 
   WindowedMinFilter<std::int64_t> base_owd_ns_;
   Time last_qdelay_ = kTimeZero;
+  std::uint64_t stalled_windows_ = 0;
+  // Set while recovering from a blackout: the next non-empty report's loss
+  // figure spans the outage gap and must not be fed to the controller.
+  bool resync_loss_ = false;
 
   ByteSize bytes_sent_{0};
 };

@@ -125,8 +125,12 @@ void TcpSender::transmit(std::uint64_t seq, Segment& seg) {
 }
 
 void TcpSender::arm_rto() {
+  // Exponential backoff with a Linux-like ceiling (TCP_RTO_MAX-style):
+  // across a multi-second blackout the timer walks 2x per firing up to
+  // kMaxRto and then holds, so the first probe after the path heals is at
+  // most kMaxRto away — backoff never grows into a livelock-like stall.
   const Time rto = rtt_.rto() * (std::int64_t(1) << std::min(rto_backoff_, 10));
-  rto_timer_.arm(rto);
+  rto_timer_.arm(std::min(rto, kMaxRto));
 }
 
 void TcpSender::handle_packet(net::PacketPtr pkt) {

@@ -24,6 +24,10 @@ namespace cgs::tcp {
 
 class TcpSender final : public net::PacketSink {
  public:
+  /// Ceiling on the backed-off retransmission timeout (Linux TCP_RTO_MAX
+  /// defaults to 120 s; we use a tighter bound sized for simulation runs).
+  static constexpr Time kMaxRto = std::chrono::seconds(60);
+
   struct Options {
     net::FlowId flow = 0;
     ByteSize mss{net::kTcpMss};

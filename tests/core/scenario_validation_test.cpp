@@ -1,0 +1,111 @@
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "core/testbed.hpp"
+
+namespace cgs::core {
+namespace {
+
+using namespace cgs::literals;
+
+/// Runs validate() and returns the exception message (empty = no throw).
+std::string validation_message(const Scenario& sc) {
+  try {
+    sc.validate();
+    return {};
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+}
+
+TEST(ScenarioValidation, DefaultScenarioIsValid) {
+  EXPECT_EQ(validation_message(Scenario{}), "");
+}
+
+TEST(ScenarioValidation, RejectsNonPositiveCapacity) {
+  Scenario sc;
+  sc.capacity = Bandwidth(0);
+  const std::string msg = validation_message(sc);
+  EXPECT_NE(msg.find("Scenario:"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("capacity must be > 0"), std::string::npos) << msg;
+}
+
+TEST(ScenarioValidation, RejectsNonPositiveQueueMult) {
+  Scenario sc;
+  sc.queue_bdp_mult = 0.0;
+  EXPECT_NE(validation_message(sc).find("queue_bdp_mult must be > 0"),
+            std::string::npos);
+  sc.queue_bdp_mult = -2.0;
+  EXPECT_NE(validation_message(sc).find("queue_bdp_mult must be > 0"),
+            std::string::npos);
+  sc.queue_bdp_mult = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_NE(validation_message(sc).find("queue_bdp_mult"), std::string::npos);
+}
+
+TEST(ScenarioValidation, RejectsNonPositiveDuration) {
+  Scenario sc;
+  sc.duration = kTimeZero;
+  sc.tcp_algo.reset();  // isolate the duration check
+  EXPECT_NE(validation_message(sc).find("duration must be > 0"),
+            std::string::npos);
+}
+
+TEST(ScenarioValidation, RejectsNonPositiveBaseRtt) {
+  Scenario sc;
+  sc.base_rtt = kTimeZero;
+  EXPECT_NE(validation_message(sc).find("base_rtt must be > 0"),
+            std::string::npos);
+}
+
+TEST(ScenarioValidation, RejectsTcpStartAfterStop) {
+  Scenario sc;
+  sc.tcp_start = 200_sec;
+  sc.tcp_stop = 100_sec;
+  const std::string msg = validation_message(sc);
+  EXPECT_NE(msg.find("tcp_start"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("must not exceed tcp_stop"), std::string::npos) << msg;
+}
+
+TEST(ScenarioValidation, RejectsTcpStopPastDuration) {
+  Scenario sc;
+  sc.duration = 100_sec;
+  sc.tcp_start = 10_sec;
+  sc.tcp_stop = 200_sec;
+  const std::string msg = validation_message(sc);
+  EXPECT_NE(msg.find("tcp_stop"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("must not exceed duration"), std::string::npos) << msg;
+}
+
+TEST(ScenarioValidation, TcpScheduleIgnoredWithoutCompetingFlow) {
+  // A solo (no-TCP) scenario with a short duration must not trip over the
+  // default 370 s tcp_stop.
+  Scenario sc;
+  sc.tcp_algo.reset();
+  sc.duration = 5_sec;
+  EXPECT_EQ(validation_message(sc), "");
+}
+
+TEST(ScenarioValidation, RejectsInvalidImpairmentWithDirection) {
+  Scenario sc;
+  sc.impair_down.loss_rate = 7.0;
+  const std::string down = validation_message(sc);
+  EXPECT_NE(down.find("impair_down"), std::string::npos) << down;
+
+  Scenario sc2;
+  sc2.impair_up.jitter = Time(-5);
+  const std::string up = validation_message(sc2);
+  EXPECT_NE(up.find("impair_up"), std::string::npos) << up;
+}
+
+TEST(ScenarioValidation, TestbedConstructionValidates) {
+  Scenario sc;
+  sc.capacity = Bandwidth(-1);
+  EXPECT_THROW(Testbed bed(sc), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cgs::core

@@ -1,0 +1,376 @@
+#include "net/impairment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace cgs::net {
+namespace {
+
+using namespace cgs::literals;
+
+class SinkRecorder final : public PacketSink {
+ public:
+  explicit SinkRecorder(sim::Simulator& sim) : sim_(sim) {}
+  void handle_packet(PacketPtr pkt) override {
+    arrivals.emplace_back(sim_.now(), std::move(pkt));
+  }
+  std::vector<std::pair<Time, PacketPtr>> arrivals;
+
+ private:
+  sim::Simulator& sim_;
+};
+
+/// RTP packet carrying `seq` so tests can track identity through the stage.
+PacketPtr make_pkt(PacketFactory& f, Time now, std::uint32_t seq = 0) {
+  RtpHeader h;
+  h.seq = seq;
+  return f.make(1, TrafficClass::kGameStream, kRtpWire, now, h);
+}
+
+std::uint32_t seq_of(const PacketPtr& p) {
+  return std::get<RtpHeader>(p->header).seq;
+}
+
+TEST(ImpairmentConfig, DefaultIsNoOp) {
+  ImpairmentConfig cfg;
+  EXPECT_FALSE(cfg.any());
+  EXPECT_NO_THROW(cfg.validate("test"));
+}
+
+TEST(ImpairmentConfig, AnyDetectsEachKnob) {
+  {
+    ImpairmentConfig c;
+    c.loss_rate = 0.01;
+    EXPECT_TRUE(c.any());
+  }
+  {
+    ImpairmentConfig c;
+    c.gilbert_elliott = GilbertElliott{};
+    EXPECT_TRUE(c.any());
+  }
+  {
+    ImpairmentConfig c;
+    c.jitter = 1_ms;
+    EXPECT_TRUE(c.any());
+  }
+  {
+    ImpairmentConfig c;
+    c.duplicate_rate = 0.5;
+    EXPECT_TRUE(c.any());
+  }
+  {
+    ImpairmentConfig c;
+    c.outages.push_back({1_sec, 2_sec, OutagePolicy::kDrop});
+    EXPECT_TRUE(c.any());
+  }
+}
+
+TEST(ImpairmentConfig, ValidateRejectsBadProbabilities) {
+  {
+    ImpairmentConfig c;
+    c.loss_rate = 1.5;
+    EXPECT_THROW(
+        {
+          try {
+            c.validate("down");
+          } catch (const std::invalid_argument& e) {
+            EXPECT_NE(std::string(e.what()).find("ImpairmentConfig(down)"),
+                      std::string::npos);
+            EXPECT_NE(std::string(e.what()).find("loss_rate"),
+                      std::string::npos);
+            throw;
+          }
+        },
+        std::invalid_argument);
+  }
+  {
+    ImpairmentConfig c;
+    c.duplicate_rate = -0.1;
+    EXPECT_THROW(c.validate("x"), std::invalid_argument);
+  }
+  {
+    ImpairmentConfig c;
+    c.loss_rate = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_THROW(c.validate("x"), std::invalid_argument);
+  }
+  {
+    ImpairmentConfig c;
+    c.gilbert_elliott = GilbertElliott{.p_good_bad = 2.0};
+    EXPECT_THROW(
+        {
+          try {
+            c.validate("up");
+          } catch (const std::invalid_argument& e) {
+            EXPECT_NE(std::string(e.what()).find("p_good_bad"),
+                      std::string::npos);
+            throw;
+          }
+        },
+        std::invalid_argument);
+  }
+}
+
+TEST(ImpairmentConfig, ValidateRejectsNegativeJitterAndBadOutages) {
+  {
+    ImpairmentConfig c;
+    c.jitter = Time(-1);
+    EXPECT_THROW(c.validate("x"), std::invalid_argument);
+  }
+  {
+    ImpairmentConfig c;
+    c.outages.push_back({2_sec, 1_sec, OutagePolicy::kDrop});  // stop < start
+    EXPECT_THROW(
+        {
+          try {
+            c.validate("x");
+          } catch (const std::invalid_argument& e) {
+            EXPECT_NE(std::string(e.what()).find("outage"), std::string::npos);
+            throw;
+          }
+        },
+        std::invalid_argument);
+  }
+  {
+    ImpairmentConfig c;
+    c.outages.push_back({1_sec, 1_sec, OutagePolicy::kHold});  // empty
+    EXPECT_THROW(c.validate("x"), std::invalid_argument);
+  }
+}
+
+TEST(Impairment, NoImpairmentPassesThrough) {
+  sim::Simulator sim;
+  PacketFactory f;
+  SinkRecorder sink(sim);
+  Impairment imp(sim, f, "pass", ImpairmentConfig{}, Pcg32(1, 2), &sink);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    imp.handle_packet(make_pkt(f, sim.now(), i));
+  }
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(sink.arrivals[i].first, kTimeZero);  // no added delay
+    EXPECT_EQ(seq_of(sink.arrivals[i].second), i);
+  }
+  EXPECT_EQ(imp.counters().received, 10u);
+  EXPECT_EQ(imp.counters().delivered, 10u);
+}
+
+TEST(Impairment, IidLossApproximatesConfiguredRate) {
+  sim::Simulator sim;
+  PacketFactory f;
+  SinkRecorder sink(sim);
+  ImpairmentConfig cfg;
+  cfg.loss_rate = 0.1;
+  Impairment imp(sim, f, "loss", cfg, Pcg32(42, 7), &sink);
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    imp.handle_packet(make_pkt(f, sim.now(), std::uint32_t(i)));
+  }
+  sim.run();
+  const double measured = double(imp.counters().dropped_random) / kN;
+  EXPECT_NEAR(measured, 0.1, 0.01);  // ~5 sigma for Bernoulli(0.1), n=20000
+  EXPECT_EQ(imp.counters().delivered + imp.counters().dropped_random,
+            std::uint64_t(kN));
+}
+
+TEST(Impairment, GilbertElliottLossIsBursty) {
+  sim::Simulator sim;
+  PacketFactory f;
+  SinkRecorder sink(sim);
+  ImpairmentConfig cfg;
+  // Stationary loss ~= 0.02/(0.02+0.25) ~= 7.4%, mean burst length 4.
+  cfg.gilbert_elliott =
+      GilbertElliott{.p_good_bad = 0.02, .p_bad_good = 0.25,
+                     .good_loss = 0.0, .bad_loss = 1.0};
+  Impairment imp(sim, f, "ge", cfg, Pcg32(3, 11), &sink);
+  constexpr std::uint32_t kN = 50000;
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    imp.handle_packet(make_pkt(f, sim.now(), i));
+  }
+  sim.run();
+
+  // Reconstruct the drop pattern from gaps in the delivered sequence.
+  std::vector<bool> dropped(kN, true);
+  for (const auto& [t, p] : sink.arrivals) dropped[seq_of(p)] = false;
+  std::uint64_t bursts = 0, lost = 0;
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    if (!dropped[i]) continue;
+    ++lost;
+    if (i == 0 || !dropped[i - 1]) ++bursts;
+  }
+  ASSERT_GT(bursts, 0u);
+  const double mean_burst = double(lost) / double(bursts);
+  const double loss_rate = double(lost) / double(kN);
+  // i.i.d. loss at this rate would give mean bursts of ~1/(1-p) ~= 1.08;
+  // the Markov chain's geometric sojourn gives ~1/p_bad_good = 4.
+  EXPECT_NEAR(loss_rate, 0.074, 0.02);
+  EXPECT_GT(mean_burst, 2.5);
+  EXPECT_LT(mean_burst, 6.0);
+}
+
+TEST(Impairment, JitterWithoutReorderPreservesOrder) {
+  sim::Simulator sim;
+  PacketFactory f;
+  SinkRecorder sink(sim);
+  ImpairmentConfig cfg;
+  cfg.jitter = 2_ms;
+  cfg.allow_reorder = false;
+  Impairment imp(sim, f, "jit", cfg, Pcg32(9, 1), &sink);
+  // 100 us spacing << 2 ms jitter: naive jitter would reorder heavily.
+  constexpr std::uint32_t kN = 500;
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    sim.schedule_at(Time(std::int64_t(i) * 100'000),
+                    [&imp, &f, &sim, i] {
+                      imp.handle_packet(make_pkt(f, sim.now(), i));
+                    });
+  }
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), kN);
+  bool any_delayed = false;
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(seq_of(sink.arrivals[i].second), i);  // FIFO preserved
+    if (sink.arrivals[i].first > Time(std::int64_t(i) * 100'000)) {
+      any_delayed = true;
+    }
+    if (i > 0) {
+      EXPECT_GE(sink.arrivals[i].first, sink.arrivals[i - 1].first);
+    }
+  }
+  EXPECT_TRUE(any_delayed);  // jitter actually applied
+}
+
+TEST(Impairment, JitterWithReorderAllowedInvertsSomePairs) {
+  sim::Simulator sim;
+  PacketFactory f;
+  SinkRecorder sink(sim);
+  ImpairmentConfig cfg;
+  cfg.jitter = 2_ms;
+  cfg.allow_reorder = true;
+  Impairment imp(sim, f, "reord", cfg, Pcg32(9, 1), &sink);
+  constexpr std::uint32_t kN = 500;
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    sim.schedule_at(Time(std::int64_t(i) * 100'000),
+                    [&imp, &f, &sim, i] {
+                      imp.handle_packet(make_pkt(f, sim.now(), i));
+                    });
+  }
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), kN);
+  std::uint32_t inversions = 0;
+  for (std::uint32_t i = 1; i < kN; ++i) {
+    if (seq_of(sink.arrivals[i].second) < seq_of(sink.arrivals[i - 1].second)) {
+      ++inversions;
+    }
+  }
+  EXPECT_GT(inversions, 0u);
+}
+
+TEST(Impairment, DuplicationDeliversIdenticalCopy) {
+  sim::Simulator sim;
+  PacketFactory f;
+  SinkRecorder sink(sim);
+  ImpairmentConfig cfg;
+  cfg.duplicate_rate = 1.0;
+  Impairment imp(sim, f, "dup", cfg, Pcg32(5, 5), &sink);
+  const Time created = sim.now();
+  imp.handle_packet(make_pkt(f, created, 77));
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 2u);
+  EXPECT_EQ(seq_of(sink.arrivals[0].second), 77u);
+  EXPECT_EQ(seq_of(sink.arrivals[1].second), 77u);
+  // The copy keeps the original creation stamp (OWD must not be skewed)
+  // but is a distinct packet object.
+  EXPECT_EQ(sink.arrivals[0].second->created, created);
+  EXPECT_EQ(sink.arrivals[1].second->created, created);
+  EXPECT_NE(sink.arrivals[0].second->uid, sink.arrivals[1].second->uid);
+  EXPECT_EQ(imp.counters().duplicated, 1u);
+  EXPECT_EQ(imp.counters().delivered, 2u);
+}
+
+TEST(Impairment, DropOutageBlackholesScheduledWindow) {
+  sim::Simulator sim;
+  PacketFactory f;
+  SinkRecorder sink(sim);
+  ImpairmentConfig cfg;
+  cfg.outages.push_back({1_sec, 2_sec, OutagePolicy::kDrop});
+  Impairment imp(sim, f, "out", cfg, Pcg32(1, 1), &sink);
+  std::vector<Time> sends = {500_ms, 1500_ms, 1999_ms, 2500_ms};
+  for (std::uint32_t i = 0; i < sends.size(); ++i) {
+    sim.schedule_at(sends[i], [&imp, &f, &sim, i] {
+      imp.handle_packet(make_pkt(f, sim.now(), i));
+    });
+  }
+  bool up_at_500ms = false, up_at_1500ms = true;
+  sim.schedule_at(500_ms, [&] { up_at_500ms = imp.link_up(); });
+  sim.schedule_at(1500_ms, [&] { up_at_1500ms = imp.link_up(); });
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 2u);
+  EXPECT_EQ(seq_of(sink.arrivals[0].second), 0u);
+  EXPECT_EQ(seq_of(sink.arrivals[1].second), 3u);
+  EXPECT_EQ(imp.counters().dropped_outage, 2u);
+  EXPECT_TRUE(up_at_500ms);
+  EXPECT_FALSE(up_at_1500ms);
+}
+
+TEST(Impairment, HoldOutageReleasesInOrderAtOutageEnd) {
+  sim::Simulator sim;
+  PacketFactory f;
+  SinkRecorder sink(sim);
+  ImpairmentConfig cfg;
+  cfg.outages.push_back({1_sec, 2_sec, OutagePolicy::kHold});
+  Impairment imp(sim, f, "hold", cfg, Pcg32(1, 1), &sink);
+  std::vector<Time> sends = {500_ms, 1200_ms, 1400_ms, 2500_ms};
+  for (std::uint32_t i = 0; i < sends.size(); ++i) {
+    sim.schedule_at(sends[i], [&imp, &f, &sim, i] {
+      imp.handle_packet(make_pkt(f, sim.now(), i));
+    });
+  }
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 4u);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(seq_of(sink.arrivals[i].second), i);
+  }
+  // Parked packets come out exactly when the outage ends.
+  EXPECT_EQ(sink.arrivals[1].first, 2_sec);
+  EXPECT_EQ(sink.arrivals[2].first, 2_sec);
+  EXPECT_EQ(imp.counters().held, 2u);
+  EXPECT_EQ(imp.counters().released, 2u);
+}
+
+TEST(Impairment, SameSeedSameArrivalSchedule) {
+  auto run_once = [] {
+    sim::Simulator sim;
+    PacketFactory f;
+    SinkRecorder sink(sim);
+    ImpairmentConfig cfg;
+    cfg.loss_rate = 0.05;
+    cfg.jitter = 1_ms;
+    cfg.duplicate_rate = 0.02;
+    cfg.gilbert_elliott = GilbertElliott{.p_good_bad = 0.01, .p_bad_good = 0.3};
+    Impairment imp(sim, f, "det", cfg, Pcg32(123, 0xd01), &sink);
+    for (std::uint32_t i = 0; i < 2000; ++i) {
+      sim.schedule_at(Time(std::int64_t(i) * 250'000),
+                      [&imp, &f, &sim, i] {
+                        imp.handle_packet(make_pkt(f, sim.now(), i));
+                      });
+    }
+    sim.run();
+    std::vector<std::pair<Time, std::uint32_t>> out;
+    out.reserve(sink.arrivals.size());
+    for (const auto& [t, p] : sink.arrivals) out.emplace_back(t, seq_of(p));
+    return out;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace cgs::net

@@ -123,6 +123,47 @@ TEST(Link, QueueOverflowDropsAreCounted) {
   EXPECT_EQ(sink.arrivals.size(), 2u);
 }
 
+TEST(Link, SetRateMidTransmissionNeitherStallsNorDoubleSchedules) {
+  sim::Simulator sim;
+  PacketFactory f;
+  SinkRecorder sink(sim);
+  // 1500 B at 12 Mb/s = 1 ms serialisation.
+  Link link(sim, "l", 12_mbps, kTimeZero,
+            std::make_unique<DropTailQueue>(100_KB), &sink);
+  int transmits = 0;
+  link.sniffer().on_transmit([&](const Packet&, Time) { ++transmits; });
+  for (int i = 0; i < 3; ++i) link.handle_packet(make_pkt(f, 1500, sim.now()));
+  // Drop the rate to 1.2 Mb/s (10 ms per packet) while packet 1 is on the
+  // wire: its in-flight serialisation must finish on the old schedule, the
+  // queued packets serialise at the new rate, and nothing is transmitted
+  // twice or left stranded in the queue.
+  sim.schedule_at(500_us, [&] { link.set_rate(Bandwidth::mbps(1.2)); });
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 3u);
+  EXPECT_EQ(sink.arrivals[0].first, 1_ms);
+  EXPECT_EQ(sink.arrivals[1].first, 11_ms);
+  EXPECT_EQ(sink.arrivals[2].first, 21_ms);
+  EXPECT_EQ(transmits, 3);
+  EXPECT_EQ(link.packets_delivered(), 3u);
+  EXPECT_EQ(link.queue().packet_count(), 0u);
+}
+
+TEST(Link, SetRateWhileIdleAppliesToNextPacket) {
+  sim::Simulator sim;
+  PacketFactory f;
+  SinkRecorder sink(sim);
+  Link link(sim, "l", 12_mbps, kTimeZero,
+            std::make_unique<DropTailQueue>(100_KB), &sink);
+  link.handle_packet(make_pkt(f, 1500, sim.now()));
+  sim.run();  // drain; link idle again
+  link.set_rate(24_mbps);
+  sim.schedule_at(10_ms, [&] { link.handle_packet(make_pkt(f, 1500, sim.now())); });
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 2u);
+  EXPECT_EQ(sink.arrivals[0].first, 1_ms);
+  EXPECT_EQ(sink.arrivals[1].first, 10_ms + 500_us);  // 1500 B at 24 Mb/s
+}
+
 TEST(DelayLine, PureDelay) {
   sim::Simulator sim;
   PacketFactory f;

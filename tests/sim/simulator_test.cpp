@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "sim/timer.hpp"
@@ -118,6 +120,60 @@ TEST(Simulator, EventCountTracking) {
   for (int i = 0; i < 5; ++i) sim.schedule_in(Time(i), [] {});
   sim.run();
   EXPECT_EQ(sim.processed_events(), 5u);
+}
+
+TEST(Watchdog, DisabledByDefault) {
+  Simulator sim;
+  for (int i = 0; i < 100; ++i) sim.schedule_in(Time(i), [] {});
+  EXPECT_NO_THROW(sim.run());
+  EXPECT_EQ(sim.watchdog_event_budget(), 0u);
+}
+
+TEST(Watchdog, EventBudgetAbortsLivelock) {
+  Simulator sim;
+  sim.set_watchdog(/*max_events=*/1000);
+  // Deliberate livelock: an event that perpetually reschedules itself at
+  // the current time, so the clock never advances and run() never returns.
+  std::uint64_t spins = 0;
+  std::function<void()> spin = [&] {
+    ++spins;
+    sim.schedule_in(kTimeZero, [&] { spin(); });
+  };
+  sim.schedule_at(1_sec, [&] { spin(); });
+  try {
+    sim.run();
+    FAIL() << "watchdog did not fire";
+  } catch (const WatchdogError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("event budget"), std::string::npos) << what;
+    EXPECT_NE(what.find("livelock"), std::string::npos) << what;
+  }
+  EXPECT_GE(sim.processed_events(), 1000u);
+  EXPECT_LE(spins, 1001u);  // aborted promptly, not after millions of spins
+}
+
+TEST(Watchdog, SimTimeBudgetAborts) {
+  Simulator sim;
+  sim.set_watchdog(/*max_events=*/0, /*max_sim_time=*/10_sec);
+  int fired_late = 0;
+  sim.schedule_at(5_sec, [] {});
+  sim.schedule_at(20_sec, [&] { ++fired_late; });
+  try {
+    sim.run();
+    FAIL() << "watchdog did not fire";
+  } catch (const WatchdogError& e) {
+    EXPECT_NE(std::string(e.what()).find("sim-time budget"),
+              std::string::npos);
+  }
+  EXPECT_EQ(fired_late, 0);  // the over-budget event never executed
+}
+
+TEST(Watchdog, GenerousBudgetDoesNotTriggerOnHealthyRun) {
+  Simulator sim;
+  sim.set_watchdog(/*max_events=*/10'000, /*max_sim_time=*/1000_sec);
+  for (int i = 0; i < 100; ++i) sim.schedule_in(Time(i * 1000), [] {});
+  EXPECT_NO_THROW(sim.run());
+  EXPECT_EQ(sim.processed_events(), 100u);
 }
 
 TEST(OneShotTimer, FiresOnce) {

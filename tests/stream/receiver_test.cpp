@@ -150,6 +150,76 @@ TEST(StreamReceiverUnit, LifetimeLossRate) {
   EXPECT_NEAR(rig.recv.loss_rate(), 0.1, 1e-9);
 }
 
+TEST(StreamReceiverUnit, DuplicatePacketsDiscardedBeforeAccounting) {
+  Rig rig;
+  rig.rtp(0, 0, 0, 2);
+  rig.rtp(0, 0, 0, 2);  // path duplication: same seq again
+  rig.rtp(1, 0, 1, 2);
+  rig.rtp(1, 0, 1, 2);
+  rig.sim.run_until(1_sec);
+  EXPECT_EQ(rig.recv.duplicates_discarded(), 2u);
+  EXPECT_EQ(rig.recv.packets_received(), 2u);  // copies touch no counter
+  EXPECT_EQ(rig.recv.bytes_received().bytes(), 2 * net::kRtpWire);
+  // A 2-packet frame plus two duplicates is still exactly one frame.
+  EXPECT_EQ(rig.recv.display().presented_total(), 1u);
+}
+
+TEST(StreamReceiverUnit, DuplicatesDoNotInflateReportedRate) {
+  Rig rig;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    rig.rtp(i, 0, std::uint16_t(i), 10);
+    rig.rtp(i, 0, std::uint16_t(i), 10);  // every packet duplicated
+  }
+  rig.sim.run_until(100_ms);
+  ASSERT_FALSE(rig.fb.reports.empty());
+  EXPECT_NEAR(double(rig.fb.reports[0].recv_rate_bps), 960e3, 1e3);
+  EXPECT_EQ(rig.fb.reports[0].window_recv_pkts, 10u);
+  EXPECT_EQ(rig.recv.duplicates_discarded(), 10u);
+}
+
+TEST(StreamReceiverUnit, AncientPacketBeyondReplayWindowDiscarded) {
+  Rig rig;
+  rig.rtp(5000, 0, 0, 1);  // establishes a high-water mark
+  rig.rtp(100, 1, 0, 1);   // > 4096 behind: indistinguishable from a replay
+  EXPECT_EQ(rig.recv.duplicates_discarded(), 1u);
+  EXPECT_EQ(rig.recv.packets_received(), 1u);
+}
+
+TEST(StreamReceiverUnit, ReorderedFreshPacketsStillAccepted) {
+  Rig rig;
+  rig.rtp(10, 0, 0, 1);
+  rig.rtp(8, 1, 0, 1);  // late but within the window: genuine packet
+  rig.rtp(9, 2, 0, 1);
+  EXPECT_EQ(rig.recv.duplicates_discarded(), 0u);
+  EXPECT_EQ(rig.recv.packets_received(), 3u);
+}
+
+TEST(StreamReceiverUnit, BlackoutWindowReportsZeroRecvAndSaneFields) {
+  Rig rig;
+  for (std::uint32_t i = 0; i < 5; ++i) rig.rtp(i, 0, std::uint16_t(i), 5);
+  rig.sim.run_until(300_ms);  // reports at 100, 200, 300 ms; last two empty
+  ASSERT_GE(rig.fb.reports.size(), 3u);
+  const auto& empty = rig.fb.reports[1];
+  EXPECT_EQ(empty.window_recv_pkts, 0u);
+  EXPECT_EQ(empty.recv_rate_bps, 0);
+  // No NaN / negative / stale-delay artefacts on a zero-packet window.
+  EXPECT_EQ(empty.window_loss_fraction, 0.0);
+  EXPECT_EQ(empty.avg_owd, kTimeZero);
+  EXPECT_GE(empty.window_loss_fraction, 0.0);
+  EXPECT_LE(empty.window_loss_fraction, 1.0);
+}
+
+TEST(StreamReceiverUnit, ConcealedFramesCounted) {
+  Rig rig;
+  rig.rtp(0, 0, 0, 3);
+  rig.rtp(2, 0, 2, 3);  // frame 0 incomplete -> concealed
+  rig.rtp(3, 1, 0, 1);  // frame 1 complete
+  rig.sim.run_until(1_sec);
+  EXPECT_EQ(rig.recv.frames_concealed(), 1u);
+  EXPECT_EQ(rig.recv.display().presented_total(), 1u);
+  EXPECT_EQ(rig.recv.display().dropped_total(), 1u);
+}
+
 TEST(StreamReceiverUnit, StopsFeedbackAfterStop) {
   Rig rig;
   rig.sim.run_until(300_ms);
