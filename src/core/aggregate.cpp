@@ -43,13 +43,39 @@ ConditionResult summarize(const Scenario& sc,
   res.tcp = aggregate_series(tcp_runs);
 
   const Time ival = traces.front().sample_interval;
+  const AnalysisWindows aw;
+
+  // Per-flow digests (every trace of a condition shares the mix shape).
+  for (std::size_t fi = 0; fi < traces.front().flows.size(); ++fi) {
+    const FlowTrace& proto = traces.front().flows[fi];
+    FlowSummaryRow row;
+    row.id = proto.id;
+    row.name = proto.name;
+    row.kind = proto.kind;
+    std::vector<std::vector<double>> runs;
+    RunningStats fair_win;
+    runs.reserve(traces.size());
+    for (const auto& t : traces) {
+      if (fi >= t.flows.size()) continue;
+      runs.push_back(t.flows[fi].mbps);
+      fair_win.add(t.mean_bitrate_mbps(t.flows[fi].mbps, aw.fairness_from,
+                                       aw.fairness_to));
+    }
+    row.series = aggregate_series(runs);
+    row.fair_mbps_mean = fair_win.mean();
+    row.fair_mbps_sd = fair_win.stddev();
+    res.flow_rows.push_back(std::move(row));
+  }
+  RunningStats jain;
+  for (const auto& t : traces) jain.add(jain_index(t, aw));
+  res.jain_mean = jain.mean();
+  res.jain_sd = jain.stddev();
 
   // Measurement window: the competing-flow period (same window for solo
   // runs, keeping Tables 3 and 4 comparable).
   const Time win_from = sc.tcp_start;
   const Time win_to = sc.tcp_stop;
 
-  const AnalysisWindows aw;
   RunningStats fair, fps, loss, steady_m, gfair, tfair;
   RunningStats rtt_all;  // pooled RTT samples across runs
   std::vector<double> steady_means;

@@ -20,6 +20,19 @@ struct SeriesStats {
 [[nodiscard]] SeriesStats aggregate_series(
     const std::vector<std::vector<double>>& runs);
 
+/// Cross-run digest of one flow of the mix.
+struct FlowSummaryRow {
+  net::FlowId id = 0;
+  std::string name;
+  FlowKind kind = FlowKind::kBulkTcp;
+
+  SeriesStats series;  // goodput Mb/s per bucket, aggregated across runs
+
+  // Mean goodput over the fairness window: mean/sd across runs.
+  double fair_mbps_mean = 0.0;
+  double fair_mbps_sd = 0.0;
+};
+
 /// Everything the benches need about one grid cell.
 struct ConditionResult {
   Scenario scenario;
@@ -27,6 +40,15 @@ struct ConditionResult {
 
   SeriesStats game;  // bitrate Mb/s per 0.5 s bucket
   SeriesStats tcp;
+
+  /// Per-flow digests, in mix order (the N-flow generalisation of
+  /// game/tcp above).
+  std::vector<FlowSummaryRow> flow_rows;
+
+  /// N-flow Jain index over the fairness window (ping excluded): mean/sd
+  /// across runs.
+  double jain_mean = 0.0;
+  double jain_sd = 0.0;
 
   // Fairness ratio: mean/sd across runs (Fig 3 cell value).
   double fairness_mean = 0.0;

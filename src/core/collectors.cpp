@@ -17,6 +17,18 @@ std::size_t RunTrace::bucket_of(Time t) const {
   return bucket_index(t, sample_interval);
 }
 
+const FlowTrace* RunTrace::flow(net::FlowId id) const {
+  for (const FlowTrace& f : flows) {
+    if (f.id == id) return &f;
+  }
+  return nullptr;
+}
+
+double RunTrace::mean_flow_mbps(net::FlowId id, Time from, Time to) const {
+  const FlowTrace* f = flow(id);
+  return f != nullptr ? mean_bitrate_mbps(f->mbps, from, to) : 0.0;
+}
+
 double RunTrace::mean_bitrate_mbps(const std::vector<double>& series,
                                    Time from, Time to) const {
   RunningStats s;
@@ -71,20 +83,26 @@ double RunTrace::fps_over(Time from, Time to) const {
 }
 
 TraceCollectors::TraceCollectors(sim::Simulator& sim, Time duration,
-                                 Time sample_interval, net::FlowId game_flow,
-                                 net::FlowId tcp_flow)
+                                 Time sample_interval,
+                                 std::vector<FlowInfo> flows)
     : sim_(sim),
       duration_(duration),
       interval_(sample_interval),
-      game_flow_(game_flow),
-      tcp_flow_(tcp_flow),
       n_buckets_(bucket_index(duration, sample_interval) + 1),
-      game_bytes_(n_buckets_, 0),
-      tcp_bytes_(n_buckets_, 0),
+      flows_(std::move(flows)),
+      bytes_(flows_.size(), std::vector<std::int64_t>(n_buckets_, 0)),
+      recv_samples_(flows_.size(),
+                    std::vector<std::uint64_t>(n_buckets_ + 1, 0)),
+      lost_samples_(flows_.size(),
+                    std::vector<std::uint64_t>(n_buckets_ + 1, 0)),
+      pkt_counters_(flows_.size(), 0),
+      receivers_(flows_.size(), nullptr),
       drops_(n_buckets_ + 1, 0),
-      recv_samples_(n_buckets_ + 1, 0),
-      lost_samples_(n_buckets_ + 1, 0),
-      sampler_(sim, sample_interval, [this] { sample_counters(); }) {}
+      sampler_(sim, sample_interval, [this] { sample_counters(); }) {
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    flow_index_.emplace(flows_[i].id, i);
+  }
+}
 
 std::size_t TraceCollectors::bucket_of(Time t) const {
   return std::min(bucket_index(t, interval_), n_buckets_ - 1);
@@ -92,19 +110,19 @@ std::size_t TraceCollectors::bucket_of(Time t) const {
 
 void TraceCollectors::attach_bottleneck(net::Link& link) {
   link.sniffer().on_deliver([this](const net::Packet& p, Time t) {
-    const std::size_t b = bucket_of(t);
-    if (p.flow == game_flow_) {
-      game_bytes_[b] += p.size_bytes;
-    } else if (p.flow == tcp_flow_) {
-      tcp_bytes_[b] += p.size_bytes;
-    }
+    const auto it = flow_index_.find(p.flow);
+    if (it == flow_index_.end()) return;
+    bytes_[it->second][bucket_of(t)] += p.size_bytes;
+    ++pkt_counters_[it->second];
   });
   link.sniffer().on_drop(
       [this](const net::Packet&, net::DropReason, Time) { ++drop_counter_; });
 }
 
-void TraceCollectors::attach_game_receiver(const stream::StreamReceiver& recv) {
-  game_recv_ = &recv;
+void TraceCollectors::attach_game_receiver(net::FlowId id,
+                                           const stream::StreamReceiver& recv) {
+  const auto it = flow_index_.find(id);
+  if (it != flow_index_.end()) receivers_[it->second] = &recv;
 }
 
 void TraceCollectors::start() { sampler_.start(); }
@@ -117,9 +135,13 @@ void TraceCollectors::sample_counters() {
                   interval_.count()),
       n_buckets_);
   drops_[k] = drop_counter_;
-  if (game_recv_ != nullptr) {
-    recv_samples_[k] = game_recv_->packets_received();
-    lost_samples_[k] = game_recv_->packets_lost();
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    if (receivers_[i] != nullptr) {
+      recv_samples_[i][k] = receivers_[i]->packets_received();
+      lost_samples_[i][k] = receivers_[i]->packets_lost();
+    } else {
+      recv_samples_[i][k] = pkt_counters_[i];
+    }
   }
 }
 
@@ -128,17 +150,41 @@ RunTrace TraceCollectors::finalize(const PingClient* ping,
   RunTrace t;
   t.sample_interval = interval_;
   t.duration = duration_;
-  t.game_mbps.resize(n_buckets_);
-  t.tcp_mbps.resize(n_buckets_);
   const double ival_s = to_seconds(interval_);
-  for (std::size_t i = 0; i < n_buckets_; ++i) {
-    t.game_mbps[i] = double(game_bytes_[i]) * 8.0 / ival_s / 1e6;
-    t.tcp_mbps[i] = double(tcp_bytes_[i]) * 8.0 / ival_s / 1e6;
+
+  t.flows.resize(flows_.size());
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    FlowTrace& f = t.flows[i];
+    f.id = flows_[i].id;
+    f.name = flows_[i].name;
+    f.kind = flows_[i].kind;
+    f.mbps.resize(n_buckets_);
+    for (std::size_t b = 0; b < n_buckets_; ++b) {
+      f.mbps[b] = double(bytes_[i][b]) * 8.0 / ival_s / 1e6;
+    }
+    // Boundary-indexed cumulative counters: entry k = count at k * interval.
+    f.pkts_recv = recv_samples_[i];
+    f.pkts_lost = lost_samples_[i];
   }
-  // Boundary-indexed cumulative counters: entry k = count at k * interval.
+
+  // Legacy two-flow views: primary game flow + sum of bulk-TCP flows.
+  t.game_mbps.assign(n_buckets_, 0.0);
+  t.tcp_mbps.assign(n_buckets_, 0.0);
+  t.game_pkts_recv.assign(n_buckets_ + 1, 0);
+  t.game_pkts_lost.assign(n_buckets_ + 1, 0);
+  bool game_seen = false;
+  for (const FlowTrace& f : t.flows) {
+    if (f.kind == FlowKind::kGameStream && !game_seen) {
+      game_seen = true;
+      t.game_mbps = f.mbps;
+      t.game_pkts_recv = f.pkts_recv;
+      t.game_pkts_lost = f.pkts_lost;
+    } else if (f.kind == FlowKind::kBulkTcp) {
+      for (std::size_t b = 0; b < n_buckets_; ++b) t.tcp_mbps[b] += f.mbps[b];
+    }
+  }
+
   t.queue_drops = drops_;
-  t.game_pkts_recv = recv_samples_;
-  t.game_pkts_lost = lost_samples_;
   if (ping != nullptr) t.rtt = ping->samples();
   if (recv != nullptr) t.frame_times = recv->display().presentation_times();
   return t;

@@ -3,37 +3,74 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/ping.hpp"
+#include "core/scenario.hpp"
 #include "net/link.hpp"
 #include "stream/receiver.hpp"
 #include "util/units.hpp"
 
 namespace cgs::core {
 
+/// Per-flow measured series: goodput buckets plus cumulative packet
+/// counters sampled at bucket boundaries.
+struct FlowTrace {
+  net::FlowId id = 0;
+  std::string name;
+  FlowKind kind = FlowKind::kBulkTcp;
+
+  /// Downstream goodput at the client side of the bottleneck, one bucket
+  /// per sample interval, in Mb/s.
+  std::vector<double> mbps;
+
+  /// Cumulative packets at bucket boundaries (entry k = count at
+  /// k * interval).  Game-stream flows sample their receiver's counters
+  /// (loss-aware); other kinds count bottleneck deliveries, and pkts_lost
+  /// stays zero for them.
+  std::vector<std::uint64_t> pkts_recv;
+  std::vector<std::uint64_t> pkts_lost;
+};
+
 /// Everything measured in one experiment run.
 struct RunTrace {
   Time sample_interval = std::chrono::milliseconds(500);
   Time duration = kTimeZero;
 
-  // Downstream goodput at the client side of the bottleneck, one bucket per
-  // sample interval, in Mb/s (the paper's 0.5 s bitrate computation, §4.1).
+  /// Per-flow series, in mix declaration order.
+  std::vector<FlowTrace> flows;
+
+  // Legacy two-flow views, materialized at finalize() so the paper-default
+  // pipeline (and every pre-mix test) keeps working unchanged: game_mbps is
+  // the primary game-stream flow's series, tcp_mbps the element-wise sum of
+  // every bulk-TCP flow (identical to the single flow's series for the
+  // default mix).  The paper's 0.5 s bitrate computation, §4.1.
   std::vector<double> game_mbps;
   std::vector<double> tcp_mbps;
 
-  // Ping RTT samples.
+  // Ping RTT samples (primary ping flow).
   std::vector<PingClient::Sample> rtt;
 
-  // Cumulative game-stream packet counters sampled per bucket.
+  // Cumulative game-stream packet counters sampled per bucket (primary
+  // game-stream flow view).
   std::vector<std::uint64_t> game_pkts_recv;
   std::vector<std::uint64_t> game_pkts_lost;
 
   // Router-queue drop counter sampled per bucket (all flows).
   std::vector<std::uint64_t> queue_drops;
 
-  // Frame presentation timestamps at the client display.
+  // Frame presentation timestamps at the client display (primary game-
+  // stream flow).
   std::vector<Time> frame_times;
+
+  // -- per-flow lookups -----------------------------------------------------
+  /// The trace of flow `id`, or nullptr when the mix has no such flow.
+  [[nodiscard]] const FlowTrace* flow(net::FlowId id) const;
+  /// Mean goodput of flow `id` over [from, to); 0 for unknown flows.
+  [[nodiscard]] double mean_flow_mbps(net::FlowId id, Time from,
+                                      Time to) const;
 
   // -- window helpers (from/to are absolute sim times) ---------------------
   [[nodiscard]] double mean_bitrate_mbps(const std::vector<double>& series,
@@ -59,18 +96,28 @@ struct RunTrace {
 /// Wires taps into the testbed's components and assembles a RunTrace.
 class TraceCollectors {
  public:
+  /// What the collectors know about one flow of the mix.
+  struct FlowInfo {
+    net::FlowId id = 0;
+    std::string name;
+    FlowKind kind = FlowKind::kBulkTcp;
+  };
+
   TraceCollectors(sim::Simulator& sim, Time duration, Time sample_interval,
-                  net::FlowId game_flow, net::FlowId tcp_flow);
+                  std::vector<FlowInfo> flows);
 
   /// Subscribe to the bottleneck link (delivery + drop taps).
   void attach_bottleneck(net::Link& link);
-  /// Sample game receiver counters each bucket. Must outlive collection.
-  void attach_game_receiver(const stream::StreamReceiver& recv);
+  /// Sample `recv`'s counters for flow `id` each bucket.  Must outlive
+  /// collection.
+  void attach_game_receiver(net::FlowId id, const stream::StreamReceiver& recv);
 
   /// Start periodic counter sampling.
   void start();
 
-  /// Build the final trace (call after the run completes).
+  /// Build the final trace (call after the run completes).  `ping` / `recv`
+  /// fill the legacy rtt / frame_times views (primary flows); either may be
+  /// nullptr.
   [[nodiscard]] RunTrace finalize(const PingClient* ping,
                                   const stream::StreamReceiver* recv) const;
 
@@ -81,17 +128,21 @@ class TraceCollectors {
   sim::Simulator& sim_;
   Time duration_;
   Time interval_;
-  net::FlowId game_flow_;
-  net::FlowId tcp_flow_;
   std::size_t n_buckets_;
 
-  std::vector<std::int64_t> game_bytes_;
-  std::vector<std::int64_t> tcp_bytes_;
-  std::vector<std::uint64_t> drops_;
-  std::vector<std::uint64_t> recv_samples_;
-  std::vector<std::uint64_t> lost_samples_;
+  std::vector<FlowInfo> flows_;
+  std::unordered_map<net::FlowId, std::size_t> flow_index_;
 
-  const stream::StreamReceiver* game_recv_ = nullptr;
+  // Indexed [flow][bucket].
+  std::vector<std::vector<std::int64_t>> bytes_;
+  std::vector<std::vector<std::uint64_t>> recv_samples_;
+  std::vector<std::vector<std::uint64_t>> lost_samples_;
+  // Live per-flow delivered-packet counters (non-game flows).
+  std::vector<std::uint64_t> pkt_counters_;
+  // Per-game-flow receiver taps, parallel to flows_ (nullptr elsewhere).
+  std::vector<const stream::StreamReceiver*> receivers_;
+
+  std::vector<std::uint64_t> drops_;
   std::uint64_t drop_counter_ = 0;
   sim::PeriodicTimer sampler_;
 };

@@ -119,4 +119,19 @@ double jain_index(const std::vector<double>& xs) {
   return sum * sum / (double(xs.size()) * sq);
 }
 
+std::vector<double> flow_throughputs_mbps(const RunTrace& t, Time from,
+                                          Time to) {
+  std::vector<double> out;
+  out.reserve(t.flows.size());
+  for (const FlowTrace& f : t.flows) {
+    if (f.kind == FlowKind::kPing) continue;
+    out.push_back(t.mean_bitrate_mbps(f.mbps, from, to));
+  }
+  return out;
+}
+
+double jain_index(const RunTrace& t, const AnalysisWindows& w) {
+  return jain_index(flow_throughputs_mbps(t, w.fairness_from, w.fairness_to));
+}
+
 }  // namespace cgs::core

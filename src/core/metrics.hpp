@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "core/collectors.hpp"
 #include "core/scenario.hpp"
 #include "util/units.hpp"
 
@@ -49,6 +50,18 @@ struct ResponseRecovery {
 /// Jain's fairness index over per-flow throughputs (extra metric used by
 /// the TCP-vs-TCP ablation).
 [[nodiscard]] double jain_index(const std::vector<double>& throughputs);
+
+/// Mean per-flow goodput over [from, to) for every throughput-bearing flow
+/// of the mix (game streams and bulk TCP; ping probes excluded), in
+/// RunTrace flow order.
+[[nodiscard]] std::vector<double> flow_throughputs_mbps(const RunTrace& t,
+                                                        Time from, Time to);
+
+/// N-flow Jain's fairness index over the fairness window: jain_index of
+/// flow_throughputs_mbps.  1.0 = perfectly even split across game + TCP
+/// flows; 1/N = one flow starves all others.
+[[nodiscard]] double jain_index(const RunTrace& t,
+                                const AnalysisWindows& w = {});
 
 /// Harm (Ware et al., HotNets 2019; paper §5 future work): the fraction of
 /// a flow's solo performance destroyed by a competitor.  For "more is

@@ -123,6 +123,56 @@ void write_series_csv(const std::string& path, Time sample_interval,
   }
 }
 
+std::string render_flow_summary(const ConditionResult& res) {
+  TextTable table;
+  table.set_header({"flow", "id", "kind", "fair-win Mb/s", "share"});
+  const double cap = res.scenario.capacity.megabits_per_sec();
+  for (const FlowSummaryRow& row : res.flow_rows) {
+    std::ostringstream share;
+    share << std::fixed << std::setprecision(2)
+          << (cap > 0.0 ? row.fair_mbps_mean / cap : 0.0);
+    table.add_row({row.name, std::to_string(row.id),
+                   std::string(to_string(row.kind)),
+                   fmt_mean_sd(row.fair_mbps_mean, row.fair_mbps_sd),
+                   share.str()});
+  }
+  std::ostringstream os;
+  os << table.render();
+  os << "Jain index (game+tcp flows): "
+     << fmt_mean_sd(res.jain_mean, res.jain_sd, 3) << '\n';
+  return os.str();
+}
+
+void write_flow_series_csv(const std::string& path, Time sample_interval,
+                           const std::vector<FlowSummaryRow>& rows) {
+  CsvWriter csv(path);
+  std::vector<std::string> header{"t_s"};
+  std::size_t len = 0;
+  for (const FlowSummaryRow& r : rows) {
+    header.push_back(r.name + "_mbps");
+    header.push_back(r.name + "_ci_lo");
+    header.push_back(r.name + "_ci_hi");
+    len = std::max(len, r.series.mean.size());
+  }
+  csv.header(header);
+  const double dt = to_seconds(sample_interval);
+  for (std::size_t i = 0; i < len; ++i) {
+    std::vector<double> cells{double(i) * dt};
+    for (const FlowSummaryRow& r : rows) {
+      if (i < r.series.mean.size()) {
+        cells.push_back(r.series.mean[i]);
+        cells.push_back(r.series.mean[i] - r.series.ci95[i]);
+        cells.push_back(r.series.mean[i] + r.series.ci95[i]);
+      } else {
+        cells.push_back(0.0);
+        cells.push_back(0.0);
+        cells.push_back(0.0);
+      }
+    }
+    csv.row(cells);
+  }
+}
+
 std::string sparkline(const std::vector<double>& series, std::size_t width) {
   static const char* kLevels[] = {" ", "▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
   if (series.empty()) return "";

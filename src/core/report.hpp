@@ -35,6 +35,16 @@ class TextTable {
 void write_series_csv(const std::string& path, Time sample_interval,
                       const SeriesStats& game, const SeriesStats* tcp);
 
+/// Per-flow summary table: one row per flow of the mix (id, kind, goodput
+/// over the fairness window, share of capacity), followed by the N-flow
+/// Jain index line.
+[[nodiscard]] std::string render_flow_summary(const ConditionResult& res);
+
+/// Per-flow mean/CI time-series CSV: t_s, then one
+/// "<name>_mbps,<name>_ci_lo,<name>_ci_hi" column group per flow row.
+void write_flow_series_csv(const std::string& path, Time sample_interval,
+                           const std::vector<FlowSummaryRow>& rows);
+
 /// Compact console sparkline of a bitrate series (for quick inspection).
 [[nodiscard]] std::string sparkline(const std::vector<double>& series,
                                     std::size_t width = 80);

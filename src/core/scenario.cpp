@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace cgs::core {
 
@@ -12,6 +13,86 @@ namespace {
   throw std::invalid_argument("Scenario: " + msg);
 }
 }  // namespace
+
+std::string_view to_string(FlowKind k) {
+  switch (k) {
+    case FlowKind::kGameStream: return "game";
+    case FlowKind::kBulkTcp: return "tcp";
+    case FlowKind::kPing: return "ping";
+  }
+  return "?";
+}
+
+FlowSpec FlowSpec::game_stream(std::optional<stream::GameSystem> sys) {
+  FlowSpec f;
+  f.kind = FlowKind::kGameStream;
+  f.system = sys;
+  return f;
+}
+
+FlowSpec FlowSpec::bulk_tcp(tcp::CcAlgo algo, Time start,
+                            std::optional<Time> stop) {
+  FlowSpec f;
+  f.kind = FlowKind::kBulkTcp;
+  f.algo = algo;
+  f.start = start;
+  f.stop = stop;
+  return f;
+}
+
+FlowSpec FlowSpec::ping() {
+  FlowSpec f;
+  f.kind = FlowKind::kPing;
+  return f;
+}
+
+std::vector<FlowSpec> Scenario::effective_flows() const {
+  std::vector<FlowSpec> out;
+  if (flows.empty()) {
+    // The paper's Figure-1 mix.  Ids are pinned to the historical values
+    // (game=1, tcp=2, ping=3) so the default topology — including per-flow
+    // seed derivation and fq_codel flow hashing — reproduces pre-registry
+    // traces bit-exactly.
+    FlowSpec g = FlowSpec::game_stream();
+    g.id = 1;
+    g.name = "game";
+    out.push_back(std::move(g));
+    if (tcp_algo) {
+      FlowSpec t = FlowSpec::bulk_tcp(*tcp_algo, tcp_start, tcp_stop);
+      t.id = 2;
+      t.name = "tcp";
+      out.push_back(std::move(t));
+    }
+    FlowSpec p = FlowSpec::ping();
+    p.id = 3;
+    p.name = "ping";
+    out.push_back(std::move(p));
+    return out;
+  }
+
+  out = flows;
+  // Resolve auto ids (first free id in declaration order) and empty names.
+  std::unordered_set<net::FlowId> used;
+  for (const FlowSpec& f : out) {
+    if (f.id != 0) used.insert(f.id);
+  }
+  net::FlowId next = 1;
+  std::size_t index = 0;
+  for (FlowSpec& f : out) {
+    if (f.id == 0) {
+      while (used.count(next) != 0) ++next;
+      f.id = next;
+      used.insert(next);
+    }
+    if (f.name.empty()) {
+      std::ostringstream os;
+      os << to_string(f.kind) << index;
+      f.name = os.str();
+    }
+    ++index;
+  }
+  return out;
+}
 
 void Scenario::validate() const {
   if (capacity.bits_per_sec() <= 0) {
@@ -34,12 +115,17 @@ void Scenario::validate() const {
     os << "base_rtt must be > 0 (got " << to_seconds(base_rtt) << " s)";
     invalid(os.str());
   }
-  // The TCP schedule only matters when a competing flow exists.
-  if (tcp_algo) {
-    if (tcp_start > tcp_stop) {
+  // The scalar TCP schedule only matters for the synthesized default mix.
+  if (flows.empty() && tcp_algo) {
+    if (tcp_start < kTimeZero) {
+      std::ostringstream os;
+      os << "tcp_start must be >= 0 (got " << to_seconds(tcp_start) << " s)";
+      invalid(os.str());
+    }
+    if (tcp_start >= tcp_stop) {
       std::ostringstream os;
       os << "tcp_start (" << to_seconds(tcp_start)
-         << " s) must not exceed tcp_stop (" << to_seconds(tcp_stop) << " s)";
+         << " s) must be before tcp_stop (" << to_seconds(tcp_stop) << " s)";
       invalid(os.str());
     }
     if (tcp_stop > duration) {
@@ -47,6 +133,52 @@ void Scenario::validate() const {
       os << "tcp_stop (" << to_seconds(tcp_stop)
          << " s) must not exceed duration (" << to_seconds(duration) << " s)";
       invalid(os.str());
+    }
+  }
+  if (!flows.empty()) {
+    std::unordered_set<net::FlowId> ids;
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      const FlowSpec& f = flows[i];
+      const auto field = [&](const char* leaf) {
+        std::ostringstream os;
+        os << "flows[" << i << "]." << leaf;
+        return os.str();
+      };
+      if (f.id != 0 && !ids.insert(f.id).second) {
+        std::ostringstream os;
+        os << field("id") << " duplicates flow id " << f.id;
+        invalid(os.str());
+      }
+      if (f.start < kTimeZero) {
+        std::ostringstream os;
+        os << field("start") << " must be >= 0 (got " << to_seconds(f.start)
+           << " s)";
+        invalid(os.str());
+      }
+      if (f.stop) {
+        if (*f.stop <= f.start) {
+          std::ostringstream os;
+          os << field("stop") << " (" << to_seconds(*f.stop)
+             << " s) must be after start (" << to_seconds(f.start) << " s)";
+          invalid(os.str());
+        }
+        if (*f.stop > duration) {
+          std::ostringstream os;
+          os << field("stop") << " (" << to_seconds(*f.stop)
+             << " s) must not exceed duration (" << to_seconds(duration)
+             << " s)";
+          invalid(os.str());
+        }
+      }
+      if (f.extra_owd < kTimeZero) {
+        std::ostringstream os;
+        os << field("extra_owd") << " must be >= 0 (got "
+           << to_seconds(f.extra_owd) << " s)";
+        invalid(os.str());
+      }
+      if (f.impair_up) {
+        f.impair_up->validate(field("impair_up"));
+      }
     }
   }
   impair_down.validate("impair_down");
@@ -74,7 +206,25 @@ std::string Scenario::label() const {
   std::ostringstream os;
   os << stream::to_string(system) << " " << capacity.megabits_per_sec()
      << "Mb/s " << queue_bdp_mult << "xBDP ";
-  if (tcp_algo) {
+  if (!flows.empty()) {
+    // Custom mix: count flows per kind, e.g. "mix[2 game + 2 tcp + 1 ping]".
+    std::size_t games = 0, tcps = 0, pings = 0;
+    for (const FlowSpec& f : flows) {
+      if (f.kind == FlowKind::kGameStream) ++games;
+      if (f.kind == FlowKind::kBulkTcp) ++tcps;
+      if (f.kind == FlowKind::kPing) ++pings;
+    }
+    os << "mix[";
+    const char* sep = "";
+    for (auto [n, kind] : {std::pair{games, FlowKind::kGameStream},
+                           {tcps, FlowKind::kBulkTcp},
+                           {pings, FlowKind::kPing}}) {
+      if (n == 0) continue;
+      os << sep << n << " " << to_string(kind);
+      sep = " + ";
+    }
+    os << "]";
+  } else if (tcp_algo) {
     os << "vs " << tcp::to_string(*tcp_algo);
   } else {
     os << "solo";

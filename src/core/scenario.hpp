@@ -6,8 +6,10 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "net/impairment.hpp"
+#include "net/packet.hpp"
 #include "stream/profiles.hpp"
 #include "tcp/congestion_control.hpp"
 #include "util/units.hpp"
@@ -17,6 +19,51 @@ namespace cgs::core {
 enum class QueueKind { kDropTail, kCoDel, kFqCoDel };
 
 [[nodiscard]] std::string_view to_string(QueueKind k);
+
+/// What kind of traffic source a FlowSpec instantiates.
+enum class FlowKind { kGameStream, kBulkTcp, kPing };
+
+[[nodiscard]] std::string_view to_string(FlowKind k);
+
+/// One traffic source in the mix.  The paper's topology is the 3-flow
+/// special case (game stream + optional bulk TCP + ping); arbitrary N-flow
+/// mixes are built by filling Scenario::flows.
+struct FlowSpec {
+  FlowKind kind = FlowKind::kBulkTcp;
+
+  /// Stable flow identifier used for routing, per-flow seeds and trace
+  /// keys.  0 = auto-assign (first free id in declaration order).
+  net::FlowId id = 0;
+
+  /// Report / diagnostic label; empty synthesizes "<kind><index>".
+  std::string name;
+
+  /// Game-stream flows: system model; nullopt inherits Scenario::system.
+  std::optional<stream::GameSystem> system;
+
+  /// Bulk-tcp flows: congestion control algorithm.
+  tcp::CcAlgo algo = tcp::CcAlgo::kCubic;
+
+  /// Activity window.  start == kTimeZero: active from the beginning;
+  /// stop == nullopt: active until the end of the run.
+  Time start = kTimeZero;
+  std::optional<Time> stop;
+
+  /// Extra one-way delay appended to this flow's downstream access path on
+  /// top of the scenario-wide base_rtt padding (heterogeneous-RTT mixes).
+  Time extra_owd = kTimeZero;
+
+  /// Per-flow upstream impairment override; nullopt inherits
+  /// Scenario::impair_up.
+  std::optional<net::ImpairmentConfig> impair_up;
+
+  // Convenience factories for the common cases.
+  [[nodiscard]] static FlowSpec game_stream(
+      std::optional<stream::GameSystem> sys = std::nullopt);
+  [[nodiscard]] static FlowSpec bulk_tcp(tcp::CcAlgo algo, Time start,
+                                         std::optional<Time> stop);
+  [[nodiscard]] static FlowSpec ping();
+};
 
 struct Scenario {
   stream::GameSystem system = stream::GameSystem::kStadia;
@@ -28,7 +75,8 @@ struct Scenario {
   /// (paper: 0.5, 2 or 7).
   double queue_bdp_mult = 2.0;
 
-  /// Competing bulk TCP flow; nullopt = no competing traffic.
+  /// Competing bulk TCP flow; nullopt = no competing traffic.  Ignored
+  /// (together with tcp_start/tcp_stop) when `flows` is non-empty.
   std::optional<tcp::CcAlgo> tcp_algo = tcp::CcAlgo::kCubic;
 
   QueueKind queue_kind = QueueKind::kDropTail;
@@ -42,6 +90,16 @@ struct Scenario {
   Time tcp_stop = std::chrono::seconds(370);
 
   std::uint64_t seed = 1;
+
+  /// Custom traffic mix.  Empty = the paper's default 3-flow mix
+  /// synthesized from the scalar fields above (game stream id 1 from t=0,
+  /// optional bulk TCP id 2 over [tcp_start, tcp_stop), ping id 3).  When
+  /// non-empty, the scalar tcp_algo/tcp_start/tcp_stop are ignored.
+  std::vector<FlowSpec> flows;
+
+  /// The mix the testbed will instantiate: `flows` with ids/names resolved,
+  /// or the synthesized paper-default mix when `flows` is empty.
+  [[nodiscard]] std::vector<FlowSpec> effective_flows() const;
 
   /// Path impairments — the netem half of the paper's router.  The
   /// downstream stage sits in front of the shared bottleneck link (all

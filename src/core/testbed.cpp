@@ -1,7 +1,8 @@
 #include "core/testbed.hpp"
 
+#include <stdexcept>
+
 #include "net/codel.hpp"
-#include "util/rng.hpp"
 
 namespace cgs::core {
 
@@ -29,9 +30,91 @@ std::unique_ptr<net::Queue> Testbed::make_queue() const {
   return nullptr;
 }
 
+Pcg32 Testbed::flow_master_rng(std::uint64_t seed, net::FlowId id) {
+  // Id 1 is the historical single-master derivation; see header.
+  if (id == 1) return Pcg32(seed);
+  return Pcg32(splitmix64(seed ^ (0x9e3779b97f4a7c15ULL * std::uint64_t(id))));
+}
+
+net::PacketSink* Testbed::upstream_entry(const FlowSpec& spec,
+                                         net::PacketSink& up) {
+  const net::ImpairmentConfig& cfg =
+      spec.impair_up ? *spec.impair_up : scenario_.impair_up;
+  if (!cfg.any()) return &up;
+  // Private PCG stream per flow (0xa00 + id: matches the pre-registry
+  // streams 0xa01/0xa02/0xa03 for the default game/tcp/ping mix).
+  up_impairs_.push_back(std::make_unique<net::Impairment>(
+      sim_, factory_, "up-" + spec.name, cfg,
+      Pcg32(scenario_.seed, 0xa00 + std::uint64_t(spec.id)), &up));
+  return up_impairs_.back().get();
+}
+
+void Testbed::build_game_flow(const FlowSpec& spec, net::PacketSink* down_entry,
+                              Time pad, Time bottleneck_prop) {
+  const stream::GameSystem sys = spec.system.value_or(scenario_.system);
+  const auto& prof = stream::profile_for(sys);
+
+  GameFlow g;
+  g.spec = spec;
+
+  stream::StreamSender::Options so;
+  so.flow = spec.id;
+  so.burst_factor = prof.burst_factor;
+  auto controller = scenario_.controller_override
+                        ? scenario_.controller_override()
+                        : stream::make_controller(sys);
+  g.sender = std::make_unique<stream::StreamSender>(
+      sim_, factory_, so, stream::frame_config_for(sys), std::move(controller),
+      flow_master_rng(scenario_.seed, spec.id).fork(0x6a6d));
+
+  stream::StreamReceiver::Options ro;
+  ro.flow = spec.id;
+  ro.fec_rate = prof.fec_rate;
+  ro.playout_deadline = prof.playout_deadline;
+  g.receiver = std::make_unique<stream::StreamReceiver>(sim_, factory_, ro);
+
+  g.access = std::make_unique<net::DelayLine>(sim_, pad + spec.extra_owd,
+                                              down_entry);
+  g.sender->set_output(g.access.get());
+  router_->register_client(spec.id, g.receiver.get());
+  g.receiver->set_output(upstream_entry(
+      spec, router_->make_upstream(pad + bottleneck_prop, g.sender.get())));
+  games_.push_back(std::move(g));
+}
+
+void Testbed::build_tcp_flow(const FlowSpec& spec, net::PacketSink* down_entry,
+                             Time pad, Time bottleneck_prop) {
+  TcpFlow t;
+  t.spec = spec;
+  t.flow = std::make_unique<tcp::BulkTcpFlow>(sim_, factory_, spec.id,
+                                              spec.algo);
+  t.access = std::make_unique<net::DelayLine>(sim_, pad + spec.extra_owd,
+                                              down_entry);
+  router_->register_client(spec.id, &t.flow->receiver());
+  t.flow->attach(t.access.get(),
+                 upstream_entry(spec, router_->make_upstream(
+                                          pad + bottleneck_prop,
+                                          &t.flow->sender())));
+  tcps_.push_back(std::move(t));
+}
+
+void Testbed::build_ping_flow(const FlowSpec& spec, net::PacketSink* down_entry,
+                              Time pad, Time bottleneck_prop) {
+  PingFlow p;
+  p.spec = spec;
+  p.client = std::make_unique<PingClient>(sim_, factory_, spec.id);
+  p.responder = std::make_unique<PingResponder>(sim_, factory_, spec.id);
+  p.access = std::make_unique<net::DelayLine>(sim_, pad + spec.extra_owd,
+                                              down_entry);
+  p.responder->set_output(p.access.get());
+  router_->register_client(spec.id, p.client.get());
+  p.client->set_output(upstream_entry(
+      spec, router_->make_upstream(pad + bottleneck_prop, p.responder.get())));
+  pings_.push_back(std::move(p));
+}
+
 Testbed::Testbed(const Scenario& scenario) : scenario_(scenario) {
   scenario_.validate();
-  Pcg32 master(scenario.seed);
 
   // Watchdog (fault-injection hardening): a run whose event count explodes
   // is livelocked; abort it with a diagnostic instead of spinning forever.
@@ -59,95 +142,111 @@ Testbed::Testbed(const Scenario& scenario) : scenario_(scenario) {
         Pcg32(scenario.seed, 0xd01), &router_->downstream_in());
     down_entry = down_impair_.get();
   }
-  // Upstream impairment is per reverse path (feedback / ACK / ping-request
-  // direction); each stage draws from its own stream.
-  const auto upstream_entry = [&](net::PacketSink& up, const char* name,
-                                  std::uint64_t stream) -> net::PacketSink* {
-    if (!scenario.impair_up.any()) return &up;
-    up_impairs_.push_back(std::make_unique<net::Impairment>(
-        sim_, factory_, name, scenario.impair_up,
-        Pcg32(scenario.seed, stream), &up));
-    return up_impairs_.back().get();
-  };
 
   // RTT padding (§3.3): every flow sees base_rtt end to end. One-way split:
   // server->router access pad + bottleneck propagation downstream, a pure
-  // delay line upstream.
+  // delay line upstream.  Per-flow extra_owd lengthens only the downstream
+  // access segment.
   const Time pad = (scenario.base_rtt - 2 * kBottleneckProp) / 2;
 
-  // --- game stream -------------------------------------------------------
-  const auto& prof = stream::profile_for(scenario.system);
-  {
-    stream::StreamSender::Options so;
-    so.flow = kGameFlow;
-    so.burst_factor = prof.burst_factor;
-    auto controller = scenario.controller_override
-                          ? scenario.controller_override()
-                          : stream::make_controller(scenario.system);
-    game_sender_ = std::make_unique<stream::StreamSender>(
-        sim_, factory_, so, stream::frame_config_for(scenario.system),
-        std::move(controller), master.fork(0x6a6d));
-
-    stream::StreamReceiver::Options ro;
-    ro.flow = kGameFlow;
-    ro.fec_rate = prof.fec_rate;
-    ro.playout_deadline = prof.playout_deadline;
-    game_recv_ = std::make_unique<stream::StreamReceiver>(sim_, factory_, ro);
-
-    game_access_ = std::make_unique<net::DelayLine>(sim_, pad, down_entry);
-    game_sender_->set_output(game_access_.get());
-    router_->register_client(kGameFlow, game_recv_.get());
-    game_recv_->set_output(upstream_entry(
-        router_->make_upstream(pad + kBottleneckProp, game_sender_.get()),
-        "up-game", 0xa01));
-  }
-
-  // --- competing TCP flow ------------------------------------------------
-  if (scenario.tcp_algo) {
-    tcp_flow_ = std::make_unique<tcp::BulkTcpFlow>(sim_, factory_, kTcpFlow,
-                                                   *scenario.tcp_algo);
-    tcp_access_ = std::make_unique<net::DelayLine>(sim_, pad, down_entry);
-    router_->register_client(kTcpFlow, &tcp_flow_->receiver());
-    tcp_flow_->attach(
-        tcp_access_.get(),
-        upstream_entry(
-            router_->make_upstream(pad + kBottleneckProp, &tcp_flow_->sender()),
-            "up-tcp", 0xa02));
-  }
-
-  // --- ping probe (client -> game server -> back through the queue) ------
-  {
-    ping_client_ = std::make_unique<PingClient>(sim_, factory_, kPingFlow);
-    ping_responder_ =
-        std::make_unique<PingResponder>(sim_, factory_, kPingFlow);
-    ping_access_ = std::make_unique<net::DelayLine>(sim_, pad, down_entry);
-    ping_responder_->set_output(ping_access_.get());
-    router_->register_client(kPingFlow, ping_client_.get());
-    ping_client_->set_output(upstream_entry(
-        router_->make_upstream(pad + kBottleneckProp, ping_responder_.get()),
-        "up-ping", 0xa03));
+  // Instantiate every flow of the mix, in declaration order (ids, seeds and
+  // upstream-impairment streams are all keyed by the spec's resolved id, so
+  // the order only fixes event-queue tie-breaks, not any flow's RNG).
+  const std::vector<FlowSpec> specs = scenario_.effective_flows();
+  for (const FlowSpec& spec : specs) {
+    switch (spec.kind) {
+      case FlowKind::kGameStream:
+        build_game_flow(spec, down_entry, pad, kBottleneckProp);
+        break;
+      case FlowKind::kBulkTcp:
+        build_tcp_flow(spec, down_entry, pad, kBottleneckProp);
+        break;
+      case FlowKind::kPing:
+        build_ping_flow(spec, down_entry, pad, kBottleneckProp);
+        break;
+    }
   }
 
   // --- collectors ---------------------------------------------------------
+  std::vector<TraceCollectors::FlowInfo> infos;
+  infos.reserve(specs.size());
+  for (const FlowSpec& spec : specs) {
+    infos.push_back({spec.id, spec.name, spec.kind});
+  }
   collectors_ = std::make_unique<TraceCollectors>(
-      sim_, scenario.duration, std::chrono::milliseconds(500), kGameFlow,
-      kTcpFlow);
+      sim_, scenario.duration, std::chrono::milliseconds(500),
+      std::move(infos));
   collectors_->attach_bottleneck(router_->bottleneck());
-  collectors_->attach_game_receiver(*game_recv_);
+  for (const GameFlow& g : games_) {
+    collectors_->attach_game_receiver(g.spec.id, *g.receiver);
+  }
+}
+
+stream::StreamSender& Testbed::game_sender() {
+  if (games_.empty()) {
+    throw std::logic_error(
+        "Testbed: game_sender(): this mix has no game-stream flow");
+  }
+  return *games_.front().sender;
+}
+
+stream::StreamReceiver& Testbed::game_receiver() {
+  if (games_.empty()) {
+    throw std::logic_error(
+        "Testbed: game_receiver(): this mix has no game-stream flow");
+  }
+  return *games_.front().receiver;
+}
+
+PingClient& Testbed::ping() {
+  if (pings_.empty()) {
+    throw std::logic_error("Testbed: ping(): this mix has no ping flow");
+  }
+  return *pings_.front().client;
+}
+
+tcp::BulkTcpFlow* Testbed::tcp_flow() {
+  return tcps_.empty() ? nullptr : tcps_.front().flow.get();
 }
 
 RunTrace Testbed::run() {
-  game_recv_->start();
-  game_sender_->start();
-  ping_client_->start();
+  // Immediate starts first, in mix order, matching the pre-registry event
+  // sequence (game receiver, game sender, ping client, collectors, then the
+  // scheduled TCP start/stop events).
+  for (GameFlow& g : games_) {
+    if (g.spec.start <= kTimeZero) {
+      g.receiver->start();
+      g.sender->start();
+    } else {
+      sim_.schedule_at(g.spec.start, [&g] {
+        g.receiver->start();
+        g.sender->start();
+      });
+    }
+    if (g.spec.stop) {
+      sim_.schedule_at(*g.spec.stop, [&g] { g.sender->stop(); });
+    }
+  }
+  for (PingFlow& p : pings_) {
+    if (p.spec.start <= kTimeZero) {
+      p.client->start();
+    } else {
+      sim_.schedule_at(p.spec.start, [&p] { p.client->start(); });
+    }
+    if (p.spec.stop) {
+      sim_.schedule_at(*p.spec.stop, [&p] { p.client->stop(); });
+    }
+  }
   collectors_->start();
-
-  if (tcp_flow_) {
-    tcp_flow_->schedule(sim_, scenario_.tcp_start, scenario_.tcp_stop);
+  for (TcpFlow& t : tcps_) {
+    t.flow->schedule(sim_, t.spec.start,
+                     t.spec.stop.value_or(scenario_.duration));
   }
 
   sim_.run_until(scenario_.duration);
-  return collectors_->finalize(ping_client_.get(), game_recv_.get());
+  return collectors_->finalize(
+      pings_.empty() ? nullptr : pings_.front().client.get(),
+      games_.empty() ? nullptr : games_.front().receiver.get());
 }
 
 }  // namespace cgs::core

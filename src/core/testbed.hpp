@@ -1,10 +1,14 @@
-// Builds the paper's Figure-1 testbed for one Scenario and executes the
-// §3.4 schedule: game stream from t=0, competing iperf TCP flow over
-// [tcp_start, tcp_stop), ping probes throughout, collectors tapping the
-// bottleneck link.
+// Builds the testbed topology for one Scenario and executes its schedule.
+//
+// The paper's Figure-1 setup (game stream from t=0, competing iperf TCP
+// flow over [tcp_start, tcp_stop), ping probes throughout) is the default
+// 3-flow mix; arbitrary N-flow mixes are instantiated from
+// Scenario::flows.  Every flow gets its own endpoints, access delay line
+// and schedule events; collectors tap the shared bottleneck link.
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "core/collectors.hpp"
 #include "core/ping.hpp"
@@ -13,19 +17,43 @@
 #include "stream/receiver.hpp"
 #include "stream/sender.hpp"
 #include "tcp/bulk_app.hpp"
+#include "util/rng.hpp"
 
 namespace cgs::core {
 
 class Testbed {
  public:
-  static constexpr net::FlowId kGameFlow = 1;
-  static constexpr net::FlowId kTcpFlow = 2;
-  static constexpr net::FlowId kPingFlow = 3;
-
   explicit Testbed(const Scenario& scenario);
 
   /// Execute the full schedule; returns the measured trace.
   [[nodiscard]] RunTrace run();
+
+  /// Per-flow master RNG: a pure function of (scenario seed, flow id), so
+  /// adding or removing one flow never perturbs another flow's stream.
+  /// Flow id 1 keeps the pre-registry derivation (Pcg32(seed)) so the
+  /// paper's default mix — whose only RNG consumer is the game sender on
+  /// flow 1 — reproduces historical traces bit-exactly.
+  [[nodiscard]] static Pcg32 flow_master_rng(std::uint64_t seed,
+                                             net::FlowId id);
+
+  // Instantiated flows, in mix declaration order within each kind.
+  struct GameFlow {
+    FlowSpec spec;
+    std::unique_ptr<stream::StreamSender> sender;
+    std::unique_ptr<stream::StreamReceiver> receiver;
+    std::unique_ptr<net::DelayLine> access;
+  };
+  struct TcpFlow {
+    FlowSpec spec;
+    std::unique_ptr<tcp::BulkTcpFlow> flow;
+    std::unique_ptr<net::DelayLine> access;
+  };
+  struct PingFlow {
+    FlowSpec spec;
+    std::unique_ptr<PingClient> client;
+    std::unique_ptr<PingResponder> responder;
+    std::unique_ptr<net::DelayLine> access;
+  };
 
   // Component access (tests, custom schedules).
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
@@ -39,14 +67,39 @@ class Testbed {
   upstream_impairments() const {
     return up_impairs_;
   }
-  [[nodiscard]] stream::StreamSender& game_sender() { return *game_sender_; }
-  [[nodiscard]] stream::StreamReceiver& game_receiver() { return *game_recv_; }
-  [[nodiscard]] tcp::BulkTcpFlow* tcp_flow() { return tcp_flow_.get(); }
-  [[nodiscard]] PingClient& ping() { return *ping_client_; }
+
+  [[nodiscard]] const std::vector<GameFlow>& game_flows() const {
+    return games_;
+  }
+  [[nodiscard]] const std::vector<TcpFlow>& tcp_flows() const { return tcps_; }
+  [[nodiscard]] const std::vector<PingFlow>& ping_flows() const {
+    return pings_;
+  }
+
+  /// Primary game-stream endpoints; throws std::logic_error when the mix
+  /// has no game-stream flow.
+  [[nodiscard]] stream::StreamSender& game_sender();
+  [[nodiscard]] stream::StreamReceiver& game_receiver();
+  /// Primary ping client; throws std::logic_error when the mix has none.
+  [[nodiscard]] PingClient& ping();
+  /// Primary competing TCP flow, or nullptr when the mix has none.
+  [[nodiscard]] tcp::BulkTcpFlow* tcp_flow();
+
   [[nodiscard]] const Scenario& scenario() const { return scenario_; }
 
  private:
   [[nodiscard]] std::unique_ptr<net::Queue> make_queue() const;
+
+  void build_game_flow(const FlowSpec& spec, net::PacketSink* down_entry,
+                       Time pad, Time bottleneck_prop);
+  void build_tcp_flow(const FlowSpec& spec, net::PacketSink* down_entry,
+                      Time pad, Time bottleneck_prop);
+  void build_ping_flow(const FlowSpec& spec, net::PacketSink* down_entry,
+                       Time pad, Time bottleneck_prop);
+  /// Upstream path entry for `spec`: the router's delay line, fronted by an
+  /// impairment stage when the spec (or scenario) configures one.
+  [[nodiscard]] net::PacketSink* upstream_entry(const FlowSpec& spec,
+                                                net::PacketSink& up);
 
   Scenario scenario_;
   sim::Simulator sim_;
@@ -54,23 +107,14 @@ class Testbed {
 
   std::unique_ptr<net::BottleneckRouter> router_;
 
-  // Optional netem-style impairment stages (scenario.impair_down/up).
+  // Optional netem-style impairment stages (scenario.impair_down/up and
+  // per-flow overrides).
   std::unique_ptr<net::Impairment> down_impair_;
   std::vector<std::unique_ptr<net::Impairment>> up_impairs_;
 
-  // Game stream endpoints + path segments.
-  std::unique_ptr<stream::StreamSender> game_sender_;
-  std::unique_ptr<stream::StreamReceiver> game_recv_;
-  std::unique_ptr<net::DelayLine> game_access_;
-
-  // Competing TCP flow (optional).
-  std::unique_ptr<tcp::BulkTcpFlow> tcp_flow_;
-  std::unique_ptr<net::DelayLine> tcp_access_;
-
-  // Ping probe.
-  std::unique_ptr<PingClient> ping_client_;
-  std::unique_ptr<PingResponder> ping_responder_;
-  std::unique_ptr<net::DelayLine> ping_access_;
+  std::vector<GameFlow> games_;
+  std::vector<TcpFlow> tcps_;
+  std::vector<PingFlow> pings_;
 
   std::unique_ptr<TraceCollectors> collectors_;
 };

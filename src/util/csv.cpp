@@ -24,17 +24,21 @@ CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
   if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
 }
 
-void CsvWriter::header(std::initializer_list<std::string_view> cols) {
+namespace {
+
+template <typename Range>
+void write_cells(std::ofstream& out, const Range& cols) {
   bool first = true;
-  for (auto c : cols) {
-    if (!first) out_ << ',';
-    out_ << csv_escape(c);
+  for (const auto& c : cols) {
+    if (!first) out << ',';
+    out << csv_escape(c);
     first = false;
   }
-  out_ << '\n';
+  out << '\n';
 }
 
-void CsvWriter::row(std::initializer_list<double> values) {
+template <typename Range>
+void write_values(std::ofstream& out, const Range& values) {
   bool first = true;
   std::ostringstream line;
   line.precision(10);
@@ -43,7 +47,25 @@ void CsvWriter::row(std::initializer_list<double> values) {
     line << v;
     first = false;
   }
-  out_ << line.str() << '\n';
+  out << line.str() << '\n';
+}
+
+}  // namespace
+
+void CsvWriter::header(std::initializer_list<std::string_view> cols) {
+  write_cells(out_, cols);
+}
+
+void CsvWriter::header(const std::vector<std::string>& cols) {
+  write_cells(out_, cols);
+}
+
+void CsvWriter::row(std::initializer_list<double> values) {
+  write_values(out_, values);
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  write_values(out_, values);
 }
 
 void CsvWriter::row(const std::vector<std::string>& cells) {

@@ -15,7 +15,10 @@ class CsvWriter {
   explicit CsvWriter(const std::string& path);
 
   void header(std::initializer_list<std::string_view> cols);
+  /// Dynamic-width variant (per-flow column groups).
+  void header(const std::vector<std::string>& cols);
   void row(std::initializer_list<double> values);
+  void row(const std::vector<double>& values);
   void row(const std::vector<std::string>& cells);
 
   [[nodiscard]] const std::string& path() const { return path_; }

@@ -13,6 +13,16 @@
 
 namespace cgs {
 
+/// SplitMix64 finalizer (Steele et al. 2014): a cheap, high-quality 64-bit
+/// mixing function.  Used to derive independent per-component seeds from a
+/// master seed without consuming generator state.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 /// PCG-XSH-RR 64/32 generator.
 class Pcg32 {
  public:

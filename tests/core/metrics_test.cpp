@@ -102,7 +102,7 @@ TEST(Adaptiveness, CombinesNormalizedTimes) {
 TEST(JainIndex, KnownValues) {
   EXPECT_DOUBLE_EQ(jain_index({10.0, 10.0, 10.0}), 1.0);
   EXPECT_NEAR(jain_index({10.0, 0.0}), 0.5, 1e-12);
-  EXPECT_DOUBLE_EQ(jain_index({}), 0.0);
+  EXPECT_DOUBLE_EQ(jain_index(std::vector<double>{}), 0.0);
   EXPECT_DOUBLE_EQ(jain_index({0.0, 0.0}), 0.0);
 }
 

@@ -67,7 +67,26 @@ TEST(ScenarioValidation, RejectsTcpStartAfterStop) {
   sc.tcp_stop = 100_sec;
   const std::string msg = validation_message(sc);
   EXPECT_NE(msg.find("tcp_start"), std::string::npos) << msg;
-  EXPECT_NE(msg.find("must not exceed tcp_stop"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("must be before tcp_stop"), std::string::npos) << msg;
+}
+
+TEST(ScenarioValidation, RejectsZeroLengthTcpSchedule) {
+  // tcp_start == tcp_stop describes a flow that never sends; reject it
+  // rather than silently running a misconfigured experiment.
+  Scenario sc;
+  sc.tcp_start = 185_sec;
+  sc.tcp_stop = 185_sec;
+  const std::string msg = validation_message(sc);
+  EXPECT_NE(msg.find("tcp_start"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("must be before tcp_stop"), std::string::npos) << msg;
+}
+
+TEST(ScenarioValidation, RejectsNegativeTcpStart) {
+  Scenario sc;
+  sc.tcp_start = Time(-1);
+  const std::string msg = validation_message(sc);
+  EXPECT_NE(msg.find("tcp_start"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("must be >= 0"), std::string::npos) << msg;
 }
 
 TEST(ScenarioValidation, RejectsTcpStopPastDuration) {
@@ -99,6 +118,66 @@ TEST(ScenarioValidation, RejectsInvalidImpairmentWithDirection) {
   sc2.impair_up.jitter = Time(-5);
   const std::string up = validation_message(sc2);
   EXPECT_NE(up.find("impair_up"), std::string::npos) << up;
+}
+
+TEST(ScenarioValidation, RejectsDuplicateFlowIds) {
+  Scenario sc;
+  FlowSpec a = FlowSpec::game_stream();
+  a.id = 7;
+  FlowSpec b = FlowSpec::bulk_tcp(tcp::CcAlgo::kCubic, 10_sec, 100_sec);
+  b.id = 7;
+  sc.flows = {a, b};
+  const std::string msg = validation_message(sc);
+  EXPECT_NE(msg.find("flows[1].id"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("duplicates flow id 7"), std::string::npos) << msg;
+}
+
+TEST(ScenarioValidation, RejectsBadFlowSchedule) {
+  Scenario sc;
+  sc.flows = {FlowSpec::game_stream(),
+              FlowSpec::bulk_tcp(tcp::CcAlgo::kCubic, Time(-5), 100_sec)};
+  EXPECT_NE(validation_message(sc).find("flows[1].start must be >= 0"),
+            std::string::npos);
+
+  sc.flows[1] = FlowSpec::bulk_tcp(tcp::CcAlgo::kCubic, 100_sec, 100_sec);
+  EXPECT_NE(validation_message(sc).find("flows[1].stop"), std::string::npos);
+
+  sc.duration = 370_sec;
+  sc.flows[1] = FlowSpec::bulk_tcp(tcp::CcAlgo::kCubic, 10_sec, 500_sec);
+  const std::string msg = validation_message(sc);
+  EXPECT_NE(msg.find("flows[1].stop"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("must not exceed duration"), std::string::npos) << msg;
+}
+
+TEST(ScenarioValidation, RejectsNegativeFlowExtraOwd) {
+  Scenario sc;
+  FlowSpec g = FlowSpec::game_stream();
+  g.extra_owd = Time(-1);
+  sc.flows = {g};
+  EXPECT_NE(validation_message(sc).find("flows[0].extra_owd must be >= 0"),
+            std::string::npos);
+}
+
+TEST(ScenarioValidation, RejectsBadPerFlowImpairment) {
+  Scenario sc;
+  FlowSpec g = FlowSpec::game_stream();
+  net::ImpairmentConfig bad;
+  bad.loss_rate = 7.0;
+  g.impair_up = bad;
+  sc.flows = {g};
+  EXPECT_NE(validation_message(sc).find("flows[0].impair_up"),
+            std::string::npos);
+}
+
+TEST(ScenarioValidation, ScalarScheduleIgnoredWithExplicitFlows) {
+  // Once an explicit mix is given, the legacy scalar tcp_* fields are inert
+  // and must not be validated against.
+  Scenario sc;
+  sc.tcp_start = 200_sec;
+  sc.tcp_stop = 100_sec;  // would be rejected in scalar mode
+  sc.flows = {FlowSpec::game_stream(),
+              FlowSpec::bulk_tcp(tcp::CcAlgo::kBbr, 30_sec, 300_sec)};
+  EXPECT_EQ(validation_message(sc), "");
 }
 
 TEST(ScenarioValidation, TestbedConstructionValidates) {

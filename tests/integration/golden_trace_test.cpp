@@ -1,0 +1,104 @@
+// Golden same-seed traces: the paper-default scenario must produce
+// bit-identical RunTrace series across refactors of the
+// scenario -> testbed -> collectors spine.  The constants below were
+// captured with tools/golden_dump.cpp; if a change legitimately alters
+// the simulation (new RNG draws, different event order), regenerate them
+// with that tool and justify the break in the commit message.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/testbed.hpp"
+
+namespace cgs::core {
+namespace {
+
+using namespace std::chrono;
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t hash_trace(const RunTrace& t) {
+  std::uint64_t h = 1469598103934665603ULL;
+  h = fnv1a(h, t.game_mbps.data(), t.game_mbps.size() * sizeof(double));
+  h = fnv1a(h, t.tcp_mbps.data(), t.tcp_mbps.size() * sizeof(double));
+  h = fnv1a(h, t.game_pkts_recv.data(),
+            t.game_pkts_recv.size() * sizeof(std::uint64_t));
+  h = fnv1a(h, t.game_pkts_lost.data(),
+            t.game_pkts_lost.size() * sizeof(std::uint64_t));
+  h = fnv1a(h, t.queue_drops.data(),
+            t.queue_drops.size() * sizeof(std::uint64_t));
+  h = fnv1a(h, t.frame_times.data(), t.frame_times.size() * sizeof(Time));
+  h = fnv1a(h, t.rtt.data(), t.rtt.size() * sizeof(PingClient::Sample));
+  return h;
+}
+
+struct GoldenCell {
+  const char* name;
+  stream::GameSystem sys;
+  std::optional<tcp::CcAlgo> cc;
+  std::uint64_t seed;
+  std::uint64_t trace_hash;
+};
+
+// Captured from the pre-refactor (scalar-only) testbed; see file comment.
+const GoldenCell kCells[] = {
+    {"stadia_cubic", stream::GameSystem::kStadia, tcp::CcAlgo::kCubic, 1,
+     0x058c4966df7104a9ULL},
+    {"geforce_bbr", stream::GameSystem::kGeForce, tcp::CcAlgo::kBbr, 11,
+     0x77398256f15628cfULL},
+    {"luna_solo", stream::GameSystem::kLuna, std::nullopt, 5,
+     0x7ba4077b404e8f04ULL},
+};
+
+Scenario scalar_scenario(const GoldenCell& c) {
+  Scenario sc;
+  sc.system = c.sys;
+  sc.tcp_algo = c.cc;
+  sc.duration = seconds(90);
+  sc.tcp_start = seconds(30);
+  sc.tcp_stop = seconds(60);
+  sc.seed = c.seed;
+  return sc;
+}
+
+TEST(GoldenTrace, ScalarScenarioMatchesPreRefactorHashes) {
+  for (const GoldenCell& c : kCells) {
+    Testbed bed(scalar_scenario(c));
+    EXPECT_EQ(hash_trace(bed.run()), c.trace_hash) << c.name;
+  }
+}
+
+TEST(GoldenTrace, ExplicitPaperMixMatchesScalarSynthesis) {
+  // Spelling the default mix out as FlowSpecs — with the historical ids —
+  // must be indistinguishable from the scalar back-compat path.
+  for (const GoldenCell& c : kCells) {
+    Scenario sc = scalar_scenario(c);
+    FlowSpec g = FlowSpec::game_stream();
+    g.id = 1;
+    g.name = "game";
+    sc.flows.push_back(g);
+    if (c.cc) {
+      FlowSpec t = FlowSpec::bulk_tcp(*c.cc, seconds(30), seconds(60));
+      t.id = 2;
+      t.name = "tcp";
+      sc.flows.push_back(t);
+    }
+    FlowSpec p = FlowSpec::ping();
+    p.id = 3;
+    p.name = "ping";
+    sc.flows.push_back(p);
+
+    Testbed bed(sc);
+    EXPECT_EQ(hash_trace(bed.run()), c.trace_hash) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace cgs::core

@@ -1,0 +1,77 @@
+// Dumps FNV-1a hashes of the RunTrace series for a fixed set of paper-mix
+// scenarios.  Used to (re)generate the constants in
+// tests/integration/golden_trace_test.cpp: any refactor of the
+// scenario -> testbed -> collectors spine must keep these bit-identical.
+#include <cstdio>
+#include <cstring>
+
+#include "core/testbed.hpp"
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+template <typename T>
+std::uint64_t hash_series(const std::vector<T>& v) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const T& x : v) h = fnv1a(h, &x, sizeof(T));
+  return h;
+}
+
+std::uint64_t hash_trace(const cgs::core::RunTrace& t) {
+  std::uint64_t h = 1469598103934665603ULL;
+  h = fnv1a(h, t.game_mbps.data(), t.game_mbps.size() * sizeof(double));
+  h = fnv1a(h, t.tcp_mbps.data(), t.tcp_mbps.size() * sizeof(double));
+  h = fnv1a(h, t.game_pkts_recv.data(),
+            t.game_pkts_recv.size() * sizeof(std::uint64_t));
+  h = fnv1a(h, t.game_pkts_lost.data(),
+            t.game_pkts_lost.size() * sizeof(std::uint64_t));
+  h = fnv1a(h, t.queue_drops.data(),
+            t.queue_drops.size() * sizeof(std::uint64_t));
+  h = fnv1a(h, t.frame_times.data(), t.frame_times.size() * sizeof(cgs::Time));
+  h = fnv1a(h, t.rtt.data(),
+            t.rtt.size() * sizeof(cgs::core::PingClient::Sample));
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  using namespace std::chrono;
+  struct Cell {
+    const char* name;
+    cgs::stream::GameSystem sys;
+    std::optional<cgs::tcp::CcAlgo> cc;
+    std::uint64_t seed;
+  };
+  const Cell cells[] = {
+      {"stadia_cubic", cgs::stream::GameSystem::kStadia,
+       cgs::tcp::CcAlgo::kCubic, 1},
+      {"geforce_bbr", cgs::stream::GameSystem::kGeForce,
+       cgs::tcp::CcAlgo::kBbr, 11},
+      {"luna_solo", cgs::stream::GameSystem::kLuna, std::nullopt, 5},
+  };
+  for (const Cell& c : cells) {
+    cgs::core::Scenario sc;
+    sc.system = c.sys;
+    sc.tcp_algo = c.cc;
+    sc.duration = seconds(90);
+    sc.tcp_start = seconds(30);
+    sc.tcp_stop = seconds(60);
+    sc.seed = c.seed;
+    cgs::core::Testbed bed(sc);
+    const cgs::core::RunTrace t = bed.run();
+    std::printf("%-14s trace=0x%016llx game=0x%016llx tcp=0x%016llx\n",
+                c.name, (unsigned long long)hash_trace(t),
+                (unsigned long long)hash_series(t.game_mbps),
+                (unsigned long long)hash_series(t.tcp_mbps));
+  }
+  return 0;
+}
