@@ -75,4 +75,15 @@ inline const char* short_name(cgs::stream::GameSystem s) {
   return "?";
 }
 
+/// Sweep-cell label for one grid cell, e.g. "Stadia 25Mb/s 2.0xBDP cubic".
+inline std::string cell_label(cgs::stream::GameSystem sys, double cap_mbps,
+                              double queue_mult,
+                              std::optional<cgs::tcp::CcAlgo> cc) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s %.0fMb/s %.1fxBDP %s", short_name(sys),
+                cap_mbps, queue_mult,
+                cc ? std::string(cgs::tcp::to_string(*cc)).c_str() : "solo");
+  return buf;
+}
+
 }  // namespace bench

@@ -3,6 +3,10 @@
 // capacity (rows) x queue size (columns), competing with TCP Cubic (top
 // half) and TCP BBR (bottom half).
 //
+// The full 2x3x3x3 grid runs as ONE sweep on the shared work-stealing
+// pool: late stragglers in one cell overlap with the next cell's runs
+// instead of idling a per-cell fork/join pool.
+//
 // Paper shape targets (EXPERIMENTS.md): vs Cubic Stadia warm (hottest
 // 0.5x/35), Luna near-fair, GeForce all-cool; vs BBR GeForce cooler still,
 // Luna all-cool (coolest 0.5x/35), Stadia near-fair but warmer at 7x.
@@ -19,11 +23,30 @@ int main(int argc, char** argv) {
 
   const std::vector<double> caps = {35.0, 25.0, 15.0};
   const std::vector<double> queues = {0.5, 2.0, 7.0};
+  const CcAlgo ccs[] = {CcAlgo::kCubic, CcAlgo::kBbr};
 
   std::printf(
       "Figure 3 — ratio of bitrate difference (game - TCP) / capacity, "
       "window 220-370 s, %d runs per cell\n\n",
       args.runs);
+
+  // Flatten the whole grid, render-loop order (cc, system, cap, queue).
+  std::vector<cgs::core::SweepCell> cells;
+  for (CcAlgo cc : ccs) {
+    for (GameSystem sys : cgs::core::kAllSystems) {
+      for (double cap : caps) {
+        for (double q : queues) {
+          cells.push_back(
+              {bench::cell_label(sys, cap, q, cc),
+               bench::make_scenario(sys, cap, q, cc, args.seed)});
+        }
+      }
+    }
+  }
+  cgs::core::SweepOptions opts;
+  opts.runs = args.runs;
+  opts.threads = args.threads;
+  const auto sweep = cgs::core::run_sweep(std::move(cells), opts);
 
   std::unique_ptr<cgs::CsvWriter> csv;
   if (args.csv) {
@@ -33,7 +56,8 @@ int main(int argc, char** argv) {
                  "loss"});
   }
 
-  for (CcAlgo cc : {CcAlgo::kCubic, CcAlgo::kBbr}) {
+  std::size_t idx = 0;
+  for (CcAlgo cc : ccs) {
     std::printf("=== competing flow: TCP %s ===\n",
                 std::string(cgs::tcp::to_string(cc)).c_str());
     for (GameSystem sys : cgs::core::kAllSystems) {
@@ -41,12 +65,7 @@ int main(int argc, char** argv) {
           caps.size(), std::vector<double>(queues.size(), 0.0));
       for (std::size_t r = 0; r < caps.size(); ++r) {
         for (std::size_t c = 0; c < queues.size(); ++c) {
-          const auto sc =
-              bench::make_scenario(sys, caps[r], queues[c], cc, args.seed);
-          cgs::core::RunnerOptions opts;
-          opts.runs = args.runs;
-          opts.threads = args.threads;
-          const auto res = cgs::core::run_condition(sc, opts);
+          const auto& res = sweep.results[idx++];
           grid[r][c] = res.fairness_mean;
           if (csv) {
             csv->row({std::string(cgs::stream::to_string(sys)),

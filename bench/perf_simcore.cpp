@@ -130,6 +130,72 @@ void BM_TestbedSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_TestbedSecond)->Unit(benchmark::kMillisecond);
 
+// -- sweep engine vs per-cell fork/join ------------------------------------
+//
+// A 6-cell x 5-seed grid of 1-second testbed runs at 4 threads.  The
+// engine runs all 30 jobs on one work-stealing pool; the baseline drives
+// each cell through run_condition (which forks and joins a fresh pool per
+// cell, idling 3 of 4 workers on every cell's 5th run).  Acceptance:
+// engine >= 1.3x faster on multicore hardware.
+
+constexpr int kSweepRuns = 5;
+constexpr int kSweepThreads = 4;
+
+std::vector<cgs::core::SweepCell> sweep_grid() {
+  std::vector<cgs::core::SweepCell> cells;
+  for (double cap : {15.0, 25.0, 35.0}) {
+    for (double q : {0.5, 2.0}) {
+      cgs::core::Scenario sc;
+      sc.capacity = cgs::Bandwidth::mbps(cap);
+      sc.queue_bdp_mult = q;
+      sc.duration = 1_sec;
+      sc.tcp_start = 100_ms;
+      sc.tcp_stop = 900_ms;
+      cells.push_back({sc.label(), sc});
+    }
+  }
+  return cells;
+}
+
+void BM_Sweep(benchmark::State& state) {
+  for (auto _ : state) {
+    cgs::core::SweepOptions opts;
+    opts.runs = kSweepRuns;
+    opts.threads = kSweepThreads;
+    auto res = cgs::core::run_sweep(sweep_grid(), opts);
+    benchmark::DoNotOptimize(res.results.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 6 * kSweepRuns);
+}
+BENCHMARK(BM_Sweep)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_SweepPerCellLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    for (const auto& cell : sweep_grid()) {
+      cgs::core::RunnerOptions opts;
+      opts.runs = kSweepRuns;
+      opts.threads = kSweepThreads;
+      auto res = cgs::core::run_condition(cell.scenario, opts);
+      benchmark::DoNotOptimize(res.runs);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 6 * kSweepRuns);
+}
+BENCHMARK(BM_SweepPerCellLoop)->Unit(benchmark::kMillisecond)->UseRealTime();
+
 }  // namespace
 
-BENCHMARK_MAIN();
+#ifndef CGS_BUILD_TYPE
+#define CGS_BUILD_TYPE "unknown"
+#endif
+
+int main(int argc, char** argv) {
+  // Record THIS binary's build type (the library_build_type google-benchmark
+  // reports is libbenchmark's own, which poisoned an earlier baseline).
+  benchmark::AddCustomContext("cgs_build_type", CGS_BUILD_TYPE);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

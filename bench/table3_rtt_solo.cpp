@@ -1,6 +1,8 @@
 // Table 3: round-trip time (ms) without a competing TCP flow, per
 // capacity x queue size x system.  Paper shape: ~16-17 ms at 0.5x queues,
 // rising to ~18-22 ms at 7x (solo systems keep queuing low).
+//
+// All 27 cells run as one sweep on the shared work-stealing pool.
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -13,6 +15,24 @@ int main(int argc, char** argv) {
       "%d runs per cell\n\n",
       args.runs);
 
+  const double caps[] = {15.0, 25.0, 35.0};
+  const double queues[] = {0.5, 2.0, 7.0};
+
+  std::vector<cgs::core::SweepCell> cells;
+  for (double cap : caps) {
+    for (double q : queues) {
+      for (auto sys : cgs::core::kAllSystems) {
+        cells.push_back(
+            {bench::cell_label(sys, cap, q, std::nullopt),
+             bench::make_scenario(sys, cap, q, std::nullopt, args.seed)});
+      }
+    }
+  }
+  cgs::core::SweepOptions opts;
+  opts.runs = args.runs;
+  opts.threads = args.threads;
+  const auto sweep = cgs::core::run_sweep(std::move(cells), opts);
+
   std::unique_ptr<cgs::CsvWriter> csv;
   if (args.csv) {
     csv = std::make_unique<cgs::CsvWriter>(args.csv_prefix + ".csv");
@@ -22,8 +42,9 @@ int main(int argc, char** argv) {
 
   cgs::core::TextTable table;
   table.set_header({"Capacity", "BDP", "Stadia", "GeForce", "Luna"});
-  for (double cap : {15.0, 25.0, 35.0}) {
-    for (double q : {0.5, 2.0, 7.0}) {
+  std::size_t idx = 0;
+  for (double cap : caps) {
+    for (double q : queues) {
       std::vector<std::string> row;
       char lbl[32];
       std::snprintf(lbl, sizeof lbl, "%.0f Mb/s", cap);
@@ -31,11 +52,7 @@ int main(int argc, char** argv) {
       std::snprintf(lbl, sizeof lbl, "%.1fx", q);
       row.emplace_back(lbl);
       for (auto sys : cgs::core::kAllSystems) {
-        auto sc = bench::make_scenario(sys, cap, q, std::nullopt, args.seed);
-        cgs::core::RunnerOptions opts;
-        opts.runs = args.runs;
-        opts.threads = args.threads;
-        const auto res = cgs::core::run_condition(sc, opts);
+        const auto& res = sweep.results[idx++];
         row.push_back(cgs::core::fmt_mean_sd(res.rtt_mean_ms, res.rtt_sd_ms));
         if (csv) {
           csv->row({std::to_string(cap), std::to_string(q),

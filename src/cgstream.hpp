@@ -17,6 +17,7 @@
 #include "core/report.hpp"       // IWYU pragma: export
 #include "core/runner.hpp"       // IWYU pragma: export
 #include "core/scenario.hpp"     // IWYU pragma: export
+#include "core/sweep.hpp"        // IWYU pragma: export
 #include "core/testbed.hpp"      // IWYU pragma: export
 #include "net/codel.hpp"         // IWYU pragma: export
 #include "net/impairment.hpp"    // IWYU pragma: export

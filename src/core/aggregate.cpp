@@ -1,120 +1,130 @@
 #include "core/aggregate.hpp"
 
-#include <algorithm>
+#include <utility>
 
 #include "util/stats.hpp"
 
 namespace cgs::core {
 
 SeriesStats aggregate_series(const std::vector<std::vector<double>>& runs) {
-  SeriesStats out;
-  if (runs.empty()) return out;
-  std::size_t len = runs.front().size();
-  for (const auto& r : runs) len = std::min(len, r.size());
+  OnlineSeries s;
+  for (const auto& r : runs) s.add(r);
+  return series_stats(s);
+}
 
+SeriesStats series_stats(const OnlineSeries& s) {
+  SeriesStats out;
+  const std::size_t len = s.size();
   out.mean.resize(len);
   out.sd.resize(len);
   out.ci95.resize(len);
   for (std::size_t i = 0; i < len; ++i) {
-    RunningStats s;
-    for (const auto& r : runs) s.add(r[i]);
-    out.mean[i] = s.mean();
-    out.sd[i] = s.stddev();
-    out.ci95[i] = ci95_halfwidth(s);
+    out.mean[i] = s[i].mean();
+    out.sd[i] = s[i].stddev();
+    out.ci95[i] = ci95_halfwidth(s[i]);
   }
   return out;
 }
 
-ConditionResult summarize(const Scenario& sc,
-                          const std::vector<RunTrace>& traces) {
-  ConditionResult res;
-  res.scenario = sc;
-  res.runs = int(traces.size());
-  if (traces.empty()) return res;
+ConditionAccumulator::ConditionAccumulator(Scenario scenario)
+    : sc_(std::move(scenario)) {}
 
-  std::vector<std::vector<double>> game_runs, tcp_runs;
-  game_runs.reserve(traces.size());
-  tcp_runs.reserve(traces.size());
-  for (const auto& t : traces) {
-    game_runs.push_back(t.game_mbps);
-    tcp_runs.push_back(t.tcp_mbps);
-  }
-  res.game = aggregate_series(game_runs);
-  res.tcp = aggregate_series(tcp_runs);
-
-  const Time ival = traces.front().sample_interval;
-  const AnalysisWindows aw;
-
-  // Per-flow digests (every trace of a condition shares the mix shape).
-  for (std::size_t fi = 0; fi < traces.front().flows.size(); ++fi) {
-    const FlowTrace& proto = traces.front().flows[fi];
-    FlowSummaryRow row;
-    row.id = proto.id;
-    row.name = proto.name;
-    row.kind = proto.kind;
-    std::vector<std::vector<double>> runs;
-    RunningStats fair_win;
-    runs.reserve(traces.size());
-    for (const auto& t : traces) {
-      if (fi >= t.flows.size()) continue;
-      runs.push_back(t.flows[fi].mbps);
-      fair_win.add(t.mean_bitrate_mbps(t.flows[fi].mbps, aw.fairness_from,
-                                       aw.fairness_to));
+void ConditionAccumulator::add(const RunTrace& t) {
+  if (runs_ == 0) {
+    ival_ = t.sample_interval;
+    flow_rows_.reserve(t.flows.size());
+    for (const FlowTrace& f : t.flows) {
+      FlowRowAcc row;
+      row.id = f.id;
+      row.name = f.name;
+      row.kind = f.kind;
+      flow_rows_.push_back(std::move(row));
     }
-    row.series = aggregate_series(runs);
-    row.fair_mbps_mean = fair_win.mean();
-    row.fair_mbps_sd = fair_win.stddev();
-    res.flow_rows.push_back(std::move(row));
   }
-  RunningStats jain;
-  for (const auto& t : traces) jain.add(jain_index(t, aw));
-  res.jain_mean = jain.mean();
-  res.jain_sd = jain.stddev();
+  ++runs_;
+
+  game_.add(t.game_mbps);
+  tcp_.add(t.tcp_mbps);
+
+  const AnalysisWindows aw;
+  // Per-flow digests: the first trace defines the mix shape; shorter mixes
+  // in later traces skip the missing rows (matching the batch guard).
+  for (std::size_t fi = 0; fi < flow_rows_.size(); ++fi) {
+    if (fi >= t.flows.size()) continue;
+    flow_rows_[fi].series.add(t.flows[fi].mbps);
+    flow_rows_[fi].fair_win.add(t.mean_bitrate_mbps(
+        t.flows[fi].mbps, aw.fairness_from, aw.fairness_to));
+  }
+  jain_.add(jain_index(t, aw));
 
   // Measurement window: the competing-flow period (same window for solo
   // runs, keeping Tables 3 and 4 comparable).
-  const Time win_from = sc.tcp_start;
-  const Time win_to = sc.tcp_stop;
+  const Time win_from = sc_.tcp_start;
+  const Time win_to = sc_.tcp_stop;
 
-  RunningStats fair, fps, loss, steady_m, gfair, tfair;
-  RunningStats rtt_all;  // pooled RTT samples across runs
-  std::vector<double> steady_means;
-  for (const auto& t : traces) {
-    if (sc.tcp_algo) {
-      fair.add(fairness_ratio(t.game_mbps, t.tcp_mbps, ival, sc.capacity));
-    }
-    gfair.add(t.mean_game_mbps(aw.fairness_from, aw.fairness_to));
-    tfair.add(t.mean_tcp_mbps(aw.fairness_from, aw.fairness_to));
-    fps.add(t.fps_over(win_from, win_to));
-    loss.add(t.game_loss_in(win_from, win_to));
-    for (const auto& r : t.rtt) {
-      if (r.at >= win_from && r.at < win_to) {
-        rtt_all.add(to_seconds(r.rtt) * 1e3);
-      }
-    }
-    // Steady-state window: the last minute before the TCP flow arrives
-    // (§4.2's "original bitrate" window, scaled to shortened schedules).
-    const Time steady_from =
-        win_from > std::chrono::seconds(60) ? win_from - std::chrono::seconds(60)
-                                            : win_from / 2;
-    const double sm = t.mean_game_mbps(steady_from, win_from);
-    steady_m.add(sm);
-    steady_means.push_back(sm);
+  if (sc_.tcp_algo) {
+    fair_.add(fairness_ratio(t.game_mbps, t.tcp_mbps, ival_, sc_.capacity));
   }
-  res.fairness_mean = fair.mean();
-  res.fairness_sd = fair.stddev();
-  res.game_fair_mbps = gfair.mean();
-  res.tcp_fair_mbps = tfair.mean();
-  res.fps_mean = fps.mean();
-  res.fps_sd = fps.stddev();
-  res.loss_mean = loss.mean();
-  res.rtt_mean_ms = rtt_all.mean();
-  res.rtt_sd_ms = rtt_all.stddev();
-  res.steady_mean_mbps = steady_m.mean();
-  res.steady_sd_mbps = steady_m.stddev();
+  gfair_.add(t.mean_game_mbps(aw.fairness_from, aw.fairness_to));
+  tfair_.add(t.mean_tcp_mbps(aw.fairness_from, aw.fairness_to));
+  fps_.add(t.fps_over(win_from, win_to));
+  loss_.add(t.game_loss_in(win_from, win_to));
+  for (const auto& r : t.rtt) {
+    if (r.at >= win_from && r.at < win_to) {
+      rtt_all_.add(to_seconds(r.rtt) * 1e3);
+    }
+  }
+  // Steady-state window: the last minute before the TCP flow arrives
+  // (§4.2's "original bitrate" window, scaled to shortened schedules).
+  const Time steady_from =
+      win_from > std::chrono::seconds(60) ? win_from - std::chrono::seconds(60)
+                                          : win_from / 2;
+  steady_.add(t.mean_game_mbps(steady_from, win_from));
+}
 
-  res.rr = response_recovery(res.game.mean, ival, sc.tcp_start, sc.tcp_stop);
+ConditionResult ConditionAccumulator::finalize() const {
+  ConditionResult res;
+  res.scenario = sc_;
+  res.runs = runs_;
+  if (runs_ == 0) return res;
+
+  res.game = series_stats(game_);
+  res.tcp = series_stats(tcp_);
+  res.flow_rows.reserve(flow_rows_.size());
+  for (const FlowRowAcc& acc : flow_rows_) {
+    FlowSummaryRow row;
+    row.id = acc.id;
+    row.name = acc.name;
+    row.kind = acc.kind;
+    row.series = series_stats(acc.series);
+    row.fair_mbps_mean = acc.fair_win.mean();
+    row.fair_mbps_sd = acc.fair_win.stddev();
+    res.flow_rows.push_back(std::move(row));
+  }
+  res.jain_mean = jain_.mean();
+  res.jain_sd = jain_.stddev();
+  res.fairness_mean = fair_.mean();
+  res.fairness_sd = fair_.stddev();
+  res.game_fair_mbps = gfair_.mean();
+  res.tcp_fair_mbps = tfair_.mean();
+  res.fps_mean = fps_.mean();
+  res.fps_sd = fps_.stddev();
+  res.loss_mean = loss_.mean();
+  res.rtt_mean_ms = rtt_all_.mean();
+  res.rtt_sd_ms = rtt_all_.stddev();
+  res.steady_mean_mbps = steady_.mean();
+  res.steady_sd_mbps = steady_.stddev();
+
+  res.rr =
+      response_recovery(res.game.mean, ival_, sc_.tcp_start, sc_.tcp_stop);
   return res;
+}
+
+ConditionResult summarize(const Scenario& sc,
+                          const std::vector<RunTrace>& traces) {
+  ConditionAccumulator acc(sc);
+  for (const auto& t : traces) acc.add(t);
+  return acc.finalize();
 }
 
 }  // namespace cgs::core

@@ -1,5 +1,8 @@
 // Cross-run aggregation: mean series with 95% confidence intervals (the
-// shaded bands of Figure 2) and per-condition summary statistics.
+// shaded bands of Figure 2) and per-condition summary statistics.  Two
+// entry points share one reduction: the streaming ConditionAccumulator
+// (feed traces as they finish, O(1) traces held) and the batch summarize()
+// convenience wrapper over it.
 #pragma once
 
 #include <vector>
@@ -7,6 +10,7 @@
 #include "core/collectors.hpp"
 #include "core/metrics.hpp"
 #include "core/scenario.hpp"
+#include "util/stats.hpp"
 
 namespace cgs::core {
 
@@ -19,6 +23,9 @@ struct SeriesStats {
 /// Element-wise aggregation of equal-length series.
 [[nodiscard]] SeriesStats aggregate_series(
     const std::vector<std::vector<double>>& runs);
+
+/// SeriesStats view (mean/sd/ci95 per element) of a streaming accumulator.
+[[nodiscard]] SeriesStats series_stats(const OnlineSeries& s);
 
 /// Cross-run digest of one flow of the mix.
 struct FlowSummaryRow {
@@ -77,7 +84,47 @@ struct ConditionResult {
   double steady_sd_mbps = 0.0;
 };
 
-/// Digest per-run traces into a ConditionResult.
+/// Streaming per-condition reducer: feed each RunTrace the moment its run
+/// finishes and discard it — nothing but O(buckets) Welford state is
+/// retained, so a whole grid sweep holds O(cells) memory instead of
+/// O(cells x runs x samples).  Feeding traces in seed order makes
+/// finalize() bit-identical to batch summarize() over the same traces (any
+/// other order changes floating-point rounding only); the sweep engine
+/// guarantees that order.
+class ConditionAccumulator {
+ public:
+  explicit ConditionAccumulator(Scenario scenario);
+
+  /// Fold one run's trace into the condition digest.
+  void add(const RunTrace& t);
+
+  /// Number of traces folded so far.
+  [[nodiscard]] int runs() const { return runs_; }
+
+  /// Digest of everything added so far.
+  [[nodiscard]] ConditionResult finalize() const;
+
+ private:
+  struct FlowRowAcc {
+    net::FlowId id = 0;
+    std::string name;
+    FlowKind kind = FlowKind::kBulkTcp;
+    OnlineSeries series;
+    OnlineStats fair_win;
+  };
+
+  Scenario sc_;
+  int runs_ = 0;
+  Time ival_ = kTimeZero;  // sample interval, captured from the first trace
+
+  OnlineSeries game_, tcp_;
+  std::vector<FlowRowAcc> flow_rows_;  // shaped by the first trace's mix
+  OnlineStats jain_, fair_, fps_, loss_, steady_, gfair_, tfair_;
+  OnlineStats rtt_all_;  // pooled RTT samples across runs
+};
+
+/// Digest per-run traces into a ConditionResult (batch path: delegates to
+/// a ConditionAccumulator fed in trace order).
 [[nodiscard]] ConditionResult summarize(const Scenario& scenario,
                                         const std::vector<RunTrace>& traces);
 

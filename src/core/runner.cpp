@@ -1,110 +1,73 @@
 #include "core/runner.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <string>
-#include <thread>
+#include <utility>
 #include <vector>
 
-#include "core/testbed.hpp"
+#include "core/sweep.hpp"
 
 namespace cgs::core {
+namespace {
 
-std::vector<RunTrace> run_many(const Scenario& scenario,
-                               const RunnerOptions& opts) {
+/// A run_many-style condition is a one-cell sweep.
+std::vector<SweepCell> one_cell(const Scenario& scenario) {
+  std::vector<SweepCell> cells(1);
+  cells[0].label = scenario.label();
+  cells[0].scenario = scenario;
+  return cells;
+}
+
+SweepOptions to_sweep_options(const RunnerOptions& opts) {
   if (opts.runs <= 0) {
     throw std::invalid_argument("RunnerOptions: runs must be > 0 (got " +
                                 std::to_string(opts.runs) + ")");
   }
-  // Fail nonsensical configs on the calling thread, before spawning workers.
-  scenario.validate();
+  SweepOptions sopts;
+  sopts.runs = opts.runs;
+  sopts.threads = opts.threads;
+  sopts.progress = opts.progress;
+  return sopts;
+}
 
-  const int n = opts.runs;
-  std::vector<RunTrace> traces;
-  traces.resize(std::size_t(n));
-
-  unsigned hw = std::thread::hardware_concurrency();
-  if (hw == 0) hw = 4;
-  const int threads =
-      std::max(1, std::min(opts.threads > 0 ? opts.threads : int(hw), n));
-
-  std::atomic<int> next{0};
-  std::atomic<int> done{0};
-  std::mutex progress_mu;
-
-  // A Testbed::run() throw inside a std::thread would reach std::terminate.
-  // Collect *every* failure with its seed and rethrow after the join, so a
-  // fault-injected livelock reads "seed 7 tripped the watchdog", not a
-  // hung job or an anonymous first-exception rethrow.
-  struct Failure {
-    std::uint64_t seed;
-    std::string what;
-  };
-  std::vector<Failure> failures;
-  std::mutex failures_mu;
-
-  auto worker = [&] {
-    for (;;) {
-      const int i = next.fetch_add(1);
-      if (i >= n) return;
-      const std::uint64_t seed = scenario.seed + std::uint64_t(i);
-      try {
-        Scenario sc = scenario;
-        sc.seed = seed;
-        Testbed bed(sc);
-        traces[std::size_t(i)] = bed.run();
-      } catch (const std::exception& e) {
-        std::lock_guard lk(failures_mu);
-        failures.push_back({seed, e.what()});
-        continue;  // keep draining the remaining runs
-      } catch (...) {
-        std::lock_guard lk(failures_mu);
-        failures.push_back({seed, "unknown exception"});
-        continue;
-      }
-      const int d = done.fetch_add(1) + 1;
-      if (opts.progress) {
-        std::lock_guard lk(progress_mu);
-        try {
-          opts.progress(d, n);
-        } catch (...) {
-          // A throwing progress callback must not kill a worker thread (it
-          // would strand the remaining runs); reporting is best-effort.
-        }
-      }
-    }
-  };
-
-  if (threads == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(std::size_t(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (auto& t : pool) t.join();
+[[noreturn]] void throw_failures(const char* fn,
+                                 const std::vector<SweepFailure>& failures,
+                                 int n) {
+  std::ostringstream os;
+  os << fn << ": " << failures.size() << " of " << n << " runs failed:";
+  for (const SweepFailure& f : failures) {
+    os << "\n  seed " << f.seed << ": " << f.what;
   }
+  throw std::runtime_error(os.str());
+}
 
-  if (!failures.empty()) {
-    // Workers race, so sort by seed for a stable, scannable message.
-    std::sort(failures.begin(), failures.end(),
-              [](const Failure& a, const Failure& b) { return a.seed < b.seed; });
-    std::ostringstream os;
-    os << "run_many: " << failures.size() << " of " << n
-       << " runs failed:";
-    for (const Failure& f : failures) {
-      os << "\n  seed " << f.seed << ": " << f.what;
-    }
-    throw std::runtime_error(os.str());
-  }
+}  // namespace
+
+std::vector<RunTrace> run_many(const Scenario& scenario,
+                               const RunnerOptions& opts) {
+  const SweepOptions sopts = to_sweep_options(opts);
+  std::vector<RunTrace> traces(std::size_t(opts.runs));
+  const auto failures = sweep_jobs(
+      one_cell(scenario), sopts, [&](std::size_t, int run, RunTrace&& t) {
+        traces[std::size_t(run)] = std::move(t);
+      });
+  if (!failures.empty()) throw_failures("run_many", failures, opts.runs);
   return traces;
 }
 
 ConditionResult run_condition(const Scenario& scenario,
                               const RunnerOptions& opts) {
-  return summarize(scenario, run_many(scenario, opts));
+  const SweepOptions sopts = to_sweep_options(opts);
+  // Streaming path: each trace is folded and freed as its run finishes;
+  // the seed-order delivery contract makes this bit-identical to
+  // summarize(scenario, run_many(scenario, opts)).
+  ConditionAccumulator acc(scenario);
+  const auto failures =
+      sweep_jobs(one_cell(scenario), sopts,
+                 [&](std::size_t, int, RunTrace&& t) { acc.add(t); });
+  if (!failures.empty()) throw_failures("run_condition", failures, opts.runs);
+  return acc.finalize();
 }
 
 }  // namespace cgs::core

@@ -1,5 +1,8 @@
 // Experiment execution: N seeded runs of a Scenario, optionally in
 // parallel (each run owns an independent Simulator; nothing is shared).
+// Both entry points are one-cell wrappers over the sweep engine
+// (core/sweep.hpp); whole-grid campaigns should call run_sweep directly so
+// every cell shares one worker pool.
 #pragma once
 
 #include <functional>
@@ -12,8 +15,10 @@ namespace cgs::core {
 struct RunnerOptions {
   int runs = 15;      // paper: 15 iterations per condition (§3.4)
   int threads = 0;    // 0 = hardware concurrency
-  /// Optional progress callback (finished_runs, total_runs).  Exceptions it
-  /// throws are swallowed — reporting must not kill a worker thread.
+  /// Optional progress callback (completed_runs, total_runs), counting
+  /// failed runs as completed so the final call always reports (n, n).
+  /// Calls are serialized and strictly increasing; exceptions it throws
+  /// are swallowed — reporting must not kill a worker thread.
   std::function<void(int, int)> progress;
 };
 
@@ -26,7 +31,10 @@ struct RunnerOptions {
 [[nodiscard]] std::vector<RunTrace> run_many(const Scenario& scenario,
                                              const RunnerOptions& opts);
 
-/// run_many + summarize.
+/// One-condition digest via the streaming path: each trace is folded into
+/// a ConditionAccumulator the moment its run finishes and then freed, so
+/// peak memory stays O(buckets) regardless of opts.runs.  Result is
+/// bit-identical to summarize(scenario, run_many(scenario, opts)).
 [[nodiscard]] ConditionResult run_condition(const Scenario& scenario,
                                             const RunnerOptions& opts);
 

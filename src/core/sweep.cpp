@@ -1,0 +1,287 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/testbed.hpp"
+
+namespace cgs::core {
+namespace {
+
+/// Chase-Lev work-stealing deque of job indices (memory orderings per
+/// Le et al., "Correct and Efficient Work-Stealing for Weak Memory
+/// Models", PPoPP '13).  The flat job list is known up front and jobs
+/// never spawn jobs, so the buffer is sized once and there is no growth
+/// path; indices are never recycled, which rules out ABA on top_.
+class WorkDeque {
+ public:
+  explicit WorkDeque(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < std::max<std::size_t>(capacity, 2)) cap <<= 1;
+    buf_ = std::make_unique<std::atomic<int>[]>(cap);
+    mask_ = std::int64_t(cap) - 1;
+  }
+
+  /// Owner only.  Only called while seeding, before any thief runs, and
+  /// never beyond capacity.
+  void push(int job) {
+    const auto b = bottom_.load(std::memory_order_relaxed);
+    buf_[std::size_t(b & mask_)].store(job, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only: take from the LIFO end.  False when empty.
+  bool pop(int& out) {
+    const auto b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    auto t = top_.load(std::memory_order_relaxed);
+    bool got = false;
+    if (t <= b) {
+      out = buf_[std::size_t(b & mask_)].load(std::memory_order_relaxed);
+      got = true;
+      if (t == b) {
+        // Last element: race the thieves for it.
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          got = false;
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return got;
+  }
+
+  /// Any thief: take from the FIFO end.  False on empty or a lost race
+  /// (callers retry their victim scan).
+  bool steal(int& out) {
+    auto t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const auto b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return false;
+    out = buf_[std::size_t(t & mask_)].load(std::memory_order_relaxed);
+    return top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::unique_ptr<std::atomic<int>[]> buf_;
+  std::int64_t mask_ = 0;
+};
+
+/// Per-cell delivery state: completions park here until every lower seed
+/// has drained, keeping consume() calls in seed order.  A failed run parks
+/// nullopt so the order still advances past it.  The buffer stays
+/// O(threads) in practice: owners walk their slice in increasing job
+/// order, so only stolen tail jobs arrive early.
+struct CellState {
+  std::mutex mu;
+  int next_run = 0;
+  std::map<int, std::optional<RunTrace>> pending;
+};
+
+}  // namespace
+
+SweepSpec& SweepSpec::axis(std::string name, std::vector<AxisValue> values) {
+  axes.push_back({std::move(name), std::move(values)});
+  return *this;
+}
+
+std::vector<SweepCell> SweepSpec::cells() const {
+  std::vector<SweepCell> out;
+  out.push_back({"", base});
+  for (const SweepAxis& ax : axes) {
+    std::vector<SweepCell> next;
+    next.reserve(out.size() * ax.values.size());
+    for (const SweepCell& cell : out) {
+      for (const AxisValue& v : ax.values) {
+        SweepCell c = cell;
+        if (!c.label.empty()) c.label += ' ';
+        c.label += ax.name;
+        c.label += '=';
+        c.label += v.label;
+        if (v.apply) v.apply(c.scenario);
+        next.push_back(std::move(c));
+      }
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+std::vector<SweepFailure> sweep_jobs(
+    const std::vector<SweepCell>& cells, const SweepOptions& opts,
+    const std::function<void(std::size_t, int, RunTrace&&)>& consume) {
+  if (opts.runs <= 0) {
+    throw std::invalid_argument("SweepOptions: runs must be > 0 (got " +
+                                std::to_string(opts.runs) + ")");
+  }
+  if (cells.empty()) return {};
+  // Fail nonsensical configs on the calling thread, before spawning workers.
+  for (const SweepCell& c : cells) c.scenario.validate();
+
+  const int runs = opts.runs;
+  const int total = int(cells.size()) * runs;
+
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 4;
+  const int threads =
+      std::max(1, std::min(opts.threads > 0 ? opts.threads : int(hw), total));
+
+  std::vector<CellState> states(cells.size());
+  std::vector<SweepFailure> failures;
+  std::mutex failures_mu;
+
+  std::atomic<int> done{0};
+  std::mutex progress_mu;
+  int reported = 0;  // guarded by progress_mu: keeps calls strictly 1..total
+
+  auto report_one = [&] {
+    done.fetch_add(1, std::memory_order_release);
+    if (!opts.progress) return;
+    std::lock_guard lk(progress_mu);
+    ++reported;
+    try {
+      opts.progress(reported, total);
+    } catch (...) {
+      // A throwing progress callback must not kill a worker thread.
+    }
+  };
+
+  auto deliver = [&](int job, std::optional<RunTrace>&& trace) {
+    const auto cell = std::size_t(job) / std::size_t(runs);
+    CellState& st = states[cell];
+    {
+      std::lock_guard lk(st.mu);
+      st.pending.emplace(job % runs, std::move(trace));
+      for (auto it = st.pending.find(st.next_run); it != st.pending.end();
+           it = st.pending.find(st.next_run)) {
+        if (it->second.has_value()) {
+          consume(cell, st.next_run, std::move(*it->second));
+        }
+        st.pending.erase(it);  // the trace dies here — nothing accumulates
+        ++st.next_run;
+      }
+    }
+    report_one();
+  };
+
+  auto execute = [&](int job) {
+    const auto cell = std::size_t(job) / std::size_t(runs);
+    const int run = job % runs;
+    const std::uint64_t seed = cells[cell].scenario.seed + std::uint64_t(run);
+    std::optional<RunTrace> trace;
+    try {
+      Scenario sc = cells[cell].scenario;
+      sc.seed = seed;
+      Testbed bed(sc);
+      trace = bed.run();
+    } catch (const std::exception& e) {
+      std::lock_guard lk(failures_mu);
+      failures.push_back({cell, cells[cell].label, seed, e.what()});
+    } catch (...) {
+      std::lock_guard lk(failures_mu);
+      failures.push_back({cell, cells[cell].label, seed, "unknown exception"});
+    }
+    deliver(job, std::move(trace));
+  };
+
+  // One deque per worker, seeded with a contiguous slice of the flat
+  // cell-major job list.  Slices are pushed in reverse so the owner's LIFO
+  // pop walks its seeds in increasing order (keeping each cell's reorder
+  // buffer small) while thieves bite the far end of a straggler's slice.
+  std::vector<std::unique_ptr<WorkDeque>> deques;
+  deques.reserve(std::size_t(threads));
+  for (int w = 0; w < threads; ++w) {
+    const int lo = int(std::int64_t(total) * w / threads);
+    const int hi = int(std::int64_t(total) * (w + 1) / threads);
+    auto dq = std::make_unique<WorkDeque>(std::size_t(hi - lo));
+    for (int job = hi - 1; job >= lo; --job) dq->push(job);
+    deques.push_back(std::move(dq));
+  }
+
+  auto worker = [&](int w) {
+    WorkDeque& self = *deques[std::size_t(w)];
+    int job = -1;
+    for (;;) {
+      if (self.pop(job)) {
+        execute(job);
+        continue;
+      }
+      bool stolen = false;
+      for (int k = 1; k < threads && !stolen; ++k) {
+        stolen = deques[std::size_t((w + k) % threads)]->steal(job);
+      }
+      if (stolen) {
+        execute(job);
+        continue;
+      }
+      // Every deque looked empty: remaining jobs (if any) are executing on
+      // other workers right now — no new work can appear.
+      if (done.load(std::memory_order_acquire) >= total) return;
+      std::this_thread::yield();
+    }
+  };
+
+  if (threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(std::size_t(threads));
+    for (int w = 0; w < threads; ++w) pool.emplace_back(worker, w);
+    for (auto& t : pool) t.join();
+  }
+
+  std::sort(failures.begin(), failures.end(),
+            [](const SweepFailure& a, const SweepFailure& b) {
+              return a.cell != b.cell ? a.cell < b.cell : a.seed < b.seed;
+            });
+  return failures;
+}
+
+SweepResult run_sweep(std::vector<SweepCell> cells, const SweepOptions& opts) {
+  std::vector<ConditionAccumulator> accs;
+  accs.reserve(cells.size());
+  for (const SweepCell& c : cells) accs.emplace_back(c.scenario);
+
+  const auto failures = sweep_jobs(
+      cells, opts,
+      [&](std::size_t cell, int, RunTrace&& t) { accs[cell].add(t); });
+
+  if (!failures.empty()) {
+    std::ostringstream os;
+    os << "run_sweep: " << failures.size() << " of "
+       << cells.size() * std::size_t(opts.runs) << " jobs failed:";
+    for (const SweepFailure& f : failures) {
+      os << "\n  cell '" << f.cell_label << "' seed " << f.seed << ": "
+         << f.what;
+    }
+    throw std::runtime_error(os.str());
+  }
+
+  SweepResult res;
+  res.results.reserve(accs.size());
+  for (ConditionAccumulator& a : accs) res.results.push_back(a.finalize());
+  res.cells = std::move(cells);
+  return res;
+}
+
+SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& opts) {
+  return run_sweep(spec.cells(), opts);
+}
+
+}  // namespace cgs::core

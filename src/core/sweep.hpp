@@ -1,0 +1,108 @@
+// Sweep engine: one persistent work-stealing worker pool over a whole
+// parameter grid.
+//
+// The paper's artifacts (Fig 2-4, Tables 1/3-5) are grids of
+// (system x CC algo x queue size x rate limit) cells, each averaged over
+// many seeded runs.  A SweepSpec cross-products axes into a flat list of
+// (cell, seed) jobs executed by one chase-lev-style work-stealing pool
+// shared across all cells — no per-cell fork/join barrier, so late
+// stragglers in one cell overlap with the next cell's runs.  Each finished
+// RunTrace is folded into its cell's streaming ConditionAccumulator and
+// freed immediately, bounding peak memory at O(cells + in-flight runs).
+//
+// Determinism contract: job (cell, i) runs Testbed(cell.scenario with
+// seed = cell.scenario.seed + i) — exactly the per-seed derivation
+// run_many has always used — and per-cell delivery is serialized in seed
+// order (an internal reorder buffer parks out-of-order completions), so
+// the streaming ConditionResult is bit-identical to batch summarize() over
+// the same traces regardless of thread count or steal schedule.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/aggregate.hpp"
+#include "core/scenario.hpp"
+
+namespace cgs::core {
+
+/// One value of a sweep axis: a display label plus a scenario mutator.
+struct AxisValue {
+  std::string label;
+  std::function<void(Scenario&)> apply;
+};
+
+/// One axis of the grid, e.g. "queue" x {0.5, 2, 7}.
+struct SweepAxis {
+  std::string name;
+  std::vector<AxisValue> values;
+};
+
+/// One fully-resolved grid cell.
+struct SweepCell {
+  std::string label;
+  Scenario scenario;
+};
+
+/// Declarative grid: a base scenario crossed with mutator axes.
+struct SweepSpec {
+  Scenario base;
+  std::vector<SweepAxis> axes;
+
+  /// Append an axis (builder style).
+  SweepSpec& axis(std::string name, std::vector<AxisValue> values);
+
+  /// Cross product in row-major order (last axis fastest).  Labels join as
+  /// "name=value name=value"; no axes yields the base scenario as one cell.
+  [[nodiscard]] std::vector<SweepCell> cells() const;
+};
+
+struct SweepOptions {
+  int runs = 15;    // seeded repetitions per cell (paper: 15, §3.4)
+  int threads = 0;  // 0 = hardware concurrency
+  /// Progress callback (completed_jobs, total_jobs) counting successes AND
+  /// failures, so the final call always reports (total, total).  Calls are
+  /// serialized and strictly increasing; exceptions it throws are
+  /// swallowed — reporting must not kill a worker thread.
+  std::function<void(int, int)> progress;
+};
+
+/// One failed (cell, seed) job.
+struct SweepFailure {
+  std::size_t cell = 0;  // index into the cell list
+  std::string cell_label;
+  std::uint64_t seed = 0;
+  std::string what;
+};
+
+/// Low-level engine: run every (cell, seed) job of the grid on one shared
+/// work-stealing pool.  `consume(cell_index, run_index, trace)` is invoked
+/// once per successful run from worker threads; calls for any one cell are
+/// serialized and arrive in seed order (failed runs produce no call but
+/// still advance the order), interleaved arbitrarily across cells.  Every
+/// job executes even when others fail; the failures are returned sorted by
+/// (cell, seed) — empty means a clean sweep.  Throws std::invalid_argument
+/// for runs <= 0 or an invalid cell scenario, before any worker spawns.
+[[nodiscard]] std::vector<SweepFailure> sweep_jobs(
+    const std::vector<SweepCell>& cells, const SweepOptions& opts,
+    const std::function<void(std::size_t, int, RunTrace&&)>& consume);
+
+/// The sweep's output: one ConditionResult per cell, parallel to `cells`.
+struct SweepResult {
+  std::vector<SweepCell> cells;
+  std::vector<ConditionResult> results;
+};
+
+/// Run the whole grid with streaming aggregation (one ConditionAccumulator
+/// per cell).  Throws std::runtime_error listing every failed (cell, seed)
+/// after all jobs drain.
+[[nodiscard]] SweepResult run_sweep(std::vector<SweepCell> cells,
+                                    const SweepOptions& opts);
+
+/// SweepSpec convenience overload: expand the cross product and run it.
+[[nodiscard]] SweepResult run_sweep(const SweepSpec& spec,
+                                    const SweepOptions& opts);
+
+}  // namespace cgs::core

@@ -6,7 +6,18 @@
 
 namespace cgs {
 
-double RunningStats::stddev() const { return std::sqrt(variance()); }
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void OnlineSeries::add(std::span<const double> series) {
+  if (runs_ == 0) {
+    len_ = series.size();
+    stats_.resize(len_);
+  } else {
+    len_ = std::min(len_, series.size());
+  }
+  for (std::size_t i = 0; i < len_; ++i) stats_[i].add(series[i]);
+  ++runs_;
+}
 
 double t_critical_95(std::size_t n) {
   if (n < 2) return 0.0;

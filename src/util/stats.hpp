@@ -7,8 +7,10 @@
 
 namespace cgs {
 
-/// Welford streaming mean/variance.
-class RunningStats {
+/// Welford streaming mean/variance: numerically stable for large-mean
+/// low-variance inputs where the textbook E[x^2] - mean^2 form loses the
+/// variance to catastrophic cancellation.
+class OnlineStats {
  public:
   void add(double x) {
     ++n_;
@@ -30,11 +32,39 @@ class RunningStats {
   double m2_ = 0.0;
 };
 
+/// Historical name; OnlineStats is the same accumulator.
+using RunningStats = OnlineStats;
+
+/// Element-wise Welford over a stream of series, one add() per run: the
+/// streaming counterpart of core::aggregate_series.  Ragged inputs truncate
+/// to the shortest series seen so far (the batch min-length rule); each
+/// surviving element receives every run's sample in add() order, so feeding
+/// runs in the same order as the batch path reproduces its output
+/// bit-for-bit.
+class OnlineSeries {
+ public:
+  /// Fold one run's series into the per-element accumulators.
+  void add(std::span<const double> series);
+
+  /// Number of series folded so far.
+  [[nodiscard]] std::size_t runs() const { return runs_; }
+  /// Current (min-across-runs) element count; 0 before the first add.
+  [[nodiscard]] std::size_t size() const { return len_; }
+  [[nodiscard]] const OnlineStats& operator[](std::size_t i) const {
+    return stats_[i];
+  }
+
+ private:
+  std::vector<OnlineStats> stats_;
+  std::size_t len_ = 0;
+  std::size_t runs_ = 0;
+};
+
 /// Two-sided Student-t critical value at 95% confidence for n-1 dof.
 double t_critical_95(std::size_t n);
 
 /// Half-width of the 95% confidence interval of the mean.
-double ci95_halfwidth(const RunningStats& s);
+double ci95_halfwidth(const OnlineStats& s);
 
 double mean_of(std::span<const double> xs);
 double stddev_of(std::span<const double> xs);

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace cgs::core {
 namespace {
@@ -63,6 +66,28 @@ TEST(Runner, ReportsEveryFailingSeed) {
     EXPECT_LT(p100, p101);
     EXPECT_LT(p101, p102);
     EXPECT_NE(what.find("watchdog"), std::string::npos) << what;
+  }
+}
+
+TEST(Runner, ProgressCountsFailedRuns) {
+  // Regression: progress used to count only successes, so a failing run
+  // left the bar stuck short of total.  Completed = success OR failure.
+  Scenario sc = quick_scenario();
+  sc.watchdog_event_budget = 10;  // every run aborts
+  RunnerOptions opts;
+  opts.runs = 3;
+  opts.threads = 2;
+  std::mutex mu;
+  std::vector<std::pair<int, int>> calls;
+  opts.progress = [&](int done, int total) {
+    std::lock_guard lk(mu);
+    calls.push_back({done, total});
+  };
+  EXPECT_THROW((void)run_many(sc, opts), std::runtime_error);
+  ASSERT_EQ(calls.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(calls[std::size_t(i)].first, i + 1);
+    EXPECT_EQ(calls[std::size_t(i)].second, 3);
   }
 }
 

@@ -1,0 +1,263 @@
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "core/testbed.hpp"
+
+namespace cgs::core {
+namespace {
+
+using namespace cgs::literals;
+
+/// Small, fast cell: full 3-flow paper mix squeezed into 2 simulated
+/// seconds so fairness/RTT/fps windows all contain samples.
+Scenario quick_scenario(std::uint64_t seed = 100) {
+  Scenario sc;
+  sc.duration = 2_sec;
+  sc.tcp_start = 500_ms;
+  sc.tcp_stop = 1500_ms;
+  sc.seed = seed;
+  return sc;
+}
+
+/// Field-for-field ConditionResult comparison: exact for counters/ids,
+/// bitwise-tight for floating stats (the streaming path performs the same
+/// arithmetic in the same order as the batch path).
+void expect_results_equal(const ConditionResult& a, const ConditionResult& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  ASSERT_EQ(a.game.mean.size(), b.game.mean.size());
+  for (std::size_t i = 0; i < a.game.mean.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.game.mean[i], b.game.mean[i]) << "game.mean[" << i << "]";
+    EXPECT_DOUBLE_EQ(a.game.sd[i], b.game.sd[i]) << "game.sd[" << i << "]";
+    EXPECT_DOUBLE_EQ(a.game.ci95[i], b.game.ci95[i]) << "game.ci95[" << i << "]";
+  }
+  ASSERT_EQ(a.tcp.mean.size(), b.tcp.mean.size());
+  for (std::size_t i = 0; i < a.tcp.mean.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.tcp.mean[i], b.tcp.mean[i]) << "tcp.mean[" << i << "]";
+  }
+  ASSERT_EQ(a.flow_rows.size(), b.flow_rows.size());
+  for (std::size_t f = 0; f < a.flow_rows.size(); ++f) {
+    EXPECT_EQ(a.flow_rows[f].id, b.flow_rows[f].id);
+    EXPECT_EQ(a.flow_rows[f].name, b.flow_rows[f].name);
+    EXPECT_EQ(a.flow_rows[f].kind, b.flow_rows[f].kind);
+    EXPECT_DOUBLE_EQ(a.flow_rows[f].fair_mbps_mean, b.flow_rows[f].fair_mbps_mean);
+    EXPECT_DOUBLE_EQ(a.flow_rows[f].fair_mbps_sd, b.flow_rows[f].fair_mbps_sd);
+    ASSERT_EQ(a.flow_rows[f].series.mean.size(), b.flow_rows[f].series.mean.size());
+    for (std::size_t i = 0; i < a.flow_rows[f].series.mean.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.flow_rows[f].series.mean[i],
+                       b.flow_rows[f].series.mean[i]);
+      EXPECT_DOUBLE_EQ(a.flow_rows[f].series.sd[i], b.flow_rows[f].series.sd[i]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(a.jain_mean, b.jain_mean);
+  EXPECT_DOUBLE_EQ(a.jain_sd, b.jain_sd);
+  EXPECT_DOUBLE_EQ(a.fairness_mean, b.fairness_mean);
+  EXPECT_DOUBLE_EQ(a.fairness_sd, b.fairness_sd);
+  EXPECT_DOUBLE_EQ(a.game_fair_mbps, b.game_fair_mbps);
+  EXPECT_DOUBLE_EQ(a.tcp_fair_mbps, b.tcp_fair_mbps);
+  EXPECT_DOUBLE_EQ(a.rtt_mean_ms, b.rtt_mean_ms);
+  EXPECT_DOUBLE_EQ(a.rtt_sd_ms, b.rtt_sd_ms);
+  EXPECT_DOUBLE_EQ(a.fps_mean, b.fps_mean);
+  EXPECT_DOUBLE_EQ(a.fps_sd, b.fps_sd);
+  EXPECT_DOUBLE_EQ(a.loss_mean, b.loss_mean);
+  EXPECT_DOUBLE_EQ(a.steady_mean_mbps, b.steady_mean_mbps);
+  EXPECT_DOUBLE_EQ(a.steady_sd_mbps, b.steady_sd_mbps);
+  EXPECT_DOUBLE_EQ(a.rr.response_s, b.rr.response_s);
+  EXPECT_DOUBLE_EQ(a.rr.recovery_s, b.rr.recovery_s);
+  EXPECT_EQ(a.rr.responded, b.rr.responded);
+  EXPECT_EQ(a.rr.recovered, b.rr.recovered);
+}
+
+TEST(Sweep, CrossProductExpandsRowMajor) {
+  SweepSpec spec;
+  spec.base = quick_scenario();
+  spec.axis("cap", {{"15", [](Scenario& s) { s.capacity = Bandwidth::mbps(15.0); }},
+                    {"25", [](Scenario& s) { s.capacity = Bandwidth::mbps(25.0); }}})
+      .axis("queue", {{"0.5", [](Scenario& s) { s.queue_bdp_mult = 0.5; }},
+                      {"2", [](Scenario& s) { s.queue_bdp_mult = 2.0; }},
+                      {"7", [](Scenario& s) { s.queue_bdp_mult = 7.0; }}});
+  const auto cells = spec.cells();
+  ASSERT_EQ(cells.size(), 6u);
+  EXPECT_EQ(cells[0].label, "cap=15 queue=0.5");
+  EXPECT_EQ(cells[5].label, "cap=25 queue=7");
+  // Last axis fastest; mutators composed onto the base.
+  EXPECT_DOUBLE_EQ(cells[1].scenario.queue_bdp_mult, 2.0);
+  EXPECT_DOUBLE_EQ(cells[1].scenario.capacity.megabits_per_sec(), 15.0);
+  EXPECT_DOUBLE_EQ(cells[4].scenario.capacity.megabits_per_sec(), 25.0);
+  // Axis-free spec: the base scenario as a single cell.
+  SweepSpec bare;
+  bare.base = quick_scenario();
+  EXPECT_EQ(bare.cells().size(), 1u);
+}
+
+TEST(Sweep, RejectsNonPositiveRunsAndInvalidCells) {
+  SweepOptions opts;
+  opts.runs = 0;
+  EXPECT_THROW((void)sweep_jobs({{"c", quick_scenario()}}, opts,
+                                [](std::size_t, int, RunTrace&&) {}),
+               std::invalid_argument);
+  Scenario bad = quick_scenario();
+  bad.capacity = Bandwidth(0);
+  opts.runs = 2;
+  EXPECT_THROW((void)sweep_jobs({{"bad", bad}}, opts,
+                                [](std::size_t, int, RunTrace&&) {}),
+               std::invalid_argument);
+}
+
+TEST(Sweep, SeedsExactlyMatchSerialTestbed) {
+  // The engine's (cell, i) job must seed scenario.seed + i — byte-for-byte
+  // the traces a serial Testbed loop produces.
+  const Scenario sc = quick_scenario(7);
+  SweepOptions opts;
+  opts.runs = 3;
+  opts.threads = 2;
+  std::vector<RunTrace> got(3);
+  const auto failures =
+      sweep_jobs({{"cell", sc}}, opts,
+                 [&](std::size_t, int run, RunTrace&& t) {
+                   got[std::size_t(run)] = std::move(t);
+                 });
+  ASSERT_TRUE(failures.empty());
+  for (int i = 0; i < 3; ++i) {
+    Scenario serial = sc;
+    serial.seed = sc.seed + std::uint64_t(i);
+    Testbed bed(serial);
+    const RunTrace want = bed.run();
+    EXPECT_EQ(got[std::size_t(i)].game_mbps, want.game_mbps) << "run " << i;
+    EXPECT_EQ(got[std::size_t(i)].tcp_mbps, want.tcp_mbps) << "run " << i;
+  }
+}
+
+TEST(Sweep, StreamingMatchesBatchSummarize) {
+  // The headline determinism contract: streaming ConditionAccumulator
+  // output == batch summarize, field for field, through the whole engine.
+  std::vector<SweepCell> cells;
+  Scenario a = quick_scenario(11);
+  Scenario b = quick_scenario(23);
+  b.queue_bdp_mult = 0.5;
+  b.tcp_algo = tcp::CcAlgo::kBbr;
+  cells.push_back({"a", a});
+  cells.push_back({"b", b});
+
+  SweepOptions opts;
+  opts.runs = 4;
+  opts.threads = 3;
+  const auto sweep = run_sweep(cells, opts);
+  ASSERT_EQ(sweep.results.size(), 2u);
+
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    RunnerOptions ropts;
+    ropts.runs = 4;
+    ropts.threads = 1;
+    const auto traces = run_many(cells[c].scenario, ropts);
+    const auto batch = summarize(cells[c].scenario, traces);
+    expect_results_equal(sweep.results[c], batch);
+  }
+}
+
+TEST(Sweep, AccumulatorMatchesSummarizeIncrementally) {
+  RunnerOptions ropts;
+  ropts.runs = 3;
+  const auto traces = run_many(quick_scenario(), ropts);
+  ConditionAccumulator acc(quick_scenario());
+  for (const auto& t : traces) acc.add(t);
+  EXPECT_EQ(acc.runs(), 3);
+  expect_results_equal(acc.finalize(), summarize(quick_scenario(), traces));
+}
+
+TEST(Sweep, DeterministicAcrossThreadCounts) {
+  std::vector<SweepCell> cells;
+  for (double q : {0.5, 2.0, 7.0}) {
+    Scenario sc = quick_scenario(42);
+    sc.queue_bdp_mult = q;
+    cells.push_back({"q" + std::to_string(q), sc});
+  }
+  SweepOptions serial;
+  serial.runs = 3;
+  serial.threads = 1;
+  SweepOptions wide;
+  wide.runs = 3;
+  wide.threads = 4;
+  const auto a = run_sweep(cells, serial);
+  const auto b = run_sweep(cells, wide);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  for (std::size_t c = 0; c < a.results.size(); ++c) {
+    expect_results_equal(a.results[c], b.results[c]);
+  }
+}
+
+TEST(Sweep, ReportsEveryFailingCellAndSeed) {
+  // Cell 1 livelocks on every seed; cell 0 is healthy.  Every failure is
+  // named, healthy runs still stream through in seed order.
+  Scenario sick = quick_scenario(200);
+  sick.watchdog_event_budget = 10;
+  std::vector<SweepCell> cells = {{"healthy", quick_scenario(100)},
+                                  {"sick", sick}};
+
+  SweepOptions opts;
+  opts.runs = 2;
+  opts.threads = 2;
+  std::mutex mu;
+  std::vector<std::pair<std::size_t, int>> delivered;
+  const auto failures = sweep_jobs(
+      cells, opts, [&](std::size_t cell, int run, RunTrace&&) {
+        std::lock_guard lk(mu);
+        delivered.push_back({cell, run});
+      });
+  ASSERT_EQ(failures.size(), 2u);
+  EXPECT_EQ(failures[0].cell, 1u);
+  EXPECT_EQ(failures[0].cell_label, "sick");
+  EXPECT_EQ(failures[0].seed, 200u);
+  EXPECT_EQ(failures[1].seed, 201u);
+  EXPECT_NE(failures[0].what.find("watchdog"), std::string::npos);
+  // Healthy cell delivered both runs, in seed order.
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0], (std::pair<std::size_t, int>{0, 0}));
+  EXPECT_EQ(delivered[1], (std::pair<std::size_t, int>{0, 1}));
+
+  // run_sweep surfaces the same failures as one diagnostic.
+  try {
+    (void)run_sweep(cells, opts);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 of 4 jobs failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("cell 'sick' seed 200"), std::string::npos) << what;
+    EXPECT_NE(what.find("cell 'sick' seed 201"), std::string::npos) << what;
+  }
+}
+
+TEST(Sweep, ProgressCountsFailuresAndReachesTotal) {
+  // Mixed success/failure grid: progress must still count every job and
+  // finish at (total, total), strictly increasing.
+  Scenario sick = quick_scenario(300);
+  sick.watchdog_event_budget = 10;
+  std::vector<SweepCell> cells = {{"healthy", quick_scenario(100)},
+                                  {"sick", sick}};
+  SweepOptions opts;
+  opts.runs = 3;
+  opts.threads = 2;
+  std::mutex mu;
+  std::vector<std::pair<int, int>> calls;
+  opts.progress = [&](int done, int total) {
+    std::lock_guard lk(mu);
+    calls.push_back({done, total});
+  };
+  const auto failures = sweep_jobs(cells, opts,
+                                   [](std::size_t, int, RunTrace&&) {});
+  EXPECT_EQ(failures.size(), 3u);
+  ASSERT_EQ(calls.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(calls[std::size_t(i)].first, i + 1);
+    EXPECT_EQ(calls[std::size_t(i)].second, 6);
+  }
+}
+
+}  // namespace
+}  // namespace cgs::core

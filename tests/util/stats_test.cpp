@@ -35,6 +35,59 @@ TEST(RunningStats, Reset) {
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
 }
 
+TEST(OnlineStats, LargeMeanTinySpreadKeepsVariance) {
+  // The naive E[x^2] - mean^2 formulation loses ALL the variance here to
+  // catastrophic cancellation (1e9^2 swamps a 1e-3 spread in a double's 53
+  // bits); Welford must not.  16 samples alternating mean +/- 1e-3 have
+  // sample sd = 1e-3 * sqrt(16/15).
+  OnlineStats s;
+  const double mean = 1e9;
+  const double delta = 1e-3;
+  for (int i = 0; i < 16; ++i) s.add(i % 2 == 0 ? mean + delta : mean - delta);
+  EXPECT_DOUBLE_EQ(s.mean(), mean);
+  // Analytic sd to within input quantization: at 1e9 a double's ulp is
+  // ~1.2e-7, so the +/-1e-3 offsets carry ~1e-4 relative error before any
+  // statistics happen.  Naive E[x^2]-mean^2 would be off by orders of
+  // magnitude (or go negative); 1e-3 relative proves no cancellation.
+  const double want_sd = delta * std::sqrt(16.0 / 15.0);
+  EXPECT_NEAR(s.stddev() / want_sd, 1.0, 1e-3);
+  // And agrees tightly with the two-pass batch computation on the SAME
+  // quantized inputs — this is the algorithmic comparison.
+  std::vector<double> xs;
+  for (int i = 0; i < 16; ++i) {
+    xs.push_back(i % 2 == 0 ? mean + delta : mean - delta);
+  }
+  EXPECT_NEAR(s.stddev() / stddev_of(xs), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.mean(), mean_of(xs));
+}
+
+TEST(OnlineSeries, ElementwiseWelford) {
+  OnlineSeries s;
+  EXPECT_EQ(s.runs(), 0u);
+  EXPECT_EQ(s.size(), 0u);
+  const std::vector<double> a = {1.0, 10.0, 100.0};
+  const std::vector<double> b = {3.0, 30.0, 300.0};
+  s.add(a);
+  s.add(b);
+  EXPECT_EQ(s.runs(), 2u);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s[0].mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s[1].mean(), 20.0);
+  EXPECT_DOUBLE_EQ(s[2].mean(), 200.0);
+  EXPECT_NEAR(s[2].stddev(), std::sqrt(20000.0), 1e-9);
+}
+
+TEST(OnlineSeries, TruncatesToShortestRun) {
+  // Matches batch aggregate_series: ragged runs clip to the common prefix.
+  OnlineSeries s;
+  s.add(std::vector<double>{1.0, 2.0, 3.0});
+  s.add(std::vector<double>{5.0, 6.0});
+  EXPECT_EQ(s.runs(), 2u);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0].mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s[1].mean(), 4.0);
+}
+
 TEST(TCritical, KnownValues) {
   EXPECT_DOUBLE_EQ(t_critical_95(2), 12.706);   // 1 dof
   EXPECT_DOUBLE_EQ(t_critical_95(15), 2.145);   // 14 dof — the paper's n

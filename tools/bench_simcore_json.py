@@ -1,13 +1,18 @@
 #!/usr/bin/env python3
 """Run bench/perf_simcore and record the perf trajectory in BENCH_simcore.json.
 
-Usage: bench_simcore_json.py <perf_simcore-binary> [output-json]
+Usage: bench_simcore_json.py <perf_simcore-binary> [output-json] [--allow-debug]
 
 Writes one entry per benchmark with the median-of-repetitions wall time and
 items/sec, so successive PRs have a machine-readable baseline to compare
 against (see DESIGN.md "Performance architecture"). Run via the CMake target:
 
     cmake --build build --target bench_simcore_json
+
+The baseline is only meaningful from an optimized binary: the run is REFUSED
+when the binary reports a non-release build type (perf_simcore embeds it via
+the cgs_build_type benchmark context), unless --allow-debug is passed — and
+then the output is loudly marked tainted.
 """
 
 import json
@@ -17,11 +22,13 @@ import tempfile
 
 
 def main() -> int:
-    if len(sys.argv) < 2:
+    args = [a for a in sys.argv[1:] if a != "--allow-debug"]
+    allow_debug = "--allow-debug" in sys.argv[1:]
+    if len(args) < 1:
         print(__doc__, file=sys.stderr)
         return 2
-    binary = sys.argv[1]
-    out_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_simcore.json"
+    binary = args[0]
+    out_path = args[1] if len(args) > 1 else "BENCH_simcore.json"
 
     with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
         try:
@@ -39,6 +46,23 @@ def main() -> int:
             print(f"error: failed to run {binary}: {err}", file=sys.stderr)
             return 1
         raw = json.load(open(tmp.name))
+
+    # The binary's own build type (bench/CMakeLists.txt bakes it in);
+    # library_build_type is libbenchmark's and says nothing about our code.
+    build_type = raw["context"].get(
+        "cgs_build_type", raw["context"].get("library_build_type", "unknown")
+    )
+    if str(build_type).lower() not in ("release", "relwithdebinfo"):
+        print(
+            f"error: perf_simcore was built '{build_type}', not Release — a "
+            "debug baseline poisons every future comparison.\n"
+            "Rebuild with -DCMAKE_BUILD_TYPE=Release (or pass --allow-debug "
+            "to record a tainted baseline anyway).",
+            file=sys.stderr,
+        )
+        if not allow_debug:
+            return 1
+        print("warning: recording TAINTED non-release baseline", file=sys.stderr)
 
     results = {}
     for bench in raw["benchmarks"]:
@@ -58,7 +82,7 @@ def main() -> int:
             "host": raw["context"].get("host_name", "unknown"),
             "num_cpus": raw["context"].get("num_cpus"),
             "mhz_per_cpu": raw["context"].get("mhz_per_cpu"),
-            "build_type": raw["context"].get("library_build_type"),
+            "build_type": str(build_type).lower(),
         },
         "benchmarks": results,
     }

@@ -1,0 +1,265 @@
+// sweep — run a named paper grid on the work-stealing sweep engine and
+// write the per-cell CSV.
+//
+//   sweep --grid=fig3    # 2 CC x 3 systems x 3 capacities x 3 queues (54)
+//   sweep --grid=table3  # solo: 3 systems x 3 capacities x 3 queues (27)
+//   sweep --grid=table4  # same grid as fig3, RTT-oriented columns
+//   sweep --grid=smoke   # 30 s schedule, 2 systems x 2 queues (CI)
+//
+// --verify re-runs every cell through the sequential batch path
+// (run_many + summarize) and fails unless the streaming results match —
+// the end-to-end determinism check the CI sweep-smoke job asserts.
+// Prints wall-clock and peak-RSS so EXPERIMENTS.md recipes can quote them.
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cgstream.hpp"
+
+namespace {
+
+using cgs::core::Scenario;
+using cgs::core::SweepCell;
+using cgs::stream::GameSystem;
+using cgs::tcp::CcAlgo;
+
+struct Args {
+  std::string grid = "fig3";
+  int runs = 5;
+  int threads = 0;
+  std::uint64_t seed = 42;
+  std::string csv_prefix;
+  bool verify = false;
+  bool progress = true;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--grid=", 7) == 0) {
+      a.grid = arg + 7;
+    } else if (std::strncmp(arg, "--runs=", 7) == 0) {
+      a.runs = std::atoi(arg + 7);
+    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+      a.threads = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      a.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--csv=", 6) == 0) {
+      a.csv_prefix = arg + 6;
+    } else if (std::strcmp(arg, "--verify") == 0) {
+      a.verify = true;
+    } else if (std::strcmp(arg, "--no-progress") == 0) {
+      a.progress = false;
+    } else {
+      std::printf(
+          "usage: sweep [--grid=fig3|table3|table4|smoke] [--runs=N]\n"
+          "             [--threads=N] [--seed=S] [--csv=PREFIX] [--verify]\n"
+          "             [--no-progress]\n");
+      std::exit(std::strcmp(arg, "--help") == 0 ? 0 : 2);
+    }
+  }
+  if (a.csv_prefix.empty()) a.csv_prefix = a.grid;
+  return a;
+}
+
+Scenario base_scenario(GameSystem sys, double cap_mbps, double queue_mult,
+                       std::optional<CcAlgo> cc, std::uint64_t seed) {
+  Scenario sc;
+  sc.system = sys;
+  sc.capacity = cgs::Bandwidth::mbps(cap_mbps);
+  sc.queue_bdp_mult = queue_mult;
+  sc.tcp_algo = cc;
+  sc.seed = seed;
+  return sc;
+}
+
+const char* sys_name(GameSystem s) {
+  switch (s) {
+    case GameSystem::kStadia: return "Stadia";
+    case GameSystem::kGeForce: return "GeForce";
+    case GameSystem::kLuna: return "Luna";
+  }
+  return "?";
+}
+
+std::string cell_label(GameSystem sys, double cap, double q,
+                       std::optional<CcAlgo> cc) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s %.0fMb/s %.1fxBDP %s", sys_name(sys),
+                cap, q,
+                cc ? std::string(cgs::tcp::to_string(*cc)).c_str() : "solo");
+  return buf;
+}
+
+/// The paper's full competing-flow grid (Fig 3 / Table 4).
+std::vector<SweepCell> competing_grid(std::uint64_t seed) {
+  std::vector<SweepCell> cells;
+  for (CcAlgo cc : {CcAlgo::kCubic, CcAlgo::kBbr}) {
+    for (GameSystem sys : cgs::core::kAllSystems) {
+      for (double cap : cgs::core::kCapacitiesMbps) {
+        for (double q : cgs::core::kQueueMults) {
+          cells.push_back({cell_label(sys, cap, q, cc),
+                           base_scenario(sys, cap, q, cc, seed)});
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+/// Table 3's solo grid.
+std::vector<SweepCell> solo_grid(std::uint64_t seed) {
+  std::vector<SweepCell> cells;
+  for (GameSystem sys : cgs::core::kAllSystems) {
+    for (double cap : cgs::core::kCapacitiesMbps) {
+      for (double q : cgs::core::kQueueMults) {
+        cells.push_back({cell_label(sys, cap, q, std::nullopt),
+                         base_scenario(sys, cap, q, std::nullopt, seed)});
+      }
+    }
+  }
+  return cells;
+}
+
+/// Tiny grid on a 30 s schedule: the CI smoke target.
+std::vector<SweepCell> smoke_grid(std::uint64_t seed) {
+  std::vector<SweepCell> cells;
+  for (GameSystem sys : {GameSystem::kStadia, GameSystem::kLuna}) {
+    for (double q : {0.5, 2.0}) {
+      Scenario sc = base_scenario(sys, 25.0, q, CcAlgo::kCubic, seed);
+      sc.duration = std::chrono::seconds(30);
+      sc.tcp_start = std::chrono::seconds(5);
+      sc.tcp_stop = std::chrono::seconds(20);
+      cells.push_back({cell_label(sys, 25.0, q, CcAlgo::kCubic), sc});
+    }
+  }
+  return cells;
+}
+
+/// True when a and b agree exactly or to 1e-9 relative.
+bool close(double a, double b) {
+  if (a == b) return true;
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return std::fabs(a - b) <= 1e-9 * scale;
+}
+
+/// Compare the streaming sweep result against the batch path for one cell.
+bool verify_cell(const SweepCell& cell, const cgs::core::ConditionResult& got,
+                 int runs) {
+  cgs::core::RunnerOptions ropts;
+  ropts.runs = runs;
+  ropts.threads = 1;
+  const auto traces = cgs::core::run_many(cell.scenario, ropts);
+  const auto want = cgs::core::summarize(cell.scenario, traces);
+
+  bool ok = got.runs == want.runs &&
+            got.game.mean.size() == want.game.mean.size() &&
+            got.flow_rows.size() == want.flow_rows.size();
+  const std::pair<double, double> scalars[] = {
+      {got.fairness_mean, want.fairness_mean},
+      {got.fairness_sd, want.fairness_sd},
+      {got.game_fair_mbps, want.game_fair_mbps},
+      {got.tcp_fair_mbps, want.tcp_fair_mbps},
+      {got.jain_mean, want.jain_mean},
+      {got.jain_sd, want.jain_sd},
+      {got.rtt_mean_ms, want.rtt_mean_ms},
+      {got.rtt_sd_ms, want.rtt_sd_ms},
+      {got.fps_mean, want.fps_mean},
+      {got.loss_mean, want.loss_mean},
+      {got.steady_mean_mbps, want.steady_mean_mbps},
+      {got.rr.response_s, want.rr.response_s},
+      {got.rr.recovery_s, want.rr.recovery_s},
+  };
+  for (auto [a, b] : scalars) ok = ok && close(a, b);
+  if (ok) {
+    for (std::size_t i = 0; i < want.game.mean.size(); ++i) {
+      ok = ok && close(got.game.mean[i], want.game.mean[i]) &&
+           close(got.game.sd[i], want.game.sd[i]);
+    }
+  }
+  if (!ok) {
+    std::fprintf(stderr, "verify FAILED: cell '%s' streaming != batch\n",
+                 cell.label.c_str());
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+
+  std::vector<SweepCell> cells;
+  if (args.grid == "fig3" || args.grid == "table4") {
+    cells = competing_grid(args.seed);
+  } else if (args.grid == "table3") {
+    cells = solo_grid(args.seed);
+  } else if (args.grid == "smoke") {
+    cells = smoke_grid(args.seed);
+  } else {
+    std::fprintf(stderr, "unknown grid '%s' (fig3|table3|table4|smoke)\n",
+                 args.grid.c_str());
+    return 2;
+  }
+
+  cgs::core::SweepOptions opts;
+  opts.runs = args.runs;
+  opts.threads = args.threads;
+  if (args.progress) {
+    opts.progress = [](int done, int total) {
+      std::fprintf(stderr, "\r%d / %d runs", done, total);
+      if (done == total) std::fprintf(stderr, "\n");
+    };
+  }
+
+  std::printf("sweep '%s': %zu cells x %d runs\n", args.grid.c_str(),
+              cells.size(), args.runs);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto sweep = cgs::core::run_sweep(cells, opts);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  struct rusage ru {};
+  getrusage(RUSAGE_SELF, &ru);
+  const double peak_rss_mb = double(ru.ru_maxrss) / 1024.0;  // Linux: KiB
+
+  const std::string path = args.csv_prefix + "_cells.csv";
+  cgs::CsvWriter csv(path);
+  csv.header({"cell", "runs", "fairness_mean", "fairness_sd",
+              "game_fair_mbps", "tcp_fair_mbps", "jain_mean", "rtt_ms_mean",
+              "rtt_ms_sd", "fps_mean", "loss_mean", "steady_mean_mbps",
+              "response_s", "recovery_s"});
+  for (std::size_t i = 0; i < sweep.results.size(); ++i) {
+    const auto& r = sweep.results[i];
+    csv.row({sweep.cells[i].label, std::to_string(r.runs),
+             std::to_string(r.fairness_mean), std::to_string(r.fairness_sd),
+             std::to_string(r.game_fair_mbps),
+             std::to_string(r.tcp_fair_mbps), std::to_string(r.jain_mean),
+             std::to_string(r.rtt_mean_ms), std::to_string(r.rtt_sd_ms),
+             std::to_string(r.fps_mean), std::to_string(r.loss_mean),
+             std::to_string(r.steady_mean_mbps),
+             std::to_string(r.rr.response_s),
+             std::to_string(r.rr.recovery_s)});
+  }
+  std::printf("wrote %s (%zu cells) — wall %.1f s, peak RSS %.1f MB\n",
+              path.c_str(), sweep.results.size(), wall, peak_rss_mb);
+
+  if (args.verify) {
+    bool all_ok = true;
+    for (std::size_t i = 0; i < sweep.cells.size(); ++i) {
+      all_ok = verify_cell(sweep.cells[i], sweep.results[i], args.runs) &&
+               all_ok;
+    }
+    if (!all_ok) return 1;
+    std::printf("verify OK: streaming == batch for all %zu cells\n",
+                sweep.cells.size());
+  }
+  return 0;
+}
