@@ -4,6 +4,8 @@
 // table/figure harnesses depend on.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "cgstream.hpp"
 
 namespace {
@@ -182,6 +184,57 @@ void BM_SweepPerCellLoop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 6 * kSweepRuns);
 }
 BENCHMARK(BM_SweepPerCellLoop)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+const cgs::core::RunTrace& bench_trace() {
+  // One 1-second full-mix run, shared across iterations (the serializer
+  // under test never mutates it).
+  static const cgs::core::RunTrace trace = [] {
+    cgs::core::Scenario sc;
+    sc.duration = 1_sec;
+    sc.tcp_start = 100_ms;
+    sc.tcp_stop = 900_ms;
+    cgs::core::Testbed bed(sc);
+    return bed.run();
+  }();
+  return trace;
+}
+
+void BM_TraceSerialize(benchmark::State& state) {
+  // The journal's per-job overhead floor: RunTrace -> bytes -> RunTrace.
+  const cgs::core::RunTrace& t = bench_trace();
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const auto buf = cgs::core::serialize_trace(t);
+    bytes = buf.size();
+    auto rt = cgs::core::deserialize_trace(buf.data(), buf.size());
+    benchmark::DoNotOptimize(rt.game_mbps.data());
+  }
+  state.SetBytesProcessed(state.iterations() * std::int64_t(bytes) * 2);
+}
+BENCHMARK(BM_TraceSerialize);
+
+void BM_JournalAppend(benchmark::State& state) {
+  // Record append with fsync off — isolates the format/CRC cost from disk
+  // latency (the sync path is a durability guarantee, not a hot path).
+  const std::string path = "bench_journal_scratch.jnl";
+  cgs::core::JournalEntry e;
+  e.cell = 1;
+  e.run = 2;
+  e.seed = 44;
+  e.ok = true;
+  e.payload = cgs::core::serialize_trace(bench_trace());
+  e.trace_hash = cgs::core::trace_hash(bench_trace());
+  cgs::core::JournalMeta meta;
+  meta.note = "bench";
+  auto w = cgs::core::JournalWriter::create(path, meta, /*sync=*/false);
+  for (auto _ : state) {
+    w.append(e);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          std::int64_t(e.payload.size()));
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_JournalAppend);
 
 }  // namespace
 

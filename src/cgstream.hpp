@@ -11,7 +11,10 @@
 #pragma once
 
 #include "core/aggregate.hpp"    // IWYU pragma: export
+#include "core/audit.hpp"        // IWYU pragma: export
 #include "core/collectors.hpp"   // IWYU pragma: export
+#include "core/error.hpp"        // IWYU pragma: export
+#include "core/journal.hpp"      // IWYU pragma: export
 #include "core/metrics.hpp"      // IWYU pragma: export
 #include "core/ping.hpp"         // IWYU pragma: export
 #include "core/report.hpp"       // IWYU pragma: export
@@ -19,6 +22,7 @@
 #include "core/scenario.hpp"     // IWYU pragma: export
 #include "core/sweep.hpp"        // IWYU pragma: export
 #include "core/testbed.hpp"      // IWYU pragma: export
+#include "core/tracelog.hpp"     // IWYU pragma: export
 #include "net/codel.hpp"         // IWYU pragma: export
 #include "net/impairment.hpp"    // IWYU pragma: export
 #include "net/link.hpp"          // IWYU pragma: export

@@ -1,0 +1,92 @@
+// Structured simulation-error taxonomy.
+//
+// Every failure a sweep job can produce is classified into an ErrorClass so
+// the engine can decide mechanically what to do with it: deterministic
+// failures (a tripped watchdog, a violated invariant, a nonsensical
+// scenario) are recorded and triaged, while unclassified failures — the
+// only kind that can plausibly be environmental (OOM, a foreign exception)
+// — are eligible for retry.  SimError carries the failure's context
+// (cell label, seed, sim-time, flow) as structured fields instead of
+// burying them in the what() string.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "net/packet.hpp"
+#include "util/units.hpp"
+
+namespace cgs::core {
+
+/// Failure taxonomy for sweep jobs and triage tables.
+enum class ErrorClass : std::uint8_t {
+  kWatchdog = 0,      // sim::WatchdogError — livelocked run, deterministic
+  kInvariant = 1,     // InvariantViolation — conservation/sanity audit trip
+  kScenario = 2,      // invalid or inconsistent configuration
+  kUnclassified = 3,  // anything else (possibly environmental)
+};
+
+[[nodiscard]] std::string_view to_string(ErrorClass c);
+
+/// Classes worth re-running: a deterministic simulation error reproduces
+/// identically, so only unclassified (possibly environmental) failures are
+/// retried.
+[[nodiscard]] constexpr bool is_transient(ErrorClass c) {
+  return c == ErrorClass::kUnclassified;
+}
+
+/// Where in the grid/run a failure happened.  Fields default to "unknown":
+/// the sweep engine fills cell/seed, the throwing component fills
+/// sim_time/flow when it knows them.
+struct ErrorContext {
+  std::string cell_label;
+  std::uint64_t seed = 0;
+  Time sim_time = kTimeInfinite;  // kTimeInfinite = not known
+  net::FlowId flow = 0;           // 0 = not flow-specific
+};
+
+/// Base of the structured error hierarchy.  what() embeds the context;
+/// error_class()/context() expose it mechanically.
+class SimError : public std::runtime_error {
+ public:
+  SimError(ErrorClass cls, const std::string& msg, ErrorContext ctx = {});
+
+  [[nodiscard]] ErrorClass error_class() const { return cls_; }
+  [[nodiscard]] const ErrorContext& context() const { return ctx_; }
+
+ private:
+  ErrorClass cls_;
+  ErrorContext ctx_;
+};
+
+/// A conservation law or sanity bound the auditor checked did not hold —
+/// the run's aggregates cannot be trusted.
+class InvariantViolation : public SimError {
+ public:
+  explicit InvariantViolation(const std::string& msg, ErrorContext ctx = {})
+      : SimError(ErrorClass::kInvariant, msg, std::move(ctx)) {}
+};
+
+/// A configuration problem detected after validate() — e.g. a journal that
+/// does not match the grid being resumed.
+class ScenarioError : public SimError {
+ public:
+  explicit ScenarioError(const std::string& msg, ErrorContext ctx = {})
+      : SimError(ErrorClass::kScenario, msg, std::move(ctx)) {}
+};
+
+/// Classify an in-flight exception: SimError reports its own class,
+/// sim::WatchdogError maps to kWatchdog, std::invalid_argument /
+/// std::logic_error to kScenario, everything else to kUnclassified.
+[[nodiscard]] ErrorClass classify(const std::exception& e);
+
+/// Extract whatever structured context the exception carries (sim-time for
+/// watchdog errors, full context for SimError); defaults elsewhere.
+[[nodiscard]] ErrorContext context_of(const std::exception& e);
+
+/// Decode a journal byte back into an ErrorClass (unknown values map to
+/// kUnclassified rather than trusting on-disk data).
+[[nodiscard]] ErrorClass error_class_from_byte(std::uint8_t b);
+
+}  // namespace cgs::core

@@ -1,0 +1,479 @@
+#include "core/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/crc32.hpp"
+
+namespace cgs::core {
+namespace {
+
+constexpr char kMagic[8] = {'C', 'G', 'S', 'J', 'N', 'L', '0', '1'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kRecordMagic = 0x4C4E5247u;  // "GRNL"
+// magic + cell + run + seed + ok + class + trace_hash + payload_len.
+constexpr std::size_t kRecordFixed = 4 + 4 + 4 + 8 + 1 + 1 + 8 + 4;
+// Anything larger than this is a corrupt length field, not a real payload
+// (the biggest payload is a serialized RunTrace, a few MB at most).
+constexpr std::uint32_t kMaxPayload = 1u << 30;
+
+[[noreturn]] void throw_errno(const std::string& op, const std::string& path) {
+  throw JournalError("journal: " + op + " '" + path +
+                     "': " + std::strerror(errno));
+}
+
+// -- little binary buffer helpers -----------------------------------------
+
+void put_bytes(std::vector<unsigned char>& out, const void* p, std::size_t n) {
+  if (n == 0) return;
+  const std::size_t off = out.size();
+  out.resize(off + n);
+  std::memcpy(out.data() + off, p, n);
+}
+
+void put_u8(std::vector<unsigned char>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u32(std::vector<unsigned char>& out, std::uint32_t v) {
+  put_bytes(out, &v, sizeof v);
+}
+
+void put_u64(std::vector<unsigned char>& out, std::uint64_t v) {
+  put_bytes(out, &v, sizeof v);
+}
+
+void put_i64(std::vector<unsigned char>& out, std::int64_t v) {
+  put_bytes(out, &v, sizeof v);
+}
+
+void put_time(std::vector<unsigned char>& out, Time t) {
+  put_i64(out, t.count());
+}
+
+void put_string(std::vector<unsigned char>& out, const std::string& s) {
+  put_u32(out, std::uint32_t(s.size()));
+  put_bytes(out, s.data(), s.size());
+}
+
+template <class T>
+void put_pod_vec(std::vector<unsigned char>& out, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  put_u32(out, std::uint32_t(v.size()));
+  put_bytes(out, v.data(), v.size() * sizeof(T));
+}
+
+/// Bounds-checked sequential reader over a serialized payload.
+class Cursor {
+ public:
+  Cursor(const unsigned char* data, std::size_t size)
+      : p_(data), end_(data + size) {}
+
+  void take(void* out, std::size_t n) {
+    if (std::size_t(end_ - p_) < n) {
+      throw JournalError("journal: truncated trace payload");
+    }
+    std::memcpy(out, p_, n);
+    p_ += n;
+  }
+
+  std::uint8_t u8() {
+    std::uint8_t v;
+    take(&v, sizeof v);
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v;
+    take(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v;
+    take(&v, sizeof v);
+    return v;
+  }
+  std::int64_t i64() {
+    std::int64_t v;
+    take(&v, sizeof v);
+    return v;
+  }
+  Time time() { return Time(i64()); }
+
+  std::string string() {
+    const std::uint32_t n = u32();
+    check_count(n, 1);
+    std::string s(n, '\0');
+    take(s.data(), n);
+    return s;
+  }
+
+  template <class T>
+  std::vector<T> pod_vec() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint32_t n = u32();
+    check_count(n, sizeof(T));
+    std::vector<T> v(n);
+    take(v.data(), n * sizeof(T));
+    return v;
+  }
+
+  [[nodiscard]] bool done() const { return p_ == end_; }
+
+ private:
+  void check_count(std::uint64_t n, std::size_t elem) const {
+    if (n * elem > std::size_t(end_ - p_)) {
+      throw JournalError("journal: trace payload count exceeds payload size");
+    }
+  }
+
+  const unsigned char* p_;
+  const unsigned char* end_;
+};
+
+// -- low-level file I/O ----------------------------------------------------
+
+void write_all(int fd, const void* data, std::size_t n,
+               const std::string& path) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write", path);
+    }
+    p += w;
+    n -= std::size_t(w);
+  }
+}
+
+std::vector<unsigned char> header_bytes(const JournalMeta& meta) {
+  std::vector<unsigned char> out;
+  put_bytes(out, kMagic, sizeof kMagic);
+  put_u32(out, kVersion);
+  put_u64(out, meta.fingerprint);
+  put_u32(out, meta.runs);
+  put_u32(out, meta.cells);
+  put_string(out, meta.note);
+  put_u32(out, util::crc32(out.data(), out.size()));
+  return out;
+}
+
+std::vector<unsigned char> record_bytes(const JournalEntry& e) {
+  std::vector<unsigned char> out;
+  out.reserve(kRecordFixed + e.payload.size() + 4);
+  put_u32(out, kRecordMagic);
+  put_u32(out, e.cell);
+  put_u32(out, e.run);
+  put_u64(out, e.seed);
+  put_u8(out, e.ok ? 1 : 0);
+  put_u8(out, std::uint8_t(e.cls));
+  put_u64(out, e.trace_hash);
+  put_u32(out, std::uint32_t(e.payload.size()));
+  put_bytes(out, e.payload.data(), e.payload.size());
+  put_u32(out, util::crc32(out.data(), out.size()));
+  return out;
+}
+
+}  // namespace
+
+// -- scanning --------------------------------------------------------------
+
+std::optional<JournalScan> read_journal(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return std::nullopt;
+    throw_errno("open", path);
+  }
+  std::vector<unsigned char> buf;
+  {
+    struct stat st {};
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      throw_errno("stat", path);
+    }
+    buf.resize(std::size_t(st.st_size));
+    std::size_t off = 0;
+    while (off < buf.size()) {
+      const ssize_t r = ::read(fd, buf.data() + off, buf.size() - off);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        throw_errno("read", path);
+      }
+      if (r == 0) break;  // concurrent truncation; scan what we have
+      off += std::size_t(r);
+    }
+    buf.resize(off);
+    ::close(fd);
+  }
+
+  // Header: magic + version + fingerprint + runs + cells + note_len.
+  constexpr std::size_t kHeaderFixed = 8 + 4 + 8 + 4 + 4 + 4;
+  if (buf.size() < kHeaderFixed) return std::nullopt;  // died mid-creation
+  if (std::memcmp(buf.data(), kMagic, sizeof kMagic) != 0) {
+    throw JournalError("journal: '" + path + "' is not a CGS journal");
+  }
+  auto rd_u32 = [&](std::size_t off) {
+    std::uint32_t v;
+    std::memcpy(&v, buf.data() + off, sizeof v);
+    return v;
+  };
+  auto rd_u64 = [&](std::size_t off) {
+    std::uint64_t v;
+    std::memcpy(&v, buf.data() + off, sizeof v);
+    return v;
+  };
+
+  const std::uint32_t version = rd_u32(8);
+  if (version != kVersion) {
+    throw JournalError("journal: '" + path + "' has unsupported version " +
+                       std::to_string(version));
+  }
+  JournalScan scan;
+  scan.meta.fingerprint = rd_u64(12);
+  scan.meta.runs = rd_u32(20);
+  scan.meta.cells = rd_u32(24);
+  const std::uint32_t note_len = rd_u32(28);
+  const std::size_t header_total = kHeaderFixed + note_len + 4;
+  if (note_len > kMaxPayload || buf.size() < header_total) {
+    return std::nullopt;  // died while writing the header
+  }
+  scan.meta.note.assign(reinterpret_cast<const char*>(buf.data()) +
+                            kHeaderFixed,
+                        note_len);
+  if (rd_u32(kHeaderFixed + note_len) !=
+      util::crc32(buf.data(), kHeaderFixed + note_len)) {
+    throw JournalError("journal: '" + path + "' header CRC mismatch");
+  }
+
+  // Records.
+  std::size_t off = header_total;
+  while (off < buf.size()) {
+    const std::size_t avail = buf.size() - off;
+    // Not even the fixed part fits, the magic is wrong, or the length field
+    // is garbage: a torn tail if it is the last thing in the file.
+    auto torn = [&] {
+      scan.torn_tail = true;
+      scan.valid_bytes = off;
+      return scan;
+    };
+    if (avail < kRecordFixed) return torn();
+    if (rd_u32(off) != kRecordMagic) return torn();
+    const std::uint32_t payload_len = rd_u32(off + kRecordFixed - 4);
+    if (payload_len > kMaxPayload) return torn();
+    const std::size_t total = kRecordFixed + payload_len + 4;
+    if (avail < total) return torn();
+
+    const std::uint32_t stored_crc = rd_u32(off + total - 4);
+    if (stored_crc != util::crc32(buf.data() + off, total - 4)) {
+      // A complete-looking record with a bad CRC: torn only at end-of-file
+      // (a crash mid-write); anywhere else the file is corrupt.
+      if (off + total == buf.size()) return torn();
+      throw JournalError("journal: '" + path + "' corrupt record at offset " +
+                         std::to_string(off));
+    }
+
+    JournalEntry e;
+    e.cell = rd_u32(off + 4);
+    e.run = rd_u32(off + 8);
+    e.seed = rd_u64(off + 12);
+    e.ok = buf[off + 20] != 0;
+    e.cls = error_class_from_byte(buf[off + 21]);
+    e.trace_hash = rd_u64(off + 22);
+    e.payload.assign(buf.begin() + std::ptrdiff_t(off + kRecordFixed),
+                     buf.begin() + std::ptrdiff_t(off + kRecordFixed +
+                                                  payload_len));
+    scan.entries.push_back(std::move(e));
+    off += total;
+  }
+  scan.valid_bytes = off;
+  return scan;
+}
+
+// -- writing ---------------------------------------------------------------
+
+JournalWriter JournalWriter::create(const std::string& path,
+                                    const JournalMeta& meta, bool sync) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("create", path);
+  JournalWriter w(fd, sync);
+  const auto hdr = header_bytes(meta);
+  write_all(fd, hdr.data(), hdr.size(), path);
+  if (sync && ::fsync(fd) != 0) throw_errno("fsync", path);
+  return w;
+}
+
+JournalWriter JournalWriter::append_to(const std::string& path,
+                                       std::uint64_t valid_bytes, bool sync) {
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) throw_errno("open", path);
+  JournalWriter w(fd, sync);
+  // Drop any torn tail before appending over it.
+  if (::ftruncate(fd, off_t(valid_bytes)) != 0) throw_errno("truncate", path);
+  if (::lseek(fd, off_t(valid_bytes), SEEK_SET) < 0) throw_errno("seek", path);
+  return w;
+}
+
+JournalWriter::JournalWriter(JournalWriter&& o) noexcept
+    : fd_(std::exchange(o.fd_, -1)), sync_(o.sync_) {}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& o) noexcept {
+  if (this != &o) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(o.fd_, -1);
+    sync_ = o.sync_;
+  }
+  return *this;
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void JournalWriter::append(const JournalEntry& e) {
+  if (fd_ < 0) throw JournalError("journal: append on a moved-from writer");
+  const auto rec = record_bytes(e);
+  write_all(fd_, rec.data(), rec.size(), "<journal>");
+  if (sync_ && ::fsync(fd_) != 0) {
+    throw JournalError(std::string("journal: fsync: ") + std::strerror(errno));
+  }
+}
+
+// -- RunTrace round-trip ---------------------------------------------------
+
+std::vector<unsigned char> serialize_trace(const RunTrace& t) {
+  std::vector<unsigned char> out;
+  std::size_t est = 64;
+  for (const FlowTrace& f : t.flows) {
+    est += 64 + f.name.size() + f.mbps.size() * sizeof(double) +
+           (f.pkts_recv.size() + f.pkts_lost.size()) * sizeof(std::uint64_t);
+  }
+  est += (t.game_mbps.size() + t.tcp_mbps.size()) * sizeof(double) +
+         (t.game_pkts_recv.size() + t.game_pkts_lost.size() +
+          t.queue_drops.size()) *
+             sizeof(std::uint64_t) +
+         t.rtt.size() * sizeof(PingClient::Sample) +
+         t.frame_times.size() * sizeof(Time);
+  out.reserve(est);
+  put_time(out, t.sample_interval);
+  put_time(out, t.duration);
+  put_u32(out, std::uint32_t(t.flows.size()));
+  for (const FlowTrace& f : t.flows) {
+    put_u64(out, std::uint64_t(f.id));
+    put_string(out, f.name);
+    put_u8(out, std::uint8_t(f.kind));
+    put_pod_vec(out, f.mbps);
+    put_pod_vec(out, f.pkts_recv);
+    put_pod_vec(out, f.pkts_lost);
+  }
+  put_pod_vec(out, t.game_mbps);
+  put_pod_vec(out, t.tcp_mbps);
+  put_pod_vec(out, t.rtt);
+  put_pod_vec(out, t.game_pkts_recv);
+  put_pod_vec(out, t.game_pkts_lost);
+  put_pod_vec(out, t.queue_drops);
+  put_pod_vec(out, t.frame_times);
+  return out;
+}
+
+RunTrace deserialize_trace(const unsigned char* data, std::size_t size) {
+  Cursor c(data, size);
+  RunTrace t;
+  t.sample_interval = c.time();
+  t.duration = c.time();
+  const std::uint32_t n_flows = c.u32();
+  t.flows.reserve(n_flows);
+  for (std::uint32_t i = 0; i < n_flows; ++i) {
+    FlowTrace f;
+    f.id = net::FlowId(c.u64());
+    f.name = c.string();
+    f.kind = FlowKind(c.u8());
+    f.mbps = c.pod_vec<double>();
+    f.pkts_recv = c.pod_vec<std::uint64_t>();
+    f.pkts_lost = c.pod_vec<std::uint64_t>();
+    t.flows.push_back(std::move(f));
+  }
+  t.game_mbps = c.pod_vec<double>();
+  t.tcp_mbps = c.pod_vec<double>();
+  t.rtt = c.pod_vec<PingClient::Sample>();
+  t.game_pkts_recv = c.pod_vec<std::uint64_t>();
+  t.game_pkts_lost = c.pod_vec<std::uint64_t>();
+  t.queue_drops = c.pod_vec<std::uint64_t>();
+  t.frame_times = c.pod_vec<Time>();
+  if (!c.done()) {
+    throw JournalError("journal: trailing bytes after trace payload");
+  }
+  return t;
+}
+
+// -- hashing ---------------------------------------------------------------
+
+std::uint64_t fnv1a_bytes(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t trace_hash(const RunTrace& t) {
+  std::uint64_t h = 1469598103934665603ULL;
+  h = fnv1a_bytes(h, t.game_mbps.data(), t.game_mbps.size() * sizeof(double));
+  h = fnv1a_bytes(h, t.tcp_mbps.data(), t.tcp_mbps.size() * sizeof(double));
+  h = fnv1a_bytes(h, t.game_pkts_recv.data(),
+                  t.game_pkts_recv.size() * sizeof(std::uint64_t));
+  h = fnv1a_bytes(h, t.game_pkts_lost.data(),
+                  t.game_pkts_lost.size() * sizeof(std::uint64_t));
+  h = fnv1a_bytes(h, t.queue_drops.data(),
+                  t.queue_drops.size() * sizeof(std::uint64_t));
+  h = fnv1a_bytes(h, t.frame_times.data(),
+                  t.frame_times.size() * sizeof(Time));
+  h = fnv1a_bytes(h, t.rtt.data(), t.rtt.size() * sizeof(PingClient::Sample));
+  return h;
+}
+
+std::uint64_t sweep_fingerprint(const std::vector<SweepCell>& cells,
+                                int runs) {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix_u64 = [&](std::uint64_t v) { h = fnv1a_bytes(h, &v, sizeof v); };
+  auto mix_str = [&](const std::string& s) {
+    mix_u64(s.size());
+    h = fnv1a_bytes(h, s.data(), s.size());
+  };
+
+  mix_u64(std::uint64_t(runs));
+  mix_u64(cells.size());
+  for (const SweepCell& c : cells) {
+    mix_str(c.label);
+    const Scenario& sc = c.scenario;
+    mix_str(sc.label());  // system/capacity/queue/algo in one line
+    mix_u64(sc.seed);
+    mix_u64(std::uint64_t(sc.duration.count()));
+    mix_u64(std::uint64_t(sc.base_rtt.count()));
+    mix_u64(std::uint64_t(sc.tcp_start.count()));
+    mix_u64(std::uint64_t(sc.tcp_stop.count()));
+    mix_u64(std::uint64_t(sc.queue_kind));
+    mix_u64(sc.watchdog_event_budget);
+    const auto flows = sc.effective_flows();
+    mix_u64(flows.size());
+    for (const FlowSpec& f : flows) {
+      mix_u64(std::uint64_t(f.kind));
+      mix_u64(std::uint64_t(f.id));
+      mix_str(f.name);
+      mix_u64(std::uint64_t(f.algo));
+      mix_u64(std::uint64_t(f.start.count()));
+      mix_u64(f.stop ? std::uint64_t(f.stop->count()) : ~std::uint64_t{0});
+      mix_u64(std::uint64_t(f.extra_owd.count()));
+    }
+  }
+  return h;
+}
+
+}  // namespace cgs::core

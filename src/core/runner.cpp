@@ -31,13 +31,15 @@ SweepOptions to_sweep_options(const RunnerOptions& opts) {
   return sopts;
 }
 
-[[noreturn]] void throw_failures(const char* fn,
-                                 const std::vector<SweepFailure>& failures,
+[[noreturn]] void throw_failures(const char* fn, const SweepReport& report,
                                  int n) {
   std::ostringstream os;
-  os << fn << ": " << failures.size() << " of " << n << " runs failed:";
-  for (const SweepFailure& f : failures) {
+  os << fn << ": " << report.failed() << " of " << n << " runs failed:";
+  for (const SweepFailure& f : report.failures) {
     os << "\n  seed " << f.seed << ": " << f.what;
+  }
+  if (report.failures_suppressed > 0) {
+    os << "\n  ... and " << report.failures_suppressed << " more";
   }
   throw std::runtime_error(os.str());
 }
@@ -48,11 +50,11 @@ std::vector<RunTrace> run_many(const Scenario& scenario,
                                const RunnerOptions& opts) {
   const SweepOptions sopts = to_sweep_options(opts);
   std::vector<RunTrace> traces(std::size_t(opts.runs));
-  const auto failures = sweep_jobs(
+  const auto report = sweep_jobs(
       one_cell(scenario), sopts, [&](std::size_t, int run, RunTrace&& t) {
         traces[std::size_t(run)] = std::move(t);
       });
-  if (!failures.empty()) throw_failures("run_many", failures, opts.runs);
+  if (report.failed() != 0) throw_failures("run_many", report, opts.runs);
   return traces;
 }
 
@@ -63,10 +65,10 @@ ConditionResult run_condition(const Scenario& scenario,
   // the seed-order delivery contract makes this bit-identical to
   // summarize(scenario, run_many(scenario, opts)).
   ConditionAccumulator acc(scenario);
-  const auto failures =
+  const auto report =
       sweep_jobs(one_cell(scenario), sopts,
                  [&](std::size_t, int, RunTrace&& t) { acc.add(t); });
-  if (!failures.empty()) throw_failures("run_condition", failures, opts.runs);
+  if (report.failed() != 0) throw_failures("run_condition", report, opts.runs);
   return acc.finalize();
 }
 

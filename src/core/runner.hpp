@@ -18,7 +18,8 @@ struct RunnerOptions {
   /// Optional progress callback (completed_runs, total_runs), counting
   /// failed runs as completed so the final call always reports (n, n).
   /// Calls are serialized and strictly increasing; exceptions it throws
-  /// are swallowed — reporting must not kill a worker thread.
+  /// are counted and swallowed (see SweepReport::progress_errors) —
+  /// reporting must not kill a worker thread.
   std::function<void(int, int)> progress;
 };
 

@@ -117,6 +117,14 @@ struct Scenario {
   /// 0 derives a generous duration-proportional budget.
   std::uint64_t watchdog_event_budget = 0;
 
+  /// Invariant-audit policy for the run (byte conservation, queue bounds,
+  /// sequence sanity at the bottleneck; see core/audit.hpp).  The auditor
+  /// is observer-only — traces are bit-identical with it on or off — so
+  /// kAuto enables it in Debug builds and disables it in Release, keeping
+  /// benchmark numbers clean while every Debug test run is audited.
+  enum class AuditMode : std::uint8_t { kAuto, kOn, kOff };
+  AuditMode audit = AuditMode::kAuto;
+
   /// Optional: replace the profile's rate controller (ablation studies,
   /// custom-controller experiments). Called once per run.
   std::function<std::unique_ptr<stream::RateController>()> controller_override;

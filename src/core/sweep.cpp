@@ -11,6 +11,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/journal.hpp"
 #include "core/testbed.hpp"
 
 namespace cgs::core {
@@ -123,28 +124,50 @@ std::vector<SweepCell> SweepSpec::cells() const {
   return out;
 }
 
-std::vector<SweepFailure> sweep_jobs(
+SweepReport sweep_jobs(
     const std::vector<SweepCell>& cells, const SweepOptions& opts,
-    const std::function<void(std::size_t, int, RunTrace&&)>& consume) {
+    const std::function<void(std::size_t, int, RunTrace&&)>& consume,
+    const std::vector<PreloadedRun>& preloaded) {
   if (opts.runs <= 0) {
     throw std::invalid_argument("SweepOptions: runs must be > 0 (got " +
                                 std::to_string(opts.runs) + ")");
   }
-  if (cells.empty()) return {};
+  SweepReport report;
+  if (cells.empty()) return report;
   // Fail nonsensical configs on the calling thread, before spawning workers.
   for (const SweepCell& c : cells) c.scenario.validate();
 
   const int runs = opts.runs;
   const int total = int(cells.size()) * runs;
+  report.total = total;
+  report.cell_failures.assign(cells.size(), 0);
+
+  // Validate the preloaded slots up front, same as the scenarios.
+  std::vector<char> is_preloaded(std::size_t(total), 0);
+  for (const PreloadedRun& p : preloaded) {
+    if (p.cell >= cells.size() || p.run < 0 || p.run >= runs) {
+      throw std::invalid_argument(
+          "sweep_jobs: preloaded job (cell " + std::to_string(p.cell) +
+          ", run " + std::to_string(p.run) + ") is outside the grid");
+    }
+    char& mark = is_preloaded[p.cell * std::size_t(runs) + std::size_t(p.run)];
+    if (mark != 0) {
+      throw std::invalid_argument(
+          "sweep_jobs: duplicate preloaded job (cell " +
+          std::to_string(p.cell) + ", run " + std::to_string(p.run) + ")");
+    }
+    mark = 1;
+  }
 
   unsigned hw = std::thread::hardware_concurrency();
   if (hw == 0) hw = 4;
-  const int threads =
-      std::max(1, std::min(opts.threads > 0 ? opts.threads : int(hw), total));
+  const int remaining_jobs = total - int(preloaded.size());
+  const int threads = std::max(
+      1, std::min(opts.threads > 0 ? opts.threads : int(hw),
+                  std::max(remaining_jobs, 1)));
 
   std::vector<CellState> states(cells.size());
-  std::vector<SweepFailure> failures;
-  std::mutex failures_mu;
+  std::mutex failures_mu;  // guards report.failures/cell_failures/counters
 
   std::atomic<int> done{0};
   std::mutex progress_mu;
@@ -158,7 +181,31 @@ std::vector<SweepFailure> sweep_jobs(
     try {
       opts.progress(reported, total);
     } catch (...) {
-      // A throwing progress callback must not kill a worker thread.
+      // A throwing progress callback must not kill a worker thread; the
+      // swallow is counted so the caller still learns reporting is broken.
+      ++report.progress_errors;
+    }
+  };
+
+  // Record one final failure, respecting the per-cell message cap.
+  auto record_failure = [&](SweepFailure&& f) {
+    {
+      std::lock_guard lk(failures_mu);
+      std::size_t& count = report.cell_failures[f.cell];
+      ++count;
+      if (count <= opts.max_failures_per_cell) {
+        report.failures.push_back(f);
+      } else {
+        ++report.failures_suppressed;
+      }
+    }
+    if (opts.on_failure) {
+      try {
+        opts.on_failure(f);
+      } catch (...) {
+        // Failure observers (e.g. the journal hook) must not take down a
+        // worker; the failure itself is already recorded above.
+      }
     }
   };
 
@@ -180,44 +227,93 @@ std::vector<SweepFailure> sweep_jobs(
     report_one();
   };
 
+  // Feed the preloaded results through the same seed-order delivery path,
+  // on the calling thread, before any worker spawns: the fold order a
+  // resumed sweep sees is exactly the order an uninterrupted sweep saw.
+  for (const PreloadedRun& p : preloaded) {
+    if (p.failure) {
+      SweepFailure f = *p.failure;
+      f.cell = p.cell;
+      f.cell_label = cells[p.cell].label;
+      record_failure(std::move(f));
+    }
+    std::optional<RunTrace> trace = p.trace;
+    deliver(int(p.cell) * runs + p.run, std::move(trace));
+    ++report.skipped;
+  }
+
   auto execute = [&](int job) {
     const auto cell = std::size_t(job) / std::size_t(runs);
     const int run = job % runs;
     const std::uint64_t seed = cells[cell].scenario.seed + std::uint64_t(run);
     std::optional<RunTrace> trace;
-    try {
-      Scenario sc = cells[cell].scenario;
-      sc.seed = seed;
-      Testbed bed(sc);
-      trace = bed.run();
-    } catch (const std::exception& e) {
+    for (int attempt = 1;; ++attempt) {
+      SweepFailure f;
+      f.cell = cell;
+      f.cell_label = cells[cell].label;
+      f.seed = seed;
+      f.attempts = attempt;
+      try {
+        Scenario sc = cells[cell].scenario;
+        sc.seed = seed;
+        Testbed bed(sc);
+        trace = bed.run();
+        break;
+      } catch (const std::exception& e) {
+        f.what = e.what();
+        f.cls = classify(e);
+        const ErrorContext ctx = context_of(e);
+        f.sim_time = ctx.sim_time;
+        f.flow = ctx.flow;
+      } catch (...) {
+        f.what = "unknown exception";
+        f.cls = ErrorClass::kUnclassified;
+      }
+      // Deterministic failures reproduce identically — only possibly-
+      // environmental (unclassified) ones earn another attempt.
+      if (is_transient(f.cls) && attempt <= opts.max_retries) {
+        std::lock_guard lk(failures_mu);
+        ++report.retries;
+        continue;
+      }
+      record_failure(std::move(f));
+      break;
+    }
+    if (trace.has_value()) {
       std::lock_guard lk(failures_mu);
-      failures.push_back({cell, cells[cell].label, seed, e.what()});
-    } catch (...) {
-      std::lock_guard lk(failures_mu);
-      failures.push_back({cell, cells[cell].label, seed, "unknown exception"});
+      ++report.succeeded;
     }
     deliver(job, std::move(trace));
   };
 
   // One deque per worker, seeded with a contiguous slice of the flat
-  // cell-major job list.  Slices are pushed in reverse so the owner's LIFO
-  // pop walks its seeds in increasing order (keeping each cell's reorder
-  // buffer small) while thieves bite the far end of a straggler's slice.
+  // cell-major job list (minus any preloaded slots).  Slices are pushed in
+  // reverse so the owner's LIFO pop walks its seeds in increasing order
+  // (keeping each cell's reorder buffer small) while thieves bite the far
+  // end of a straggler's slice.
   std::vector<std::unique_ptr<WorkDeque>> deques;
   deques.reserve(std::size_t(threads));
   for (int w = 0; w < threads; ++w) {
     const int lo = int(std::int64_t(total) * w / threads);
     const int hi = int(std::int64_t(total) * (w + 1) / threads);
     auto dq = std::make_unique<WorkDeque>(std::size_t(hi - lo));
-    for (int job = hi - 1; job >= lo; --job) dq->push(job);
+    for (int job = hi - 1; job >= lo; --job) {
+      if (!is_preloaded[std::size_t(job)]) dq->push(job);
+    }
     deques.push_back(std::move(dq));
   }
+
+  auto stopped = [&] {
+    return opts.stop != nullptr && opts.stop->load(std::memory_order_relaxed);
+  };
 
   auto worker = [&](int w) {
     WorkDeque& self = *deques[std::size_t(w)];
     int job = -1;
     for (;;) {
+      // Graceful drain: finish nothing new once the stop flag flips; jobs
+      // already executing elsewhere complete and get journaled.
+      if (stopped()) return;
       if (self.pop(job)) {
         execute(job);
         continue;
@@ -237,43 +333,156 @@ std::vector<SweepFailure> sweep_jobs(
     }
   };
 
-  if (threads == 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(std::size_t(threads));
-    for (int w = 0; w < threads; ++w) pool.emplace_back(worker, w);
-    for (auto& t : pool) t.join();
+  if (remaining_jobs > 0 && !stopped()) {
+    if (threads == 1) {
+      worker(0);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(std::size_t(threads));
+      for (int w = 0; w < threads; ++w) pool.emplace_back(worker, w);
+      for (auto& t : pool) t.join();
+    }
   }
 
-  std::sort(failures.begin(), failures.end(),
+  report.finished = done.load(std::memory_order_acquire);
+  report.interrupted = report.finished < total;
+
+  std::sort(report.failures.begin(), report.failures.end(),
             [](const SweepFailure& a, const SweepFailure& b) {
               return a.cell != b.cell ? a.cell < b.cell : a.seed < b.seed;
             });
-  return failures;
+  return report;
 }
+
+namespace {
+
+/// Rebuild PreloadedRuns from a journal scan, deduplicating slots (first
+/// record wins — duplicates can only come from a hand-edited file).
+std::vector<PreloadedRun> preload_from_scan(const JournalScan& scan,
+                                            const std::vector<SweepCell>& cells,
+                                            int runs) {
+  std::vector<PreloadedRun> out;
+  std::vector<char> seen(cells.size() * std::size_t(runs), 0);
+  out.reserve(scan.entries.size());
+  for (const JournalEntry& e : scan.entries) {
+    if (e.cell >= cells.size() || int(e.run) >= runs) continue;
+    char& mark = seen[e.cell * std::size_t(runs) + e.run];
+    if (mark != 0) continue;
+    mark = 1;
+
+    PreloadedRun p;
+    p.cell = e.cell;
+    p.run = int(e.run);
+    if (e.ok) {
+      p.trace = deserialize_trace(e.payload.data(), e.payload.size());
+    } else {
+      SweepFailure f;
+      f.seed = e.seed;
+      f.what.assign(reinterpret_cast<const char*>(e.payload.data()),
+                    e.payload.size());
+      f.cls = e.cls;
+      p.failure = std::move(f);
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace
 
 SweepResult run_sweep(std::vector<SweepCell> cells, const SweepOptions& opts) {
   std::vector<ConditionAccumulator> accs;
   accs.reserve(cells.size());
   for (const SweepCell& c : cells) accs.emplace_back(c.scenario);
 
-  const auto failures = sweep_jobs(
-      cells, opts,
-      [&](std::size_t cell, int, RunTrace&& t) { accs[cell].add(t); });
+  // --- crash-safe journaling ----------------------------------------------
+  std::optional<JournalWriter> writer;
+  std::mutex journal_mu;
+  std::vector<PreloadedRun> preloaded;
+  std::vector<char> is_preloaded;
+  if (!opts.journal_path.empty()) {
+    const std::uint64_t fp = sweep_fingerprint(cells, opts.runs);
+    if (auto scan = read_journal(opts.journal_path)) {
+      if (scan->meta.fingerprint != fp) {
+        throw JournalMismatchError(
+            "journal '" + opts.journal_path +
+            "' was written for a different grid (fingerprint mismatch); "
+            "refusing to resume — delete it or pass the original grid");
+      }
+      preloaded = preload_from_scan(*scan, cells, opts.runs);
+      writer = JournalWriter::append_to(opts.journal_path, scan->valid_bytes,
+                                        opts.journal_sync);
+    } else {
+      JournalMeta meta;
+      meta.fingerprint = fp;
+      meta.runs = std::uint32_t(opts.runs);
+      meta.cells = std::uint32_t(cells.size());
+      meta.note = opts.journal_note;
+      writer = JournalWriter::create(opts.journal_path, meta,
+                                     opts.journal_sync);
+    }
+    is_preloaded.assign(cells.size() * std::size_t(opts.runs), 0);
+    for (const PreloadedRun& p : preloaded) {
+      is_preloaded[p.cell * std::size_t(opts.runs) + std::size_t(p.run)] = 1;
+    }
+  }
 
-  if (!failures.empty()) {
+  SweepOptions jopts = opts;
+  if (writer) {
+    // Journal every fresh failure the moment it is final.
+    jopts.on_failure = [&](const SweepFailure& f) {
+      if (is_preloaded[f.cell * std::size_t(opts.runs) +
+                       std::size_t(f.seed - cells[f.cell].scenario.seed)]) {
+        return;  // re-reported preloaded failure, already on disk
+      }
+      JournalEntry e;
+      e.cell = std::uint32_t(f.cell);
+      e.run = std::uint32_t(f.seed - cells[f.cell].scenario.seed);
+      e.seed = f.seed;
+      e.ok = false;
+      e.cls = f.cls;
+      e.payload.assign(f.what.begin(), f.what.end());
+      std::lock_guard lk(journal_mu);
+      writer->append(e);
+      if (opts.on_failure) opts.on_failure(f);
+    };
+  }
+
+  const auto consume = [&](std::size_t cell, int run, RunTrace&& t) {
+    if (writer &&
+        !is_preloaded[cell * std::size_t(opts.runs) + std::size_t(run)]) {
+      JournalEntry e;
+      e.cell = std::uint32_t(cell);
+      e.run = std::uint32_t(run);
+      e.seed = cells[cell].scenario.seed + std::uint64_t(run);
+      e.ok = true;
+      e.trace_hash = trace_hash(t);
+      e.payload = serialize_trace(t);
+      std::lock_guard lk(journal_mu);
+      writer->append(e);
+    }
+    accs[cell].add(t);
+  };
+
+  SweepResult res;
+  res.report = sweep_jobs(cells, jopts, consume, preloaded);
+
+  if (res.report.failed() != 0 && !res.report.interrupted &&
+      opts.throw_on_failure) {
     std::ostringstream os;
-    os << "run_sweep: " << failures.size() << " of "
+    os << "run_sweep: " << res.report.failed() << " of "
        << cells.size() * std::size_t(opts.runs) << " jobs failed:";
-    for (const SweepFailure& f : failures) {
+    for (const SweepFailure& f : res.report.failures) {
       os << "\n  cell '" << f.cell_label << "' seed " << f.seed << ": "
          << f.what;
+    }
+    if (res.report.failures_suppressed > 0) {
+      os << "\n  ... and " << res.report.failures_suppressed
+         << " more (per-cell cap " << opts.max_failures_per_cell << ")";
     }
     throw std::runtime_error(os.str());
   }
 
-  SweepResult res;
   res.results.reserve(accs.size());
   for (ConditionAccumulator& a : accs) res.results.push_back(a.finalize());
   res.cells = std::move(cells);

@@ -16,14 +16,26 @@
 // order (an internal reorder buffer parks out-of-order completions), so
 // the streaming ConditionResult is bit-identical to batch summarize() over
 // the same traces regardless of thread count or steal schedule.
+//
+// Crash safety: run_sweep can journal every finished (cell, seed) job to
+// an append-only file (SweepOptions::journal_path, core/journal.hpp) and,
+// on restart against the same grid, preload the journaled results instead
+// of re-running them — folding them through the same seed-order delivery
+// path, so a resumed sweep's ConditionResult is bit-identical to an
+// uninterrupted one.  A stop flag (SweepOptions::stop) drains gracefully:
+// in-flight jobs finish and are journaled, queued jobs stay queued, and
+// the partial result comes back marked interrupted.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/aggregate.hpp"
+#include "core/error.hpp"
 #include "core/scenario.hpp"
 
 namespace cgs::core {
@@ -59,45 +71,141 @@ struct SweepSpec {
   [[nodiscard]] std::vector<SweepCell> cells() const;
 };
 
-struct SweepOptions {
-  int runs = 15;    // seeded repetitions per cell (paper: 15, §3.4)
-  int threads = 0;  // 0 = hardware concurrency
-  /// Progress callback (completed_jobs, total_jobs) counting successes AND
-  /// failures, so the final call always reports (total, total).  Calls are
-  /// serialized and strictly increasing; exceptions it throws are
-  /// swallowed — reporting must not kill a worker thread.
-  std::function<void(int, int)> progress;
-};
-
-/// One failed (cell, seed) job.
+/// One failed (cell, seed) job, classified for triage.
 struct SweepFailure {
   std::size_t cell = 0;  // index into the cell list
   std::string cell_label;
   std::uint64_t seed = 0;
   std::string what;
+  ErrorClass cls = ErrorClass::kUnclassified;
+  Time sim_time = kTimeInfinite;  // kTimeInfinite = not known
+  net::FlowId flow = 0;           // 0 = not flow-specific
+  int attempts = 1;               // executions including retries
+};
+
+struct SweepOptions {
+  int runs = 15;    // seeded repetitions per cell (paper: 15, §3.4)
+  int threads = 0;  // 0 = hardware concurrency
+  /// Progress callback (completed_jobs, total_jobs) counting successes,
+  /// failures AND journal-preloaded jobs, so the final call always reports
+  /// (total, total).  Calls are serialized and strictly increasing;
+  /// exceptions it throws are counted (SweepReport::progress_errors) and
+  /// swallowed — reporting must not kill a worker thread.
+  std::function<void(int, int)> progress;
+
+  /// Extra executions granted to *transient* failures (ErrorClass
+  /// kUnclassified — foreign exceptions, possibly environmental).
+  /// Deterministic simulation failures (watchdog, invariant, scenario)
+  /// reproduce identically and are never retried.
+  int max_retries = 0;
+
+  /// At most this many SweepFailure records are kept per cell; the rest
+  /// are counted (SweepReport::failures_suppressed / cell_failures) but
+  /// their messages dropped, bounding memory when a whole cell is sick.
+  std::size_t max_failures_per_cell = 8;
+
+  /// Graceful-drain flag: when it reads true, workers finish their
+  /// in-flight job and stop pulling new ones.  The sweep returns a partial
+  /// result with SweepReport::interrupted set (and, when journaling, every
+  /// finished job safely on disk).  Typically flipped by a signal handler.
+  const std::atomic<bool>* stop = nullptr;
+
+  /// Called once per *final* failure (after retries are exhausted), from
+  /// worker threads but serialized; exceptions it throws are swallowed.
+  /// run_sweep uses this to journal failures as they happen.
+  std::function<void(const SweepFailure&)> on_failure;
+
+  // --- run_sweep only ------------------------------------------------------
+
+  /// Non-empty enables crash-safe journaling: every finished job is
+  /// appended (fsync'd) to this file, and a restart against the same grid
+  /// resumes from it instead of re-running finished jobs.  A journal whose
+  /// grid fingerprint does not match throws JournalMismatchError.
+  std::string journal_path;
+  /// fsync each journal record (the crash-safety guarantee).  Turn off
+  /// only for benchmarks.
+  bool journal_sync = true;
+  /// Free-form provenance stored in the journal header (e.g. the CLI
+  /// arguments that produced the grid), read back by tools/replay.
+  std::string journal_note;
+
+  /// run_sweep: throw std::runtime_error summarizing failures once all
+  /// jobs drain (historical behaviour).  When false — or whenever the
+  /// sweep was interrupted — run_sweep returns normally and callers read
+  /// SweepResult::report for triage.
+  bool throw_on_failure = true;
+};
+
+/// What happened during one sweep_jobs / run_sweep invocation.
+struct SweepReport {
+  /// Final failures in (cell, seed) order, at most max_failures_per_cell
+  /// records per cell (suppressed ones are still counted below).
+  std::vector<SweepFailure> failures;
+  /// Total failed jobs per cell (including suppressed records), parallel
+  /// to the cell list.
+  std::vector<std::size_t> cell_failures;
+  /// Failure records dropped by the per-cell cap.
+  std::size_t failures_suppressed = 0;
+
+  int total = 0;     // jobs in the grid (cells x runs)
+  int finished = 0;  // jobs delivered: successes + failures + preloaded
+  int succeeded = 0;  // fresh jobs that produced a trace this invocation
+  int skipped = 0;    // jobs satisfied from preloaded/journaled results
+  int retries = 0;    // extra attempts granted to transient failures
+  int progress_errors = 0;   // progress-callback exceptions swallowed
+  bool interrupted = false;  // stop flag drained the pool before the end
+
+  /// Jobs still queued when the pool drained (nonzero only when
+  /// interrupted) — what a resume would have left to do.
+  [[nodiscard]] int remaining() const { return total - finished; }
+  /// Total failed jobs, preloaded and fresh, across all cells.
+  [[nodiscard]] std::size_t failed() const {
+    std::size_t n = 0;
+    for (std::size_t c : cell_failures) n += c;
+    return n;
+  }
+};
+
+/// A previously-finished (cell, run) job fed back into the engine: either
+/// a successful trace (delivered through consume in seed order, exactly as
+/// if it had just run) or a recorded failure (re-reported, not re-run).
+struct PreloadedRun {
+  std::size_t cell = 0;
+  int run = 0;
+  std::optional<RunTrace> trace;        // success payload
+  std::optional<SweepFailure> failure;  // recorded failure (no re-run)
 };
 
 /// Low-level engine: run every (cell, seed) job of the grid on one shared
 /// work-stealing pool.  `consume(cell_index, run_index, trace)` is invoked
 /// once per successful run from worker threads; calls for any one cell are
 /// serialized and arrive in seed order (failed runs produce no call but
-/// still advance the order), interleaved arbitrarily across cells.  Every
-/// job executes even when others fail; the failures are returned sorted by
-/// (cell, seed) — empty means a clean sweep.  Throws std::invalid_argument
-/// for runs <= 0 or an invalid cell scenario, before any worker spawns.
-[[nodiscard]] std::vector<SweepFailure> sweep_jobs(
+/// still advance the order), interleaved arbitrarily across cells.
+/// `preloaded` jobs are delivered first (on the calling thread, in the
+/// order given) and their slots never execute.  Every remaining job
+/// executes even when others fail — unless opts.stop flips, which drains
+/// the pool gracefully.  Failures come back sorted by (cell, seed) in the
+/// report.  Throws std::invalid_argument for runs <= 0, an invalid cell
+/// scenario, or an out-of-range/duplicate preloaded slot, before any
+/// worker spawns.
+[[nodiscard]] SweepReport sweep_jobs(
     const std::vector<SweepCell>& cells, const SweepOptions& opts,
-    const std::function<void(std::size_t, int, RunTrace&&)>& consume);
+    const std::function<void(std::size_t, int, RunTrace&&)>& consume,
+    const std::vector<PreloadedRun>& preloaded = {});
 
 /// The sweep's output: one ConditionResult per cell, parallel to `cells`.
 struct SweepResult {
   std::vector<SweepCell> cells;
   std::vector<ConditionResult> results;
+  SweepReport report;
 };
 
 /// Run the whole grid with streaming aggregation (one ConditionAccumulator
-/// per cell).  Throws std::runtime_error listing every failed (cell, seed)
-/// after all jobs drain.
+/// per cell), journaling and resuming via opts.journal_path when set.
+/// With opts.throw_on_failure (the default) a completed sweep with
+/// failures throws std::runtime_error listing them (capped per cell); an
+/// interrupted sweep always returns normally with report.interrupted set
+/// so the partial (journaled) state reaches the caller.
 [[nodiscard]] SweepResult run_sweep(std::vector<SweepCell> cells,
                                     const SweepOptions& opts);
 

@@ -180,6 +180,27 @@ Testbed::Testbed(const Scenario& scenario) : scenario_(scenario) {
   for (const GameFlow& g : games_) {
     collectors_->attach_game_receiver(g.spec.id, *g.receiver);
   }
+
+  // --- invariant auditor ---------------------------------------------------
+  // Observer-only (no RNG draws, no scheduled events), so enabling it never
+  // perturbs a trace; kAuto turns it on for Debug builds only, keeping
+  // Release benchmark numbers clean.
+#ifdef NDEBUG
+  const bool audit_on = scenario_.audit == Scenario::AuditMode::kOn;
+#else
+  const bool audit_on = scenario_.audit != Scenario::AuditMode::kOff;
+#endif
+  if (audit_on) {
+    SimAuditor::Options ao;
+    ao.queue_capacity = scenario_.queue_bytes();
+    // Downstream duplication/reordering legitimately breaks per-flow
+    // sequence order at the bottleneck.
+    ao.check_sequences = !scenario_.impair_down.any();
+    ao.cell_label = scenario_.label();
+    ao.seed = scenario_.seed;
+    auditor_ = std::make_unique<SimAuditor>(std::move(ao));
+    auditor_->attach(router_->bottleneck());
+  }
 }
 
 stream::StreamSender& Testbed::game_sender() {
@@ -244,6 +265,7 @@ RunTrace Testbed::run() {
   }
 
   sim_.run_until(scenario_.duration);
+  if (auditor_) auditor_->final_check();
   return collectors_->finalize(
       pings_.empty() ? nullptr : pings_.front().client.get(),
       games_.empty() ? nullptr : games_.front().receiver.get());

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/audit.hpp"
 #include "core/collectors.hpp"
 #include "core/ping.hpp"
 #include "core/scenario.hpp"
@@ -87,6 +88,10 @@ class Testbed {
 
   [[nodiscard]] const Scenario& scenario() const { return scenario_; }
 
+  /// The run's invariant auditor, or nullptr when auditing resolved to off
+  /// (Scenario::audit, kAuto = Debug builds only).
+  [[nodiscard]] const SimAuditor* auditor() const { return auditor_.get(); }
+
  private:
   [[nodiscard]] std::unique_ptr<net::Queue> make_queue() const;
 
@@ -117,6 +122,7 @@ class Testbed {
   std::vector<PingFlow> pings_;
 
   std::unique_ptr<TraceCollectors> collectors_;
+  std::unique_ptr<SimAuditor> auditor_;
 };
 
 }  // namespace cgs::core

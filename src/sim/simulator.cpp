@@ -10,7 +10,7 @@ void Simulator::watchdog_fail(const char* budget) const {
   os << "simulation watchdog: " << budget << " exceeded after " << processed_
      << " events at sim time " << to_seconds(now_) << " s with "
      << queue_.size() << " pending events (likely livelock)";
-  throw WatchdogError(os.str());
+  throw WatchdogError(os.str(), now_, processed_);
 }
 
 EventId Simulator::schedule_at(Time at, EventFn fn) {

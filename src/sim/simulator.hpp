@@ -14,9 +14,24 @@ namespace cgs::sim {
 /// Thrown by step()/run*() when a watchdog budget is exceeded: the run is
 /// almost certainly livelocked (events rescheduling each other without
 /// making progress), so abort with a diagnostic instead of spinning.
+/// Carries the trip point as structured fields so failure triage and
+/// deterministic replay can report sim-time without parsing what().
 class WatchdogError : public std::runtime_error {
  public:
-  using std::runtime_error::runtime_error;
+  explicit WatchdogError(const std::string& msg, Time sim_time = kTimeZero,
+                         std::uint64_t events_processed = 0)
+      : std::runtime_error(msg),
+        sim_time_(sim_time),
+        events_(events_processed) {}
+
+  /// Simulation clock when the budget tripped.
+  [[nodiscard]] Time sim_time() const { return sim_time_; }
+  /// Events processed when the budget tripped.
+  [[nodiscard]] std::uint64_t events_processed() const { return events_; }
+
+ private:
+  Time sim_time_ = kTimeZero;
+  std::uint64_t events_ = 0;
 };
 
 class Simulator {

@@ -1,0 +1,239 @@
+// Run-journal format tests: header/record round trips, the torn-tail
+// truncation contract (a crash mid-append must cost exactly one record),
+// corruption detection, and bit-exact RunTrace serialization.
+#include "core/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/testbed.hpp"
+#include "sweep_test_util.hpp"
+
+namespace cgs::core {
+namespace {
+
+/// Unique scratch path under gtest's temp dir; removed up front so reruns
+/// start clean.
+std::string tmp_journal(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "cgs_journal_test_" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+JournalMeta test_meta() {
+  JournalMeta meta;
+  meta.fingerprint = 0xfeedface12345678ULL;
+  meta.runs = 3;
+  meta.cells = 2;
+  meta.note = "grid=smoke seed=42 runs=3";
+  return meta;
+}
+
+JournalEntry ok_entry() {
+  JournalEntry e;
+  e.cell = 1;
+  e.run = 2;
+  e.seed = 44;
+  e.ok = true;
+  e.cls = ErrorClass::kUnclassified;
+  e.trace_hash = 0x0123456789abcdefULL;
+  e.payload = {1, 2, 3, 4, 5};
+  return e;
+}
+
+JournalEntry failed_entry() {
+  JournalEntry e;
+  e.cell = 0;
+  e.run = 0;
+  e.seed = 42;
+  e.ok = false;
+  e.cls = ErrorClass::kWatchdog;
+  e.trace_hash = 0;
+  const std::string what = "[watchdog] cell 'sick' seed 42: budget";
+  e.payload.assign(what.begin(), what.end());
+  return e;
+}
+
+void append_raw(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::app);
+  os.write(bytes.data(), std::streamsize(bytes.size()));
+}
+
+void flip_byte(const std::string& path, std::uint64_t offset) {
+  std::fstream fs(path, std::ios::binary | std::ios::in | std::ios::out);
+  fs.seekg(std::streamoff(offset));
+  char b = 0;
+  fs.read(&b, 1);
+  b = char(b ^ 0x5a);
+  fs.seekp(std::streamoff(offset));
+  fs.write(&b, 1);
+}
+
+TEST(Journal, HeaderAndRecordsRoundTrip) {
+  const std::string path = tmp_journal("roundtrip.jnl");
+  {
+    JournalWriter w = JournalWriter::create(path, test_meta(), /*sync=*/true);
+    w.append(ok_entry());
+    w.append(failed_entry());
+  }
+  const auto scan = read_journal(path);
+  ASSERT_TRUE(scan.has_value());
+  EXPECT_FALSE(scan->torn_tail);
+  EXPECT_EQ(scan->meta.fingerprint, test_meta().fingerprint);
+  EXPECT_EQ(scan->meta.runs, 3u);
+  EXPECT_EQ(scan->meta.cells, 2u);
+  EXPECT_EQ(scan->meta.note, "grid=smoke seed=42 runs=3");
+  ASSERT_EQ(scan->entries.size(), 2u);
+
+  const JournalEntry& a = scan->entries[0];
+  EXPECT_EQ(a.cell, 1u);
+  EXPECT_EQ(a.run, 2u);
+  EXPECT_EQ(a.seed, 44u);
+  EXPECT_TRUE(a.ok);
+  EXPECT_EQ(a.trace_hash, 0x0123456789abcdefULL);
+  EXPECT_EQ(a.payload, (std::vector<std::uint8_t>{1, 2, 3, 4, 5}));
+
+  const JournalEntry& b = scan->entries[1];
+  EXPECT_FALSE(b.ok);
+  EXPECT_EQ(b.cls, ErrorClass::kWatchdog);
+  EXPECT_EQ(b.seed, 42u);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, MissingOrTruncatedHeaderMeansNoJournal) {
+  // Absent file and a header too short to validate both report "no
+  // journal" (the caller recreates it) rather than throwing.
+  EXPECT_FALSE(read_journal(tmp_journal("missing.jnl")).has_value());
+  const std::string path = tmp_journal("stub.jnl");
+  append_raw(path, {'C', 'G', 'S', 'J'});
+  EXPECT_FALSE(read_journal(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Journal, CorruptHeaderThrows) {
+  const std::string path = tmp_journal("badheader.jnl");
+  { JournalWriter w = JournalWriter::create(path, test_meta(), true); }
+  flip_byte(path, 14);  // inside the fingerprint field -> header CRC fails
+  EXPECT_THROW((void)read_journal(path), JournalError);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, TornTailIsTruncatedAndRecoverable) {
+  const std::string path = tmp_journal("torn.jnl");
+  {
+    JournalWriter w = JournalWriter::create(path, test_meta(), true);
+    w.append(ok_entry());
+  }
+  const auto clean = read_journal(path);
+  ASSERT_TRUE(clean.has_value());
+  const std::uint64_t v1 = clean->valid_bytes;
+
+  // Crash mid-append: a few bytes of a half-written record.
+  append_raw(path, {0x47, 0x52, 0x4e, 0x4c, 0x01, 0x00, 0x00});
+  const auto torn = read_journal(path);
+  ASSERT_TRUE(torn.has_value());
+  EXPECT_TRUE(torn->torn_tail);
+  EXPECT_EQ(torn->valid_bytes, v1);
+  ASSERT_EQ(torn->entries.size(), 1u);  // the complete record survives
+
+  // append_to truncates the torn tail and continues the sequence.
+  {
+    JournalWriter w = JournalWriter::append_to(path, v1, true);
+    w.append(failed_entry());
+  }
+  const auto healed = read_journal(path);
+  ASSERT_TRUE(healed.has_value());
+  EXPECT_FALSE(healed->torn_tail);
+  ASSERT_EQ(healed->entries.size(), 2u);
+  EXPECT_EQ(healed->entries[1].seed, 42u);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, CorruptLastRecordIsTornButMidFileThrows) {
+  const std::string path = tmp_journal("corrupt.jnl");
+  std::uint64_t v1 = 0;
+  {
+    JournalWriter w = JournalWriter::create(path, test_meta(), true);
+    w.append(ok_entry());
+  }
+  v1 = read_journal(path)->valid_bytes;
+  {
+    JournalWriter w = JournalWriter::append_to(path, v1, true);
+    w.append(failed_entry());
+  }
+  const std::uint64_t v2 = read_journal(path)->valid_bytes;
+
+  // Bit rot in the *last* record: indistinguishable from a torn write, so
+  // it is dropped, not fatal.
+  flip_byte(path, v2 - 6);
+  const auto torn = read_journal(path);
+  ASSERT_TRUE(torn.has_value());
+  EXPECT_TRUE(torn->torn_tail);
+  EXPECT_EQ(torn->entries.size(), 1u);
+  flip_byte(path, v2 - 6);  // restore
+
+  // Bit rot *mid-file* (a later record follows) cannot be a torn write —
+  // that is data corruption and must refuse, not silently drop.
+  flip_byte(path, v1 - 6);
+  EXPECT_THROW((void)read_journal(path), JournalError);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, TraceSerializationIsBitExact) {
+  Scenario sc = quick_scenario(77);
+  Testbed bed(sc);
+  const RunTrace t = bed.run();
+
+  const std::vector<std::uint8_t> bytes = serialize_trace(t);
+  const RunTrace rt = deserialize_trace(bytes.data(), bytes.size());
+
+  // Same digest, same re-serialization: the round trip loses nothing.
+  EXPECT_EQ(trace_hash(rt), trace_hash(t));
+  EXPECT_EQ(serialize_trace(rt), bytes);
+
+  ASSERT_EQ(rt.flows.size(), t.flows.size());
+  for (std::size_t i = 0; i < t.flows.size(); ++i) {
+    EXPECT_EQ(rt.flows[i].id, t.flows[i].id);
+    EXPECT_EQ(rt.flows[i].name, t.flows[i].name);
+    EXPECT_EQ(rt.flows[i].kind, t.flows[i].kind);
+    EXPECT_EQ(rt.flows[i].mbps, t.flows[i].mbps);
+  }
+  EXPECT_EQ(rt.game_mbps, t.game_mbps);
+  EXPECT_EQ(rt.tcp_mbps, t.tcp_mbps);
+  EXPECT_EQ(rt.game_pkts_recv, t.game_pkts_recv);
+  EXPECT_EQ(rt.queue_drops, t.queue_drops);
+  EXPECT_EQ(rt.frame_times, t.frame_times);
+  EXPECT_EQ(rt.rtt.size(), t.rtt.size());
+  EXPECT_EQ(rt.sample_interval, t.sample_interval);
+  EXPECT_EQ(rt.duration, t.duration);
+
+  // Truncated payloads never produce a half-parsed trace.
+  EXPECT_THROW((void)deserialize_trace(bytes.data(), bytes.size() / 2),
+               JournalError);
+}
+
+TEST(Journal, FingerprintPinsGridShape) {
+  std::vector<SweepCell> cells = {{"a", quick_scenario(1)},
+                                  {"b", quick_scenario(2)}};
+  const std::uint64_t base = sweep_fingerprint(cells, 3);
+  EXPECT_EQ(sweep_fingerprint(cells, 3), base);  // deterministic
+
+  EXPECT_NE(sweep_fingerprint(cells, 4), base);  // runs count matters
+  std::vector<SweepCell> renamed = cells;
+  renamed[1].label = "b2";
+  EXPECT_NE(sweep_fingerprint(renamed, 3), base);  // labels matter
+  std::vector<SweepCell> reseeded = cells;
+  reseeded[0].scenario.seed = 99;
+  EXPECT_NE(sweep_fingerprint(reseeded, 3), base);  // seeds matter
+  std::vector<SweepCell> requeued = cells;
+  requeued[0].scenario.queue_bdp_mult = 7.0;
+  EXPECT_NE(sweep_fingerprint(requeued, 3), base);  // scenario shape matters
+}
+
+}  // namespace
+}  // namespace cgs::core

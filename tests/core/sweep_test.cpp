@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <mutex>
 #include <stdexcept>
 #include <string>
@@ -9,70 +10,11 @@
 
 #include "core/runner.hpp"
 #include "core/testbed.hpp"
+#include "stream/profiles.hpp"
+#include "sweep_test_util.hpp"
 
 namespace cgs::core {
 namespace {
-
-using namespace cgs::literals;
-
-/// Small, fast cell: full 3-flow paper mix squeezed into 2 simulated
-/// seconds so fairness/RTT/fps windows all contain samples.
-Scenario quick_scenario(std::uint64_t seed = 100) {
-  Scenario sc;
-  sc.duration = 2_sec;
-  sc.tcp_start = 500_ms;
-  sc.tcp_stop = 1500_ms;
-  sc.seed = seed;
-  return sc;
-}
-
-/// Field-for-field ConditionResult comparison: exact for counters/ids,
-/// bitwise-tight for floating stats (the streaming path performs the same
-/// arithmetic in the same order as the batch path).
-void expect_results_equal(const ConditionResult& a, const ConditionResult& b) {
-  EXPECT_EQ(a.runs, b.runs);
-  ASSERT_EQ(a.game.mean.size(), b.game.mean.size());
-  for (std::size_t i = 0; i < a.game.mean.size(); ++i) {
-    EXPECT_DOUBLE_EQ(a.game.mean[i], b.game.mean[i]) << "game.mean[" << i << "]";
-    EXPECT_DOUBLE_EQ(a.game.sd[i], b.game.sd[i]) << "game.sd[" << i << "]";
-    EXPECT_DOUBLE_EQ(a.game.ci95[i], b.game.ci95[i]) << "game.ci95[" << i << "]";
-  }
-  ASSERT_EQ(a.tcp.mean.size(), b.tcp.mean.size());
-  for (std::size_t i = 0; i < a.tcp.mean.size(); ++i) {
-    EXPECT_DOUBLE_EQ(a.tcp.mean[i], b.tcp.mean[i]) << "tcp.mean[" << i << "]";
-  }
-  ASSERT_EQ(a.flow_rows.size(), b.flow_rows.size());
-  for (std::size_t f = 0; f < a.flow_rows.size(); ++f) {
-    EXPECT_EQ(a.flow_rows[f].id, b.flow_rows[f].id);
-    EXPECT_EQ(a.flow_rows[f].name, b.flow_rows[f].name);
-    EXPECT_EQ(a.flow_rows[f].kind, b.flow_rows[f].kind);
-    EXPECT_DOUBLE_EQ(a.flow_rows[f].fair_mbps_mean, b.flow_rows[f].fair_mbps_mean);
-    EXPECT_DOUBLE_EQ(a.flow_rows[f].fair_mbps_sd, b.flow_rows[f].fair_mbps_sd);
-    ASSERT_EQ(a.flow_rows[f].series.mean.size(), b.flow_rows[f].series.mean.size());
-    for (std::size_t i = 0; i < a.flow_rows[f].series.mean.size(); ++i) {
-      EXPECT_DOUBLE_EQ(a.flow_rows[f].series.mean[i],
-                       b.flow_rows[f].series.mean[i]);
-      EXPECT_DOUBLE_EQ(a.flow_rows[f].series.sd[i], b.flow_rows[f].series.sd[i]);
-    }
-  }
-  EXPECT_DOUBLE_EQ(a.jain_mean, b.jain_mean);
-  EXPECT_DOUBLE_EQ(a.jain_sd, b.jain_sd);
-  EXPECT_DOUBLE_EQ(a.fairness_mean, b.fairness_mean);
-  EXPECT_DOUBLE_EQ(a.fairness_sd, b.fairness_sd);
-  EXPECT_DOUBLE_EQ(a.game_fair_mbps, b.game_fair_mbps);
-  EXPECT_DOUBLE_EQ(a.tcp_fair_mbps, b.tcp_fair_mbps);
-  EXPECT_DOUBLE_EQ(a.rtt_mean_ms, b.rtt_mean_ms);
-  EXPECT_DOUBLE_EQ(a.rtt_sd_ms, b.rtt_sd_ms);
-  EXPECT_DOUBLE_EQ(a.fps_mean, b.fps_mean);
-  EXPECT_DOUBLE_EQ(a.fps_sd, b.fps_sd);
-  EXPECT_DOUBLE_EQ(a.loss_mean, b.loss_mean);
-  EXPECT_DOUBLE_EQ(a.steady_mean_mbps, b.steady_mean_mbps);
-  EXPECT_DOUBLE_EQ(a.steady_sd_mbps, b.steady_sd_mbps);
-  EXPECT_DOUBLE_EQ(a.rr.response_s, b.rr.response_s);
-  EXPECT_DOUBLE_EQ(a.rr.recovery_s, b.rr.recovery_s);
-  EXPECT_EQ(a.rr.responded, b.rr.responded);
-  EXPECT_EQ(a.rr.recovered, b.rr.recovered);
-}
 
 TEST(Sweep, CrossProductExpandsRowMajor) {
   SweepSpec spec;
@@ -118,12 +60,16 @@ TEST(Sweep, SeedsExactlyMatchSerialTestbed) {
   opts.runs = 3;
   opts.threads = 2;
   std::vector<RunTrace> got(3);
-  const auto failures =
+  const SweepReport report =
       sweep_jobs({{"cell", sc}}, opts,
                  [&](std::size_t, int run, RunTrace&& t) {
                    got[std::size_t(run)] = std::move(t);
                  });
-  ASSERT_TRUE(failures.empty());
+  ASSERT_TRUE(report.failures.empty());
+  EXPECT_EQ(report.total, 3);
+  EXPECT_EQ(report.succeeded, 3);
+  EXPECT_EQ(report.finished, 3);
+  EXPECT_FALSE(report.interrupted);
   for (int i = 0; i < 3; ++i) {
     Scenario serial = sc;
     serial.seed = sc.seed + std::uint64_t(i);
@@ -194,7 +140,7 @@ TEST(Sweep, DeterministicAcrossThreadCounts) {
 
 TEST(Sweep, ReportsEveryFailingCellAndSeed) {
   // Cell 1 livelocks on every seed; cell 0 is healthy.  Every failure is
-  // named, healthy runs still stream through in seed order.
+  // named and classified, healthy runs still stream through in seed order.
   Scenario sick = quick_scenario(200);
   sick.watchdog_event_budget = 10;
   std::vector<SweepCell> cells = {{"healthy", quick_scenario(100)},
@@ -205,17 +151,24 @@ TEST(Sweep, ReportsEveryFailingCellAndSeed) {
   opts.threads = 2;
   std::mutex mu;
   std::vector<std::pair<std::size_t, int>> delivered;
-  const auto failures = sweep_jobs(
+  const SweepReport report = sweep_jobs(
       cells, opts, [&](std::size_t cell, int run, RunTrace&&) {
         std::lock_guard lk(mu);
         delivered.push_back({cell, run});
       });
-  ASSERT_EQ(failures.size(), 2u);
-  EXPECT_EQ(failures[0].cell, 1u);
-  EXPECT_EQ(failures[0].cell_label, "sick");
-  EXPECT_EQ(failures[0].seed, 200u);
-  EXPECT_EQ(failures[1].seed, 201u);
-  EXPECT_NE(failures[0].what.find("watchdog"), std::string::npos);
+  ASSERT_EQ(report.failures.size(), 2u);
+  EXPECT_EQ(report.failures[0].cell, 1u);
+  EXPECT_EQ(report.failures[0].cell_label, "sick");
+  EXPECT_EQ(report.failures[0].seed, 200u);
+  EXPECT_EQ(report.failures[1].seed, 201u);
+  EXPECT_NE(report.failures[0].what.find("watchdog"), std::string::npos);
+  EXPECT_EQ(report.failures[0].cls, ErrorClass::kWatchdog);
+  EXPECT_EQ(report.failures[0].attempts, 1);
+  EXPECT_EQ(report.failed(), 2u);
+  ASSERT_EQ(report.cell_failures.size(), 2u);
+  EXPECT_EQ(report.cell_failures[0], 0u);
+  EXPECT_EQ(report.cell_failures[1], 2u);
+  EXPECT_EQ(report.finished, 4);
   // Healthy cell delivered both runs, in seed order.
   ASSERT_EQ(delivered.size(), 2u);
   EXPECT_EQ(delivered[0], (std::pair<std::size_t, int>{0, 0}));
@@ -249,14 +202,187 @@ TEST(Sweep, ProgressCountsFailuresAndReachesTotal) {
     std::lock_guard lk(mu);
     calls.push_back({done, total});
   };
-  const auto failures = sweep_jobs(cells, opts,
-                                   [](std::size_t, int, RunTrace&&) {});
-  EXPECT_EQ(failures.size(), 3u);
+  const SweepReport report = sweep_jobs(cells, opts,
+                                        [](std::size_t, int, RunTrace&&) {});
+  EXPECT_EQ(report.failures.size(), 3u);
   ASSERT_EQ(calls.size(), 6u);
   for (int i = 0; i < 6; ++i) {
     EXPECT_EQ(calls[std::size_t(i)].first, i + 1);
     EXPECT_EQ(calls[std::size_t(i)].second, 6);
   }
+}
+
+TEST(Sweep, ProgressExceptionsCountedNotFatal) {
+  SweepOptions opts;
+  opts.runs = 3;
+  opts.threads = 2;
+  opts.progress = [](int, int) { throw std::runtime_error("reporting broke"); };
+  const SweepReport report = sweep_jobs({{"c", quick_scenario(500)}}, opts,
+                                        [](std::size_t, int, RunTrace&&) {});
+  EXPECT_TRUE(report.failures.empty());
+  EXPECT_EQ(report.succeeded, 3);
+  EXPECT_EQ(report.progress_errors, 3);
+}
+
+TEST(Sweep, RetriesTransientFailuresOnly) {
+  // A controller_override that throws a foreign exception on its first
+  // call models an environmental blip: classified kUnclassified, hence
+  // retried; the retry draws a fresh Testbed and succeeds.
+  std::atomic<int> calls{0};
+  Scenario flaky = quick_scenario(600);
+  flaky.controller_override =
+      [&calls]() -> std::unique_ptr<stream::RateController> {
+    if (calls.fetch_add(1) == 0) throw std::runtime_error("spurious failure");
+    return stream::make_controller(stream::GameSystem::kStadia);
+  };
+  SweepOptions opts;
+  opts.runs = 1;
+  opts.threads = 1;
+  opts.max_retries = 2;
+  const SweepReport report = sweep_jobs({{"flaky", flaky}}, opts,
+                                        [](std::size_t, int, RunTrace&&) {});
+  EXPECT_TRUE(report.failures.empty());
+  EXPECT_EQ(report.succeeded, 1);
+  EXPECT_EQ(report.retries, 1);
+}
+
+TEST(Sweep, RetryBudgetExhaustedKeepsAttemptCount) {
+  Scenario broken = quick_scenario(700);
+  broken.controller_override = []() -> std::unique_ptr<stream::RateController> {
+    throw std::runtime_error("always broken");
+  };
+  SweepOptions opts;
+  opts.runs = 1;
+  opts.threads = 1;
+  opts.max_retries = 2;
+  const SweepReport report = sweep_jobs({{"broken", broken}}, opts,
+                                        [](std::size_t, int, RunTrace&&) {});
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].cls, ErrorClass::kUnclassified);
+  EXPECT_EQ(report.failures[0].attempts, 3);  // 1 try + 2 retries
+  EXPECT_EQ(report.retries, 2);
+}
+
+TEST(Sweep, DeterministicFailuresAreNeverRetried) {
+  // A watchdog trip reproduces identically — re-running it wastes the
+  // budget, so the engine must not.
+  Scenario sick = quick_scenario(800);
+  sick.watchdog_event_budget = 10;
+  SweepOptions opts;
+  opts.runs = 1;
+  opts.threads = 1;
+  opts.max_retries = 5;
+  const SweepReport report = sweep_jobs({{"sick", sick}}, opts,
+                                        [](std::size_t, int, RunTrace&&) {});
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].cls, ErrorClass::kWatchdog);
+  EXPECT_EQ(report.failures[0].attempts, 1);
+  EXPECT_EQ(report.retries, 0);
+}
+
+TEST(Sweep, FailureRecordsCappedPerCell) {
+  Scenario sick = quick_scenario(900);
+  sick.watchdog_event_budget = 10;
+  SweepOptions opts;
+  opts.runs = 5;
+  opts.threads = 2;
+  opts.max_failures_per_cell = 2;
+  int on_failure_calls = 0;
+  opts.on_failure = [&](const SweepFailure&) { ++on_failure_calls; };
+  const SweepReport report = sweep_jobs({{"sick", sick}}, opts,
+                                        [](std::size_t, int, RunTrace&&) {});
+  EXPECT_EQ(report.failures.size(), 2u);       // records kept
+  EXPECT_EQ(report.failures_suppressed, 3u);   // records dropped
+  EXPECT_EQ(report.failed(), 5u);              // but all failures counted
+  ASSERT_EQ(report.cell_failures.size(), 1u);
+  EXPECT_EQ(report.cell_failures[0], 5u);
+  EXPECT_EQ(on_failure_calls, 5);  // the hook sees suppressed failures too
+}
+
+TEST(Sweep, StopFlagDrainsGracefully) {
+  std::atomic<bool> stop{false};
+  SweepOptions opts;
+  opts.runs = 4;
+  opts.threads = 1;
+  opts.stop = &stop;
+  opts.progress = [&](int done, int) {
+    if (done >= 2) stop.store(true);
+  };
+  std::atomic<int> consumed{0};
+  const SweepReport report = sweep_jobs({{"c", quick_scenario(950)}}, opts,
+                                        [&](std::size_t, int, RunTrace&&) {
+                                          ++consumed;
+                                        });
+  EXPECT_TRUE(report.interrupted);
+  EXPECT_GE(report.finished, 2);
+  EXPECT_LT(report.finished, report.total);
+  EXPECT_EQ(report.remaining(), report.total - report.finished);
+  EXPECT_EQ(consumed.load(), report.finished);
+
+  // A pre-raised flag stops the pool before any job runs.
+  stop.store(true);
+  const SweepReport none = sweep_jobs({{"c", quick_scenario(950)}}, opts,
+                                      [](std::size_t, int, RunTrace&&) {});
+  EXPECT_TRUE(none.interrupted);
+  EXPECT_EQ(none.finished, 0);
+  EXPECT_EQ(none.remaining(), none.total);
+}
+
+TEST(Sweep, PreloadedRunsDeliverInSeedOrderWithoutReExecution) {
+  const Scenario sc = quick_scenario(31);
+  // Compute runs 0 and 1 serially — what a journal would have stored.
+  std::vector<PreloadedRun> pre;
+  for (int i = 0; i < 2; ++i) {
+    Scenario serial = sc;
+    serial.seed = sc.seed + std::uint64_t(i);
+    Testbed bed(serial);
+    PreloadedRun p;
+    p.cell = 0;
+    p.run = i;
+    p.trace = bed.run();
+    pre.push_back(std::move(p));
+  }
+  SweepOptions opts;
+  opts.runs = 3;
+  opts.threads = 2;
+  std::mutex mu;
+  std::vector<int> order;
+  const SweepReport report = sweep_jobs(
+      {{"cell", sc}}, opts,
+      [&](std::size_t, int run, RunTrace&&) {
+        std::lock_guard lk(mu);
+        order.push_back(run);
+      },
+      pre);
+  EXPECT_EQ(report.skipped, 2);
+  EXPECT_EQ(report.succeeded, 1);  // only run 2 executed fresh
+  EXPECT_EQ(report.finished, 3);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+
+  // A preloaded failure is re-reported, never re-run.
+  PreloadedRun bad;
+  bad.cell = 0;
+  bad.run = 0;
+  bad.failure = SweepFailure{0, "cell", sc.seed, "recorded failure",
+                             ErrorClass::kWatchdog};
+  const SweepReport rep2 = sweep_jobs(
+      {{"cell", sc}}, opts, [](std::size_t, int, RunTrace&&) {}, {bad});
+  ASSERT_EQ(rep2.failures.size(), 1u);
+  EXPECT_EQ(rep2.failures[0].cls, ErrorClass::kWatchdog);
+  EXPECT_EQ(rep2.skipped, 1);
+  EXPECT_EQ(rep2.succeeded, 2);
+
+  // Invalid preload slots are rejected before any worker spawns.
+  PreloadedRun oob;
+  oob.cell = 5;
+  EXPECT_THROW((void)sweep_jobs({{"cell", sc}}, opts,
+                                [](std::size_t, int, RunTrace&&) {}, {oob}),
+               std::invalid_argument);
+  EXPECT_THROW((void)sweep_jobs({{"cell", sc}}, opts,
+                                [](std::size_t, int, RunTrace&&) {},
+                                {pre[0], pre[0]}),
+               std::invalid_argument);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "core/journal.hpp"
 #include "core/testbed.hpp"
 
 namespace cgs::core {
@@ -15,29 +16,10 @@ namespace {
 
 using namespace std::chrono;
 
-std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-std::uint64_t hash_trace(const RunTrace& t) {
-  std::uint64_t h = 1469598103934665603ULL;
-  h = fnv1a(h, t.game_mbps.data(), t.game_mbps.size() * sizeof(double));
-  h = fnv1a(h, t.tcp_mbps.data(), t.tcp_mbps.size() * sizeof(double));
-  h = fnv1a(h, t.game_pkts_recv.data(),
-            t.game_pkts_recv.size() * sizeof(std::uint64_t));
-  h = fnv1a(h, t.game_pkts_lost.data(),
-            t.game_pkts_lost.size() * sizeof(std::uint64_t));
-  h = fnv1a(h, t.queue_drops.data(),
-            t.queue_drops.size() * sizeof(std::uint64_t));
-  h = fnv1a(h, t.frame_times.data(), t.frame_times.size() * sizeof(Time));
-  h = fnv1a(h, t.rtt.data(), t.rtt.size() * sizeof(PingClient::Sample));
-  return h;
-}
+// The shared golden hasher (core/journal.hpp) — the exact function the
+// sweep journal stamps on every record, so journaled hashes are directly
+// comparable to the constants below.
+std::uint64_t hash_trace(const RunTrace& t) { return trace_hash(t); }
 
 struct GoldenCell {
   const char* name;

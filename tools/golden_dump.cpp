@@ -5,39 +5,20 @@
 #include <cstdio>
 #include <cstring>
 
+#include "core/journal.hpp"
 #include "core/testbed.hpp"
 
 namespace {
 
-std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
+// The whole-trace digest is the shared golden hasher (core/journal.hpp) —
+// the same function the sweep journal stamps on every record, so journaled
+// hashes are directly comparable to the golden constants.
+using cgs::core::trace_hash;
 
 template <typename T>
 std::uint64_t hash_series(const std::vector<T>& v) {
   std::uint64_t h = 1469598103934665603ULL;
-  for (const T& x : v) h = fnv1a(h, &x, sizeof(T));
-  return h;
-}
-
-std::uint64_t hash_trace(const cgs::core::RunTrace& t) {
-  std::uint64_t h = 1469598103934665603ULL;
-  h = fnv1a(h, t.game_mbps.data(), t.game_mbps.size() * sizeof(double));
-  h = fnv1a(h, t.tcp_mbps.data(), t.tcp_mbps.size() * sizeof(double));
-  h = fnv1a(h, t.game_pkts_recv.data(),
-            t.game_pkts_recv.size() * sizeof(std::uint64_t));
-  h = fnv1a(h, t.game_pkts_lost.data(),
-            t.game_pkts_lost.size() * sizeof(std::uint64_t));
-  h = fnv1a(h, t.queue_drops.data(),
-            t.queue_drops.size() * sizeof(std::uint64_t));
-  h = fnv1a(h, t.frame_times.data(), t.frame_times.size() * sizeof(cgs::Time));
-  h = fnv1a(h, t.rtt.data(),
-            t.rtt.size() * sizeof(cgs::core::PingClient::Sample));
+  for (const T& x : v) h = cgs::core::fnv1a_bytes(h, &x, sizeof(T));
   return h;
 }
 
@@ -69,7 +50,7 @@ int main() {
     cgs::core::Testbed bed(sc);
     const cgs::core::RunTrace t = bed.run();
     std::printf("%-14s trace=0x%016llx game=0x%016llx tcp=0x%016llx\n",
-                c.name, (unsigned long long)hash_trace(t),
+                c.name, (unsigned long long)trace_hash(t),
                 (unsigned long long)hash_series(t.game_mbps),
                 (unsigned long long)hash_series(t.tcp_mbps));
   }

@@ -1,0 +1,134 @@
+// Named parameter grids shared by the sweep and replay tools.
+//
+// A grid name + base seed fully determines the cell list, which is what
+// lets a journal reference its grid with a one-line note
+// ("grid=fig3 seed=42 runs=5") and tools/replay rebuild the exact same
+// cells to re-run a journaled job.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cgstream.hpp"
+
+namespace cgs::tools {
+
+using core::Scenario;
+using core::SweepCell;
+using stream::GameSystem;
+using tcp::CcAlgo;
+
+inline Scenario base_scenario(GameSystem sys, double cap_mbps,
+                              double queue_mult, std::optional<CcAlgo> cc,
+                              std::uint64_t seed) {
+  Scenario sc;
+  sc.system = sys;
+  sc.capacity = Bandwidth::mbps(cap_mbps);
+  sc.queue_bdp_mult = queue_mult;
+  sc.tcp_algo = cc;
+  sc.seed = seed;
+  return sc;
+}
+
+inline const char* sys_name(GameSystem s) {
+  switch (s) {
+    case GameSystem::kStadia: return "Stadia";
+    case GameSystem::kGeForce: return "GeForce";
+    case GameSystem::kLuna: return "Luna";
+  }
+  return "?";
+}
+
+inline std::string cell_label(GameSystem sys, double cap, double q,
+                              std::optional<CcAlgo> cc) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s %.0fMb/s %.1fxBDP %s", sys_name(sys),
+                cap, q,
+                cc ? std::string(tcp::to_string(*cc)).c_str() : "solo");
+  return buf;
+}
+
+/// The paper's full competing-flow grid (Fig 3 / Table 4).
+inline std::vector<SweepCell> competing_grid(std::uint64_t seed) {
+  std::vector<SweepCell> cells;
+  for (CcAlgo cc : {CcAlgo::kCubic, CcAlgo::kBbr}) {
+    for (GameSystem sys : core::kAllSystems) {
+      for (double cap : core::kCapacitiesMbps) {
+        for (double q : core::kQueueMults) {
+          cells.push_back({cell_label(sys, cap, q, cc),
+                           base_scenario(sys, cap, q, cc, seed)});
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+/// Table 3's solo grid.
+inline std::vector<SweepCell> solo_grid(std::uint64_t seed) {
+  std::vector<SweepCell> cells;
+  for (GameSystem sys : core::kAllSystems) {
+    for (double cap : core::kCapacitiesMbps) {
+      for (double q : core::kQueueMults) {
+        cells.push_back({cell_label(sys, cap, q, std::nullopt),
+                         base_scenario(sys, cap, q, std::nullopt, seed)});
+      }
+    }
+  }
+  return cells;
+}
+
+/// Tiny grid on a 30 s schedule: the CI smoke target.
+inline std::vector<SweepCell> smoke_grid(std::uint64_t seed) {
+  std::vector<SweepCell> cells;
+  for (GameSystem sys : {GameSystem::kStadia, GameSystem::kLuna}) {
+    for (double q : {0.5, 2.0}) {
+      Scenario sc = base_scenario(sys, 25.0, q, CcAlgo::kCubic, seed);
+      sc.duration = std::chrono::seconds(30);
+      sc.tcp_start = std::chrono::seconds(5);
+      sc.tcp_stop = std::chrono::seconds(20);
+      cells.push_back({cell_label(sys, 25.0, q, CcAlgo::kCubic), sc});
+    }
+  }
+  return cells;
+}
+
+/// Failure-triage exercise grid: one healthy 30 s cell plus one whose
+/// watchdog budget is deliberately too small for its schedule, so every
+/// run of it fails deterministically with a WatchdogError.  CI drives the
+/// sweep tool's triage/exit-code path and replay with this grid.
+inline std::vector<SweepCell> sick_grid(std::uint64_t seed) {
+  std::vector<SweepCell> cells;
+  Scenario ok = base_scenario(GameSystem::kStadia, 25.0, 2.0, CcAlgo::kCubic,
+                              seed);
+  ok.duration = std::chrono::seconds(30);
+  ok.tcp_start = std::chrono::seconds(5);
+  ok.tcp_stop = std::chrono::seconds(20);
+  cells.push_back({"healthy " + cell_label(GameSystem::kStadia, 25.0, 2.0,
+                                           CcAlgo::kCubic),
+                   ok});
+
+  Scenario sick = ok;
+  sick.watchdog_event_budget = 50'000;  // ~1000x too small for 30 s
+  cells.push_back({"sick watchdog " + cell_label(GameSystem::kStadia, 25.0,
+                                                 2.0, CcAlgo::kCubic),
+                   sick});
+  return cells;
+}
+
+/// Build the named grid, or nullopt for an unknown name.
+inline std::optional<std::vector<SweepCell>> grid_by_name(
+    const std::string& name, std::uint64_t seed) {
+  if (name == "fig3" || name == "table4") return competing_grid(seed);
+  if (name == "table3") return solo_grid(seed);
+  if (name == "smoke") return smoke_grid(seed);
+  if (name == "sick") return sick_grid(seed);
+  return std::nullopt;
+}
+
+inline constexpr const char* kGridNames = "fig3|table3|table4|smoke|sick";
+
+}  // namespace cgs::tools

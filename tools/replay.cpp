@@ -1,0 +1,289 @@
+// replay — deterministically re-run journaled sweep jobs, one at a time.
+//
+//   replay --journal=fig3.jnl --failed        # re-run every failed job
+//   replay --journal=fig3.jnl --seed=44       # re-run one seed (all cells)
+//   replay --journal=fig3.jnl --cell=Stadia   # filter by cell substring
+//   replay --journal=fig3.jnl --all           # re-run everything
+//   replay --grid=sick --gridseed=42 --runs=3 --cellindex=1 --seed=43
+//                                             # explicit job, no journal
+//
+// The journal's provenance note ("grid=... seed=... runs=...") pins the
+// grid, so replay rebuilds the *exact* scenario a sweep worker ran —
+// same cell mutators, same derived seed — and re-runs it single-threaded
+// with the invariant auditor forced on and a per-packet TraceLog attached
+// to the bottleneck.  Successful journal records must reproduce their
+// trace hash bit-for-bit; failed records must fail again with the same
+// error class.  --csv=PREFIX writes the per-event packet log per job.
+//
+// Exit: 0 all replays reproduced, 1 any mismatch, 2 usage/journal error.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cgstream.hpp"
+#include "grids.hpp"
+
+namespace {
+
+using cgs::core::JournalEntry;
+using cgs::core::Scenario;
+using cgs::core::SweepCell;
+
+struct Args {
+  std::string journal;
+  std::string cell_filter;
+  std::uint64_t seed = 0;  // 0 = no seed filter
+  bool failed_only = false;
+  bool all = false;
+  std::string csv_prefix;
+  // Explicit-job mode (no journal).
+  std::string grid;
+  std::uint64_t grid_seed = 42;
+  int runs = 5;
+  int cell_index = -1;
+};
+
+void usage() {
+  std::printf(
+      "usage: replay --journal=PATH [--failed | --all] [--cell=SUBSTR]\n"
+      "              [--seed=S] [--csv=PREFIX]\n"
+      "       replay --grid=%s --gridseed=S --runs=N\n"
+      "              --cellindex=I --seed=S [--csv=PREFIX]\n",
+      cgs::tools::kGridNames);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--journal=", 10) == 0) {
+      a.journal = arg + 10;
+    } else if (std::strncmp(arg, "--cell=", 7) == 0) {
+      a.cell_filter = arg + 7;
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      a.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strcmp(arg, "--failed") == 0) {
+      a.failed_only = true;
+    } else if (std::strcmp(arg, "--all") == 0) {
+      a.all = true;
+    } else if (std::strncmp(arg, "--csv=", 6) == 0) {
+      a.csv_prefix = arg + 6;
+    } else if (std::strncmp(arg, "--grid=", 7) == 0) {
+      a.grid = arg + 7;
+    } else if (std::strncmp(arg, "--gridseed=", 11) == 0) {
+      a.grid_seed = std::strtoull(arg + 11, nullptr, 10);
+    } else if (std::strncmp(arg, "--runs=", 7) == 0) {
+      a.runs = std::atoi(arg + 7);
+    } else if (std::strncmp(arg, "--cellindex=", 12) == 0) {
+      a.cell_index = std::atoi(arg + 12);
+    } else {
+      usage();
+      std::exit(std::strcmp(arg, "--help") == 0 ? 0 : 2);
+    }
+  }
+  return a;
+}
+
+/// Parse "grid=fig3 seed=42 runs=5" from the journal's provenance note.
+bool parse_note(const std::string& note, std::string& grid,
+                std::uint64_t& seed, int& runs) {
+  std::istringstream is(note);
+  std::string tok;
+  bool got_grid = false;
+  while (is >> tok) {
+    if (tok.rfind("grid=", 0) == 0) {
+      grid = tok.substr(5);
+      got_grid = true;
+    } else if (tok.rfind("seed=", 0) == 0) {
+      seed = std::strtoull(tok.c_str() + 5, nullptr, 10);
+    } else if (tok.rfind("runs=", 0) == 0) {
+      runs = std::atoi(tok.c_str() + 5);
+    }
+  }
+  return got_grid;
+}
+
+/// Re-run one journaled job and check it reproduces.  Returns true on a
+/// faithful reproduction (same hash for successes, same error class for
+/// failures).
+bool replay_job(const std::vector<SweepCell>& cells, const JournalEntry& e,
+                const std::string& csv_prefix) {
+  const SweepCell& cell = cells[e.cell];
+  Scenario sc = cell.scenario;
+  sc.seed = e.seed;
+  // Force the auditor on: replay is the forensic path, and the auditor is
+  // observer-only, so the trace hash must still match the journaled run.
+  sc.audit = Scenario::AuditMode::kOn;
+
+  std::printf("replay cell %u '%s' seed %" PRIu64 " (journal: %s)\n", e.cell,
+              cell.label.c_str(), e.seed, e.ok ? "ok" : "failed");
+
+  cgs::core::Testbed bed(sc);
+  cgs::core::TraceLog log;
+  constexpr unsigned kAllEvents =
+      (1u << unsigned(cgs::core::TraceEvent::kArrival)) |
+      (1u << unsigned(cgs::core::TraceEvent::kDrop)) |
+      (1u << unsigned(cgs::core::TraceEvent::kTransmit)) |
+      (1u << unsigned(cgs::core::TraceEvent::kDeliver));
+  log.attach(bed.router().bottleneck(), kAllEvents);
+
+  bool reproduced = false;
+  try {
+    const cgs::core::RunTrace trace = bed.run();
+    const std::uint64_t h = cgs::core::trace_hash(trace);
+    if (e.ok) {
+      reproduced = h == e.trace_hash;
+      std::printf("  trace hash 0x%016" PRIx64 " vs journal 0x%016" PRIx64
+                  " — %s\n",
+                  h, e.trace_hash, reproduced ? "MATCH" : "MISMATCH");
+    } else {
+      std::printf("  journaled failure did NOT reproduce (run succeeded, "
+                  "hash 0x%016" PRIx64 ")\n",
+                  h);
+    }
+  } catch (const std::exception& ex) {
+    const cgs::core::ErrorClass cls = cgs::core::classify(ex);
+    if (e.ok) {
+      std::printf("  journaled success now FAILS [%s]: %s\n",
+                  std::string(to_string(cls)).c_str(), ex.what());
+    } else {
+      reproduced = cls == e.cls;
+      std::printf("  failure reproduced [%s vs journal %s] — %s\n    %s\n",
+                  std::string(to_string(cls)).c_str(),
+                  std::string(to_string(e.cls)).c_str(),
+                  reproduced ? "MATCH" : "CLASS MISMATCH", ex.what());
+    }
+  }
+
+  // Per-flow forensic digest of the bottleneck capture.
+  for (const auto& fs : log.summarize()) {
+    std::printf("  flow %u: %" PRIu64 " delivered, %" PRIu64
+                " dropped, %.2f Mb/s goodput, jitter %.3f ms\n",
+                fs.flow, fs.packets_delivered, fs.packets_dropped,
+                fs.goodput().megabits_per_sec(),
+                cgs::to_seconds(fs.jitter) * 1e3);
+  }
+  if (!csv_prefix.empty()) {
+    const std::string path = csv_prefix + "_cell" + std::to_string(e.cell) +
+                             "_seed" + std::to_string(e.seed) + ".csv";
+    log.write_csv(path);
+    std::printf("  wrote %s (%zu events)\n", path.c_str(), log.size());
+  }
+  return reproduced;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+
+  std::string grid_name;
+  std::uint64_t grid_seed = 42;
+  int runs = 5;
+  std::vector<JournalEntry> entries;
+
+  if (!args.journal.empty()) {
+    std::optional<cgs::core::JournalScan> scan;
+    try {
+      scan = cgs::core::read_journal(args.journal);
+    } catch (const cgs::core::JournalError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+    if (!scan) {
+      std::fprintf(stderr, "no journal at '%s'\n", args.journal.c_str());
+      return 2;
+    }
+    if (scan->torn_tail) {
+      std::fprintf(stderr,
+                   "note: journal has a torn trailing record (crash "
+                   "mid-write); ignoring it\n");
+    }
+    if (!parse_note(scan->meta.note, grid_name, grid_seed, runs)) {
+      std::fprintf(stderr,
+                   "journal note '%s' does not name its grid — pass "
+                   "--grid/--gridseed/--runs explicitly\n",
+                   scan->meta.note.c_str());
+      return 2;
+    }
+    entries = std::move(scan->entries);
+  } else if (!args.grid.empty()) {
+    grid_name = args.grid;
+    grid_seed = args.grid_seed;
+    runs = args.runs;
+  } else {
+    usage();
+    return 2;
+  }
+
+  auto cells_opt = cgs::tools::grid_by_name(grid_name, grid_seed);
+  if (!cells_opt) {
+    std::fprintf(stderr, "unknown grid '%s' (%s)\n", grid_name.c_str(),
+                 cgs::tools::kGridNames);
+    return 2;
+  }
+  const std::vector<SweepCell> cells = std::move(*cells_opt);
+
+  if (args.journal.empty()) {
+    // Explicit-job mode: synthesize the one entry to replay.  Without a
+    // journal there is nothing to verify against, so treat it as a failed
+    // record of unknown class — the run executes with full verbosity and
+    // the command exits 0 only if it fails (reproducing *some* failure).
+    if (args.cell_index < 0 ||
+        std::size_t(args.cell_index) >= cells.size() || args.seed == 0) {
+      std::fprintf(stderr,
+                   "explicit mode needs --cellindex=0..%zu and --seed=S\n",
+                   cells.size() - 1);
+      return 2;
+    }
+    JournalEntry e;
+    e.cell = std::uint32_t(args.cell_index);
+    e.seed = args.seed;
+    e.ok = false;
+    e.cls = cgs::core::ErrorClass::kUnclassified;
+    // Nothing journaled to verify against: this is a pure forensic run,
+    // so the outcome (and the packet log) is the product, not a verdict.
+    std::printf("explicit mode: no journal record to verify against\n");
+    (void)replay_job(cells, e, args.csv_prefix);
+    return 0;
+  }
+
+  // Filter the journal's entries down to the jobs to replay.
+  std::vector<JournalEntry> selected;
+  for (JournalEntry& e : entries) {
+    if (e.cell >= cells.size()) continue;
+    if (args.failed_only && e.ok) continue;
+    if (args.seed != 0 && e.seed != args.seed) continue;
+    if (!args.cell_filter.empty() &&
+        cells[e.cell].label.find(args.cell_filter) == std::string::npos) {
+      continue;
+    }
+    if (!args.failed_only && !args.all && args.seed == 0 &&
+        args.cell_filter.empty() && e.ok) {
+      continue;  // bare `replay --journal=X` defaults to failed jobs
+    }
+    selected.push_back(std::move(e));
+  }
+  if (selected.empty()) {
+    std::printf("nothing to replay (%zu journal entries, none selected)\n",
+                entries.size());
+    return 0;
+  }
+
+  std::printf("replaying %zu of %zu journaled jobs from grid '%s'\n",
+              selected.size(), entries.size(), grid_name.c_str());
+  int mismatches = 0;
+  for (const JournalEntry& e : selected) {
+    if (!replay_job(cells, e, args.csv_prefix)) ++mismatches;
+  }
+  if (mismatches > 0) {
+    std::fprintf(stderr, "%d of %zu replays did NOT reproduce\n", mismatches,
+                 selected.size());
+    return 1;
+  }
+  std::printf("all %zu replays reproduced\n", selected.size());
+  return 0;
+}

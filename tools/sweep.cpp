@@ -5,6 +5,21 @@
 //   sweep --grid=table3  # solo: 3 systems x 3 capacities x 3 queues (27)
 //   sweep --grid=table4  # same grid as fig3, RTT-oriented columns
 //   sweep --grid=smoke   # 30 s schedule, 2 systems x 2 queues (CI)
+//   sweep --grid=sick    # 1 healthy + 1 watchdog-tripping cell (triage CI)
+//
+// Crash safety: --journal=PATH appends every finished (cell, seed) job to
+// an fsync'd journal; re-running the same command after a crash (or after
+// SIGINT/SIGTERM, which drain gracefully) resumes from it and produces
+// results bit-identical to an uninterrupted sweep.  Failed jobs are
+// triaged by error class, dumped to <prefix>_failures.csv and reflected
+// in the exit status:
+//
+//   0  clean sweep (and verify passed, when requested)
+//   1  --verify mismatch (streaming != batch)
+//   2  usage error / unknown grid
+//   3  sweep completed but some jobs failed (see the triage table)
+//   4  interrupted (SIGINT/SIGTERM) — partial results journaled, resumable
+//   5  refused to resume: journal belongs to a different grid
 //
 // --verify re-runs every cell through the sequential batch path
 // (run_many + summarize) and fails unless the streaming results match —
@@ -12,21 +27,26 @@
 // Prints wall-clock and peak-RSS so EXPERIMENTS.md recipes can quote them.
 #include <sys/resource.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "cgstream.hpp"
+#include "grids.hpp"
 
 namespace {
 
-using cgs::core::Scenario;
 using cgs::core::SweepCell;
-using cgs::stream::GameSystem;
-using cgs::tcp::CcAlgo;
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
 
 struct Args {
   std::string grid = "fig3";
@@ -34,6 +54,8 @@ struct Args {
   int threads = 0;
   std::uint64_t seed = 42;
   std::string csv_prefix;
+  std::string journal;
+  int retries = 0;
   bool verify = false;
   bool progress = true;
 };
@@ -52,94 +74,26 @@ Args parse_args(int argc, char** argv) {
       a.seed = std::strtoull(arg + 7, nullptr, 10);
     } else if (std::strncmp(arg, "--csv=", 6) == 0) {
       a.csv_prefix = arg + 6;
+    } else if (std::strncmp(arg, "--journal=", 10) == 0) {
+      a.journal = arg + 10;
+    } else if (std::strncmp(arg, "--retries=", 10) == 0) {
+      a.retries = std::atoi(arg + 10);
     } else if (std::strcmp(arg, "--verify") == 0) {
       a.verify = true;
     } else if (std::strcmp(arg, "--no-progress") == 0) {
       a.progress = false;
     } else {
       std::printf(
-          "usage: sweep [--grid=fig3|table3|table4|smoke] [--runs=N]\n"
-          "             [--threads=N] [--seed=S] [--csv=PREFIX] [--verify]\n"
-          "             [--no-progress]\n");
+          "usage: sweep [--grid=%s] [--runs=N]\n"
+          "             [--threads=N] [--seed=S] [--csv=PREFIX]\n"
+          "             [--journal=PATH] [--retries=N] [--verify]\n"
+          "             [--no-progress]\n",
+          cgs::tools::kGridNames);
       std::exit(std::strcmp(arg, "--help") == 0 ? 0 : 2);
     }
   }
   if (a.csv_prefix.empty()) a.csv_prefix = a.grid;
   return a;
-}
-
-Scenario base_scenario(GameSystem sys, double cap_mbps, double queue_mult,
-                       std::optional<CcAlgo> cc, std::uint64_t seed) {
-  Scenario sc;
-  sc.system = sys;
-  sc.capacity = cgs::Bandwidth::mbps(cap_mbps);
-  sc.queue_bdp_mult = queue_mult;
-  sc.tcp_algo = cc;
-  sc.seed = seed;
-  return sc;
-}
-
-const char* sys_name(GameSystem s) {
-  switch (s) {
-    case GameSystem::kStadia: return "Stadia";
-    case GameSystem::kGeForce: return "GeForce";
-    case GameSystem::kLuna: return "Luna";
-  }
-  return "?";
-}
-
-std::string cell_label(GameSystem sys, double cap, double q,
-                       std::optional<CcAlgo> cc) {
-  char buf[96];
-  std::snprintf(buf, sizeof buf, "%s %.0fMb/s %.1fxBDP %s", sys_name(sys),
-                cap, q,
-                cc ? std::string(cgs::tcp::to_string(*cc)).c_str() : "solo");
-  return buf;
-}
-
-/// The paper's full competing-flow grid (Fig 3 / Table 4).
-std::vector<SweepCell> competing_grid(std::uint64_t seed) {
-  std::vector<SweepCell> cells;
-  for (CcAlgo cc : {CcAlgo::kCubic, CcAlgo::kBbr}) {
-    for (GameSystem sys : cgs::core::kAllSystems) {
-      for (double cap : cgs::core::kCapacitiesMbps) {
-        for (double q : cgs::core::kQueueMults) {
-          cells.push_back({cell_label(sys, cap, q, cc),
-                           base_scenario(sys, cap, q, cc, seed)});
-        }
-      }
-    }
-  }
-  return cells;
-}
-
-/// Table 3's solo grid.
-std::vector<SweepCell> solo_grid(std::uint64_t seed) {
-  std::vector<SweepCell> cells;
-  for (GameSystem sys : cgs::core::kAllSystems) {
-    for (double cap : cgs::core::kCapacitiesMbps) {
-      for (double q : cgs::core::kQueueMults) {
-        cells.push_back({cell_label(sys, cap, q, std::nullopt),
-                         base_scenario(sys, cap, q, std::nullopt, seed)});
-      }
-    }
-  }
-  return cells;
-}
-
-/// Tiny grid on a 30 s schedule: the CI smoke target.
-std::vector<SweepCell> smoke_grid(std::uint64_t seed) {
-  std::vector<SweepCell> cells;
-  for (GameSystem sys : {GameSystem::kStadia, GameSystem::kLuna}) {
-    for (double q : {0.5, 2.0}) {
-      Scenario sc = base_scenario(sys, 25.0, q, CcAlgo::kCubic, seed);
-      sc.duration = std::chrono::seconds(30);
-      sc.tcp_start = std::chrono::seconds(5);
-      sc.tcp_stop = std::chrono::seconds(20);
-      cells.push_back({cell_label(sys, 25.0, q, CcAlgo::kCubic), sc});
-    }
-  }
-  return cells;
 }
 
 /// True when a and b agree exactly or to 1e-9 relative.
@@ -190,27 +144,78 @@ bool verify_cell(const SweepCell& cell, const cgs::core::ConditionResult& got,
   return ok;
 }
 
+/// Triage table: failures grouped by (cell, class) with first messages.
+void print_triage(const cgs::core::SweepReport& report) {
+  std::fprintf(stderr, "\nfailure triage (%zu failed job%s", report.failed(),
+               report.failed() == 1 ? "" : "s");
+  if (report.retries > 0) {
+    std::fprintf(stderr, ", %d retr%s granted", report.retries,
+                 report.retries == 1 ? "y" : "ies");
+  }
+  std::fprintf(stderr, "):\n");
+
+  std::map<std::pair<std::string, cgs::core::ErrorClass>, int> groups;
+  for (const auto& f : report.failures) {
+    ++groups[{f.cell_label, f.cls}];
+  }
+  for (const auto& [key, n] : groups) {
+    std::fprintf(stderr, "  %-12s %3d x  %s\n",
+                 std::string(to_string(key.second)).c_str(), n,
+                 key.first.c_str());
+  }
+  std::fprintf(stderr, "  first messages:\n");
+  std::size_t shown = 0;
+  for (const auto& f : report.failures) {
+    if (shown++ >= 5) break;
+    std::fprintf(stderr, "    seed %llu: %s\n",
+                 (unsigned long long)f.seed, f.what.c_str());
+  }
+  if (report.failures_suppressed > 0) {
+    std::fprintf(stderr, "  (%zu further failure records suppressed)\n",
+                 report.failures_suppressed);
+  }
+}
+
+/// Dump every kept failure record as CSV for offline triage.
+void write_failures_csv(const std::string& path,
+                        const cgs::core::SweepReport& report) {
+  cgs::CsvWriter csv(path);
+  csv.header({"cell", "seed", "class", "attempts", "message"});
+  for (const auto& f : report.failures) {
+    csv.row({f.cell_label, std::to_string(f.seed),
+             std::string(to_string(f.cls)), std::to_string(f.attempts),
+             f.what});
+  }
+  std::fprintf(stderr, "wrote %s (%zu failure records)\n", path.c_str(),
+               report.failures.size());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
 
-  std::vector<SweepCell> cells;
-  if (args.grid == "fig3" || args.grid == "table4") {
-    cells = competing_grid(args.seed);
-  } else if (args.grid == "table3") {
-    cells = solo_grid(args.seed);
-  } else if (args.grid == "smoke") {
-    cells = smoke_grid(args.seed);
-  } else {
-    std::fprintf(stderr, "unknown grid '%s' (fig3|table3|table4|smoke)\n",
-                 args.grid.c_str());
+  auto cells_opt = cgs::tools::grid_by_name(args.grid, args.seed);
+  if (!cells_opt) {
+    std::fprintf(stderr, "unknown grid '%s' (%s)\n", args.grid.c_str(),
+                 cgs::tools::kGridNames);
     return 2;
   }
+  std::vector<SweepCell> cells = std::move(*cells_opt);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
 
   cgs::core::SweepOptions opts;
   opts.runs = args.runs;
   opts.threads = args.threads;
+  opts.max_retries = args.retries;
+  opts.stop = &g_stop;
+  opts.throw_on_failure = false;
+  opts.journal_path = args.journal;
+  opts.journal_note = "grid=" + args.grid + " seed=" +
+                      std::to_string(args.seed) +
+                      " runs=" + std::to_string(args.runs);
   if (args.progress) {
     opts.progress = [](int done, int total) {
       std::fprintf(stderr, "\r%d / %d runs", done, total);
@@ -218,13 +223,44 @@ int main(int argc, char** argv) {
     };
   }
 
-  std::printf("sweep '%s': %zu cells x %d runs\n", args.grid.c_str(),
-              cells.size(), args.runs);
+  const std::string journal_suffix =
+      args.journal.empty() ? "" : " (journal: " + args.journal + ")";
+  std::printf("sweep '%s': %zu cells x %d runs%s\n", args.grid.c_str(),
+              cells.size(), args.runs, journal_suffix.c_str());
   const auto t0 = std::chrono::steady_clock::now();
-  const auto sweep = cgs::core::run_sweep(cells, opts);
+  cgs::core::SweepResult sweep;
+  try {
+    sweep = cgs::core::run_sweep(cells, opts);
+  } catch (const cgs::core::JournalMismatchError& e) {
+    std::fprintf(stderr, "\n%s\n", e.what());
+    return 5;
+  }
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  const auto& report = sweep.report;
+
+  if (report.skipped > 0) {
+    std::printf("resumed: %d of %d jobs restored from the journal\n",
+                report.skipped, report.total);
+  }
+
+  if (report.interrupted) {
+    std::fprintf(stderr,
+                 "\ninterrupted: %d of %d jobs finished (%d remaining)%s\n",
+                 report.finished, report.total, report.remaining(),
+                 args.journal.empty()
+                     ? " — no journal, progress is lost"
+                     : ", journaled and resumable");
+    if (!args.journal.empty()) {
+      std::fprintf(stderr,
+                   "resume with:\n  sweep --grid=%s --runs=%d --seed=%llu "
+                   "--journal=%s\n",
+                   args.grid.c_str(), args.runs,
+                   (unsigned long long)args.seed, args.journal.c_str());
+    }
+    return 4;
+  }
 
   struct rusage ru {};
   getrusage(RUSAGE_SELF, &ru);
@@ -250,6 +286,22 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %s (%zu cells) — wall %.1f s, peak RSS %.1f MB\n",
               path.c_str(), sweep.results.size(), wall, peak_rss_mb);
+  if (report.progress_errors > 0) {
+    std::fprintf(stderr, "warning: progress callback threw %d time%s\n",
+                 report.progress_errors,
+                 report.progress_errors == 1 ? "" : "s");
+  }
+
+  if (report.failed() != 0) {
+    print_triage(report);
+    write_failures_csv(args.csv_prefix + "_failures.csv", report);
+    if (!args.journal.empty()) {
+      std::fprintf(stderr,
+                   "replay a failure with:\n  replay --journal=%s --failed\n",
+                   args.journal.c_str());
+    }
+    return 3;
+  }
 
   if (args.verify) {
     bool all_ok = true;
