@@ -5,6 +5,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "cgstream.hpp"
 
@@ -66,6 +68,10 @@ void BM_PacketChurn(benchmark::State& state) {
 BENCHMARK(BM_PacketChurn);
 
 void BM_SimulatorTimerChurn(benchmark::State& state) {
+  // One periodic timer: the pending set has depth ~1, the regime where a
+  // plain binary/4-ary heap is already near-optimal.  This measures the
+  // engine's fixed per-event overhead, not data-structure asymptotics —
+  // see BM_SimulatorTimerChurnLoaded for the loaded regime.
   for (auto _ : state) {
     cgs::sim::Simulator sim;
     int fired = 0;
@@ -77,6 +83,34 @@ void BM_SimulatorTimerChurn(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SimulatorTimerChurn);
+
+void BM_SimulatorTimerChurnLoaded(benchmark::State& state) {
+  // N concurrent periodic timers with staggered periods (~1 ms, co-prime
+  // offsets so deadlines interleave instead of phase-locking): the pending
+  // set stays ~N deep, so per-tick cost is dominated by insert/extract at
+  // depth N.  This is where the timer wheel's O(1) bucket routing beats a
+  // heap's O(log N) sifts — a testbed run sits between the two regimes
+  // (tens of live events), a sweep worker fans out far wider.
+  const int n = int(state.range(0));
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    cgs::sim::Simulator sim;
+    std::vector<std::unique_ptr<cgs::sim::PeriodicTimer>> timers;
+    timers.reserve(std::size_t(n));
+    for (int i = 0; i < n; ++i) {
+      timers.push_back(std::make_unique<cgs::sim::PeriodicTimer>(
+          sim, 1_ms + cgs::Time(i * 7919), [&] { ++fired; }));
+      timers.back()->start();
+    }
+    sim.run_until(1_sec);
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(std::int64_t(fired));
+}
+BENCHMARK(BM_SimulatorTimerChurnLoaded)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_LinkForwarding(benchmark::State& state) {
   struct NullSink final : cgs::net::PacketSink {
@@ -242,6 +276,20 @@ BENCHMARK(BM_JournalAppend);
 #define CGS_BUILD_TYPE "unknown"
 #endif
 
+// Custom main instead of BENCHMARK_MAIN(): it embeds this binary's build
+// type in the JSON context (tools/bench_simcore_json.py refuses to record
+// a baseline from a debug build) while passing every standard
+// google-benchmark flag straight through.  The ones this repo's workflows
+// lean on (all composable):
+//
+//   --benchmark_filter=REGEX        run a subset (e.g. 'BM_TestbedSecond')
+//   --benchmark_repetitions=N       N repetitions + min/median/mean/stddev
+//   --benchmark_report_aggregates_only=true   hide per-repetition lines
+//   --benchmark_out=F --benchmark_out_format=json   machine-readable dump
+//   --benchmark_min_time=Ns         lengthen runs on noisy machines
+//
+// Unrecognized arguments are a hard error (exit 1), so a typo'd flag can
+// never silently benchmark the wrong thing.
 int main(int argc, char** argv) {
   // Record THIS binary's build type (the library_build_type google-benchmark
   // reports is libbenchmark's own, which poisoned an earlier baseline).

@@ -13,6 +13,7 @@
 
 #include "core/journal.hpp"
 #include "core/testbed.hpp"
+#include "util/arena.hpp"
 
 namespace cgs::core {
 namespace {
@@ -242,7 +243,7 @@ SweepReport sweep_jobs(
     ++report.skipped;
   }
 
-  auto execute = [&](int job) {
+  auto execute = [&](int job, util::Arena& arena) {
     const auto cell = std::size_t(job) / std::size_t(runs);
     const int run = job % runs;
     const std::uint64_t seed = cells[cell].scenario.seed + std::uint64_t(run);
@@ -256,7 +257,10 @@ SweepReport sweep_jobs(
       try {
         Scenario sc = cells[cell].scenario;
         sc.seed = seed;
-        Testbed bed(sc);
+        // Recycle the worker's arena blocks; the previous job's Testbed is
+        // already destroyed, so its slabs are dead storage by now.
+        arena.reset();
+        Testbed bed(sc, &arena);
         trace = bed.run();
         break;
       } catch (const std::exception& e) {
@@ -309,13 +313,16 @@ SweepReport sweep_jobs(
 
   auto worker = [&](int w) {
     WorkDeque& self = *deques[std::size_t(w)];
+    // One arena per worker, reused across every job it executes: steady-
+    // state job turnover stops touching the allocator for slab storage.
+    util::Arena arena;
     int job = -1;
     for (;;) {
       // Graceful drain: finish nothing new once the stop flag flips; jobs
       // already executing elsewhere complete and get journaled.
       if (stopped()) return;
       if (self.pop(job)) {
-        execute(job);
+        execute(job, arena);
         continue;
       }
       bool stolen = false;
@@ -323,7 +330,7 @@ SweepReport sweep_jobs(
         stolen = deques[std::size_t((w + k) % threads)]->steal(job);
       }
       if (stolen) {
-        execute(job);
+        execute(job, arena);
         continue;
       }
       // Every deque looked empty: remaining jobs (if any) are executing on

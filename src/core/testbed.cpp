@@ -113,7 +113,10 @@ void Testbed::build_ping_flow(const FlowSpec& spec, net::PacketSink* down_entry,
   pings_.push_back(std::move(p));
 }
 
-Testbed::Testbed(const Scenario& scenario) : scenario_(scenario) {
+Testbed::Testbed(const Scenario& scenario) : Testbed(scenario, nullptr) {}
+
+Testbed::Testbed(const Scenario& scenario, util::Arena* arena)
+    : scenario_(scenario), sim_(arena), factory_(arena) {
   scenario_.validate();
 
   // Watchdog (fault-injection hardening): a run whose event count explodes

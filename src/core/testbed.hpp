@@ -18,6 +18,7 @@
 #include "stream/receiver.hpp"
 #include "stream/sender.hpp"
 #include "tcp/bulk_app.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 
 namespace cgs::core {
@@ -25,6 +26,13 @@ namespace cgs::core {
 class Testbed {
  public:
   explicit Testbed(const Scenario& scenario);
+
+  /// Arena-backed run: the event engine's slot/node slabs and the packet
+  /// pool's chunks are carved from `arena` (which must outlive the
+  /// Testbed).  Sweep workers reuse one arena across jobs — construct,
+  /// run, destroy, arena.reset() — so steady-state job turnover performs
+  /// no slab allocations at all.  Packets must not outlive the run.
+  Testbed(const Scenario& scenario, util::Arena* arena);
 
   /// Execute the full schedule; returns the measured trace.
   [[nodiscard]] RunTrace run();
@@ -109,6 +117,8 @@ class Testbed {
   Scenario scenario_;
   sim::Simulator sim_;
   net::PacketFactory factory_;
+  // sim_ and factory_ precede every component so endpoints/links are
+  // destroyed (returning packets to the pool) before the engine and pool.
 
   std::unique_ptr<net::BottleneckRouter> router_;
 

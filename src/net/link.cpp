@@ -27,6 +27,20 @@ void Link::handle_packet(PacketPtr pkt) {
   if (!busy_) try_transmit();
 }
 
+void Link::handle_batch(PacketBatch& batch) {
+  // Strictly the per-packet sequence, once per entry: queue disciplines
+  // (CoDel) make per-dequeue decisions, so bulk-enqueueing then draining
+  // would change behaviour.  The win is one event dispatch and one warm
+  // pass instead of one event per packet.
+  const Time now = sim_.now();
+  for (std::size_t i = 0; i < batch.count; ++i) {
+    PacketPtr pkt = std::move(batch.pkts[i]);
+    sniffer_.notify_arrival(*pkt, now);
+    queue_->enqueue(std::move(pkt), now);
+    if (!busy_) try_transmit();
+  }
+}
+
 void Link::try_transmit() {
   assert(!busy_);
   PacketPtr pkt = queue_->dequeue(sim_.now());
@@ -37,25 +51,40 @@ void Link::try_transmit() {
   const Time ser = rate_.transmit_time(pkt->size());
 
   // Serialisation completes after `ser`; the packet then propagates for
-  // prop_delay_ without occupying the transmitter. The move-only EventFn
-  // lets the closures own the PacketPtr directly (keeping the pool deleter
-  // intact), where std::function used to force a release()/rewrap dance.
-  sim_.schedule_in(ser, [this, p = std::move(pkt)]() mutable {
-    busy_ = false;
-    ++delivered_pkts_;
-    delivered_bytes_ += p->size();
-    sim_.schedule_in(prop_delay_, [this, q = std::move(p)]() mutable {
-      sniffer_.notify_deliver(*q, sim_.now());
-      dst_->handle_packet(std::move(q));
-    });
-    try_transmit();
-  });
+  // prop_delay_ without occupying the transmitter.  Both stages are typed
+  // packet events carrying the in-flight packet — the per-packet hot path
+  // constructs no closures at all.
+  sim_.push_packet_in(ser, &ser_done_, std::move(pkt));
+}
+
+void Link::SerDone::handle_packet(PacketPtr pkt) {
+  Link& l = *link;
+  l.busy_ = false;
+  ++l.delivered_pkts_;
+  l.delivered_bytes_ += pkt->size();
+  l.sim_.push_packet_in(l.prop_delay_, &l.delivery_end_, std::move(pkt));
+  l.try_transmit();
+}
+
+void Link::DeliveryEnd::handle_packet(PacketPtr pkt) {
+  link->sniffer_.notify_deliver(*pkt, link->sim_.now());
+  link->dst_->handle_packet(std::move(pkt));
+}
+
+void Link::DeliveryEnd::handle_batch(PacketBatch& batch) {
+  // Taps never schedule events and downstream handlers never read tap
+  // state, so notifying the whole burst before forwarding it preserves
+  // per-packet observable behaviour while keeping the batch intact for
+  // the destination's bulk path.
+  const Time now = link->sim_.now();
+  for (std::size_t i = 0; i < batch.count; ++i) {
+    link->sniffer_.notify_deliver(*batch.pkts[i], now);
+  }
+  link->dst_->handle_batch(batch);
 }
 
 void DelayLine::handle_packet(PacketPtr pkt) {
-  sim_.schedule_in(delay_, [this, p = std::move(pkt)]() mutable {
-    dst_->handle_packet(std::move(p));
-  });
+  sim_.push_packet_in(delay_, dst_, std::move(pkt));
 }
 
 }  // namespace cgs::net

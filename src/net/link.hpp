@@ -24,6 +24,9 @@ class Link final : public PacketSink {
        std::unique_ptr<Queue> queue, PacketSink* dst);
 
   void handle_packet(PacketPtr pkt) override;
+  /// Same-instant arrival burst: identical per-packet semantics (arrival
+  /// tap, enqueue, transmitter kick) in one cache-warm pass.
+  void handle_batch(PacketBatch& batch) override;
 
   [[nodiscard]] Queue& queue() { return *queue_; }
   [[nodiscard]] const Queue& queue() const { return *queue_; }
@@ -39,6 +42,26 @@ class Link final : public PacketSink {
   void set_rate(Bandwidth rate) { rate_ = rate; }
 
  private:
+  /// Receives typed propagation-end events: deliver tap + downstream
+  /// forward.  A distinct sink from the Link itself (whose handle_packet
+  /// means "arrive at the queue").
+  struct DeliveryEnd final : PacketSink {
+    explicit DeliveryEnd(Link* link) : link(link) {}
+    void handle_packet(PacketPtr pkt) override;
+    void handle_batch(PacketBatch& batch) override;
+    Link* link;
+  };
+
+  /// Receives typed serialisation-end events (the in-flight packet rides
+  /// the event itself): frees the transmitter, starts propagation, sends
+  /// the next queued packet.  At most one is pending per link, so these
+  /// can never coalesce into a batch.
+  struct SerDone final : PacketSink {
+    explicit SerDone(Link* link) : link(link) {}
+    void handle_packet(PacketPtr pkt) override;
+    Link* link;
+  };
+
   void try_transmit();
 
   sim::Simulator& sim_;
@@ -48,6 +71,8 @@ class Link final : public PacketSink {
   std::unique_ptr<Queue> queue_;
   PacketSink* dst_;
   Sniffer sniffer_;
+  DeliveryEnd delivery_end_{this};
+  SerDone ser_done_{this};
   bool busy_ = false;
   std::uint64_t delivered_pkts_ = 0;
   ByteSize delivered_bytes_{0};

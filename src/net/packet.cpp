@@ -21,7 +21,15 @@ Packet* PacketPool::acquire() {
     return p;
   }
   if (chunk_fill_ == kChunkSize) {
-    chunks_.push_back(std::make_unique<Packet[]>(kChunkSize));
+    if (arena_ != nullptr) {
+      // Start the packets' lifetimes in arena storage; value-initialise so
+      // a fresh chunk matches what `new Packet[...]` produces.
+      Packet* chunk = arena_->allocate_array<Packet>(kChunkSize);
+      for (std::size_t i = 0; i < kChunkSize; ++i) ::new (chunk + i) Packet();
+      chunks_.push_back(chunk);
+    } else {
+      chunks_.push_back(new Packet[kChunkSize]());
+    }
     chunk_fill_ = 0;
   }
   storage_count_++;

@@ -10,9 +10,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <variant>
 #include <vector>
 
+#include "util/arena.hpp"
 #include "util/units.hpp"
 
 namespace cgs::net {
@@ -100,9 +102,18 @@ struct Packet {
 /// is destroyed first.
 class PacketPool {
  public:
-  PacketPool() = default;
+  /// With an arena, packet chunks are carved from it instead of the heap;
+  /// the arena must outlive the pool (and thus every in-flight packet).
+  explicit PacketPool(util::Arena* arena = nullptr) : arena_(arena) {}
   PacketPool(const PacketPool&) = delete;
   PacketPool& operator=(const PacketPool&) = delete;
+  ~PacketPool() {
+    if (arena_ == nullptr) {
+      for (Packet* chunk : chunks_) delete[] chunk;
+    }
+    // Arena-backed chunks are plain storage the arena reclaims wholesale
+    // (Packet is trivially destructible; see static_assert below).
+  }
 
   [[nodiscard]] Packet* acquire();
   void release(Packet* p) noexcept { free_.push_back(p); }
@@ -117,12 +128,17 @@ class PacketPool {
  private:
   static constexpr std::size_t kChunkSize = 128;
 
-  std::vector<std::unique_ptr<Packet[]>> chunks_;
+  util::Arena* arena_;
+  std::vector<Packet*> chunks_;
   std::vector<Packet*> free_;
   std::size_t chunk_fill_ = kChunkSize;  // next unused index in last chunk
   std::size_t storage_count_ = 0;
   std::uint64_t recycled_ = 0;
 };
+
+// Pool teardown (both heap and arena flavours) never runs per-packet
+// destructors, so Packet must stay metadata-only.
+static_assert(std::is_trivially_destructible_v<Packet>);
 
 /// Returns the packet to its pool; a default-constructed deleter (no pool)
 /// falls back to `delete` so detached PacketPtrs stay safe.
@@ -144,7 +160,10 @@ using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
 /// make()), not distinct allocations.
 class PacketFactory {
  public:
-  PacketFactory() : pool_(std::make_shared<PacketPool>()) {}
+  /// With an arena, the pool's packet chunks come from it; the arena must
+  /// outlive every packet (for a Testbed run: the whole run).
+  explicit PacketFactory(util::Arena* arena = nullptr)
+      : pool_(std::make_shared<PacketPool>(arena)) {}
 
   PacketPtr make(FlowId flow, TrafficClass klass, std::int32_t size_bytes,
                  Time now, Header header);
@@ -157,11 +176,41 @@ class PacketFactory {
   std::uint64_t next_uid_ = 1;
 };
 
+/// A burst of same-instant packets handed to one sink in a single call.
+///
+/// The event engine coalesces consecutive same-deadline deliveries bound
+/// for the same sink (see DESIGN.md "Event engine v2") and dispatches them
+/// as one batch: one virtual call and one cache-warm pass instead of one
+/// event per packet.  Entries are owned; handlers must move every one of
+/// the first `count` pointers out (or let them die with the batch).
+struct alignas(64) PacketBatch {
+  static constexpr std::size_t kCapacity = 32;
+
+  std::size_t count = 0;
+  std::array<PacketPtr, kCapacity> pkts;
+};
+
+// One batch entry is a pooled unique_ptr: raw pointer + shared_ptr deleter.
+static_assert(sizeof(PacketPtr) == 24);
+static_assert(alignof(PacketBatch) == 64);
+
 /// Anything that can accept a packet (endpoint, link, router port).
 class PacketSink {
  public:
   virtual ~PacketSink() = default;
   virtual void handle_packet(PacketPtr pkt) = 0;
+
+  /// Accept a burst of packets that all arrive at the same instant, in
+  /// order.  The default unrolls to handle_packet(); sinks with a cheaper
+  /// bulk path (Link enqueue, delivery fan-out) override it.  Overrides
+  /// must preserve exact per-packet semantics — the engine guarantees the
+  /// batch is exactly the run of events that would otherwise have fired
+  /// back-to-back, so looping is always a valid implementation.
+  virtual void handle_batch(PacketBatch& batch) {
+    for (std::size_t i = 0; i < batch.count; ++i) {
+      handle_packet(std::move(batch.pkts[i]));
+    }
+  }
 };
 
 /// Wire overhead constants (Ethernet + IP + transport), matching what a

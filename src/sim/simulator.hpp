@@ -4,6 +4,7 @@
 // run thousands of them in-process.
 #pragma once
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "sim/event_queue.hpp"
@@ -36,7 +37,9 @@ class WatchdogError : public std::runtime_error {
 
 class Simulator {
  public:
-  Simulator() = default;
+  /// With an arena, the event queue's slabs are carved from it instead of
+  /// the heap; the arena must outlive the simulator.
+  explicit Simulator(util::Arena* arena = nullptr) : queue_(arena) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -44,10 +47,32 @@ class Simulator {
   [[nodiscard]] Time now() const { return now_; }
 
   /// Schedule at absolute simulation time; clamps to `now` if in the past.
-  EventId schedule_at(Time at, EventFn fn);
+  /// The callable is constructed directly in its event slot (one closure
+  /// construction, no SboFunction move chain).
+  template <typename F>
+    requires std::is_invocable_r_v<void, std::remove_cvref_t<F>&>
+  EventId schedule_at(Time at, F&& fn) {
+    return queue_.push_emplace(std::max(at, now_), std::forward<F>(fn));
+  }
 
   /// Schedule `delay` from now (negative delays clamp to zero).
-  EventId schedule_in(Time delay, EventFn fn);
+  template <typename F>
+    requires std::is_invocable_r_v<void, std::remove_cvref_t<F>&>
+  EventId schedule_in(Time delay, F&& fn) {
+    return schedule_at(now_ + std::max(delay, kTimeZero), std::forward<F>(fn));
+  }
+
+  /// Schedule delivery of `pkt` to `sink` at an absolute time (clamped to
+  /// `now`).  Typed fast path: no closure, no handle, and same-deadline
+  /// runs to one sink may be dispatched as a single PacketBatch.
+  void push_packet_at(Time at, net::PacketSink* sink, net::PacketPtr pkt) {
+    queue_.push_packet(std::max(at, now_), sink, std::move(pkt));
+  }
+
+  /// push_packet_at with a now-relative delay (clamped to zero).
+  void push_packet_in(Time delay, net::PacketSink* sink, net::PacketPtr pkt) {
+    push_packet_at(now_ + std::max(delay, kTimeZero), sink, std::move(pkt));
+  }
 
   void cancel(EventId id) { queue_.cancel(id); }
 

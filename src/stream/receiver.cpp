@@ -91,22 +91,23 @@ void StreamReceiver::handle_packet(net::PacketPtr pkt) {
   if (inserted) {
     fa.expected = h->pkts_in_frame;
     fa.gen_time = h->frame_gen_time;
+    // Decodable once enough packets arrive to beat the FEC erasure budget
+    // (every frame ships with at least one repair packet's worth of FEC).
+    // Both inputs are fixed for the frame's lifetime, so the threshold is
+    // computed once here rather than on every packet.
+    const auto budget = std::uint16_t(
+        opts_.fec_rate > 0.0
+            ? std::ceil(opts_.fec_rate * double(fa.expected))
+            : 0.0);
+    fa.needed =
+        std::uint16_t(fa.expected > budget ? fa.expected - budget : 1);
     const Time decide_at = now + opts_.playout_deadline;
     const std::uint32_t id = h->frame_id;
     sim_.schedule_at(decide_at, [this, id] { decide_frame(id); });
   }
   if (fa.decided) return;
   ++fa.received;
-
-  // Decodable once enough packets arrived to beat the FEC erasure budget
-  // (every frame ships with at least one repair packet's worth of FEC).
-  const auto budget = std::uint16_t(
-      opts_.fec_rate > 0.0
-          ? std::ceil(opts_.fec_rate * double(fa.expected))
-          : 0.0);
-  const std::uint16_t needed =
-      std::uint16_t(fa.expected > budget ? fa.expected - budget : 1);
-  if (fa.received >= needed && !fa.complete) {
+  if (fa.received >= fa.needed && !fa.complete) {
     fa.complete = true;
     fa.complete_at = now;
   }

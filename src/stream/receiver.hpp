@@ -81,6 +81,9 @@ class StreamReceiver final : public net::PacketSink {
   struct FrameAsm {
     std::uint16_t expected = 0;
     std::uint16_t received = 0;
+    /// Decodability threshold, fixed once `expected` is known (FEC erasure
+    /// budget folded in) so the per-packet path never recomputes it.
+    std::uint16_t needed = 1;
     Time gen_time = kTimeZero;
     Time complete_at = kTimeZero;  // arrival of the decodability threshold
     bool complete = false;

@@ -1,0 +1,126 @@
+// Per-run bump allocator backing slab-style storage (event slots, timer
+// wheel nodes, packet chunks).
+//
+// A run's transient slabs all come from one Arena, so tearing a run down
+// costs nothing beyond the owning objects' destructors, and a sweep worker
+// can recycle the same blocks across jobs with reset() instead of handing
+// pages back to the allocator between every Testbed.  Allocation is a
+// pointer bump; blocks grow geometrically and are retained by reset(), so
+// a worker's steady state touches the system allocator only while its
+// largest job so far is still growing.
+//
+// The arena never runs destructors: callers must only place trivially
+// destructible objects in it, or destroy them explicitly before reset().
+// An Arena must outlive every object carved from it (for a Testbed run:
+// the arena outlives the Testbed, and reset() happens only between runs).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace cgs::util {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t first_block_bytes = 64 * 1024)
+      : next_block_bytes_(first_block_bytes) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() {
+    for (const Block& b : blocks_) ::operator delete(b.data, kBlockAlign);
+  }
+
+  /// Bump-allocate `bytes` aligned to `align` (align must be a power of
+  /// two, at most kBlockAlign).
+  void* allocate(std::size_t bytes, std::size_t align) {
+    const std::uintptr_t base =
+        reinterpret_cast<std::uintptr_t>(cursor_);
+    const std::uintptr_t aligned = (base + (align - 1)) & ~(align - 1);
+    const std::size_t padded = bytes + std::size_t(aligned - base);
+    if (padded > remaining_) return allocate_slow(bytes, align);
+    cursor_ += padded;
+    remaining_ -= padded;
+    used_ += padded;
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  /// Uninitialised storage for `n` objects of type T. The caller owns
+  /// construction and (for non-trivial T) destruction.
+  template <typename T>
+  [[nodiscard]] T* allocate_array(std::size_t n) {
+    static_assert(alignof(T) <= kBlockAlignment);
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Rewind to empty, retaining every block for reuse. Anything previously
+  /// allocated is dead storage from here on.
+  void reset() {
+    block_index_ = 0;
+    used_ = 0;
+    if (blocks_.empty()) {
+      cursor_ = nullptr;
+      remaining_ = 0;
+    } else {
+      cursor_ = blocks_[0].data;
+      remaining_ = blocks_[0].size;
+    }
+    ++resets_;
+  }
+
+  /// Bytes handed out since construction / the last reset (padding
+  /// included).
+  [[nodiscard]] std::size_t bytes_used() const { return used_; }
+  /// Total capacity currently held across all blocks.
+  [[nodiscard]] std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+  [[nodiscard]] std::uint64_t reset_count() const { return resets_; }
+
+  /// Alignment every block guarantees; the upper bound for allocate().
+  static constexpr std::size_t kBlockAlignment = 64;
+
+ private:
+  static constexpr std::align_val_t kBlockAlign{kBlockAlignment};
+
+  struct Block {
+    std::byte* data = nullptr;
+    std::size_t size = 0;
+  };
+
+  void* allocate_slow(std::size_t bytes, std::size_t align) {
+    // Advance through retained blocks first; carve a fresh geometric block
+    // only when none of them fits.
+    while (block_index_ + 1 < blocks_.size()) {
+      ++block_index_;
+      cursor_ = blocks_[block_index_].data;
+      remaining_ = blocks_[block_index_].size;
+      if (bytes + align <= remaining_) return allocate(bytes, align);
+    }
+    std::size_t want = next_block_bytes_;
+    while (want < bytes + align) want *= 2;
+    next_block_bytes_ = want * 2;
+    auto* data = static_cast<std::byte*>(::operator new(want, kBlockAlign));
+    blocks_.push_back(Block{data, want});
+    block_index_ = blocks_.size() - 1;
+    cursor_ = data;
+    remaining_ = want;
+    return allocate(bytes, align);
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t block_index_ = 0;
+  std::byte* cursor_ = nullptr;
+  std::size_t remaining_ = 0;
+  std::size_t next_block_bytes_;
+  std::size_t used_ = 0;
+  std::uint64_t resets_ = 0;
+};
+
+}  // namespace cgs::util

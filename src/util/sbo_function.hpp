@@ -15,10 +15,14 @@
 
 namespace cgs::util {
 
-template <std::size_t Capacity = 48>
+template <std::size_t Capacity = 48,
+          std::size_t Align = alignof(std::max_align_t)>
 class SboFunction {
  public:
   static constexpr std::size_t kInlineCapacity = Capacity;
+  static constexpr std::size_t kInlineAlignment = Align;
+  // The heap fallback stores a Fn* in the inline storage.
+  static_assert(Capacity >= sizeof(void*) && Align >= alignof(void*));
 
   SboFunction() = default;
 
@@ -70,8 +74,7 @@ class SboFunction {
   template <typename F>
   void emplace(F&& f) {
     using Fn = std::remove_cvref_t<F>;
-    if constexpr (sizeof(Fn) <= Capacity &&
-                  alignof(Fn) <= alignof(std::max_align_t) &&
+    if constexpr (sizeof(Fn) <= Capacity && alignof(Fn) <= Align &&
                   std::is_nothrow_move_constructible_v<Fn>) {
       ::new (&storage_) Fn(std::forward<F>(f));
       static constexpr VTable vt{
@@ -107,7 +110,7 @@ class SboFunction {
   }
 
   const VTable* vt_ = nullptr;
-  alignas(std::max_align_t) std::byte storage_[Capacity];
+  alignas(Align) std::byte storage_[Capacity];
 };
 
 }  // namespace cgs::util

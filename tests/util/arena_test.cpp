@@ -1,0 +1,130 @@
+// Per-run bump-allocator (util::Arena) contract tests: alignment, geometric
+// block growth, reset() retaining storage for reuse, oversized requests,
+// and the integration property the event engine relies on — an arena can
+// back an EventQueue's slabs and be recycled across queue lifetimes.
+#include "util/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace cgs::util {
+namespace {
+
+bool aligned_to(const void* p, std::size_t align) {
+  return (reinterpret_cast<std::uintptr_t>(p) & (align - 1)) == 0;
+}
+
+TEST(Arena, RespectsAlignment) {
+  Arena arena(256);
+  // Interleave odd sizes with every supported power-of-two alignment; each
+  // returned pointer must satisfy its own request even when the previous
+  // allocation left the cursor misaligned.
+  for (int round = 0; round < 50; ++round) {
+    for (std::size_t align : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+      void* p = arena.allocate(3, 1);  // deliberately skew the cursor
+      ASSERT_NE(p, nullptr);
+      void* q = arena.allocate(align + 1, align);
+      ASSERT_NE(q, nullptr);
+      EXPECT_TRUE(aligned_to(q, align)) << "align " << align;
+      std::memset(q, 0xAB, align + 1);  // must be writable storage
+    }
+  }
+  EXPECT_LE(std::size_t{64}, Arena::kBlockAlignment);
+}
+
+TEST(Arena, GrowsGeometrically) {
+  // Blocks double: total capacity reaches N bytes in O(log N) blocks, not
+  // O(N / first_block) — the property that keeps a growing run's slab
+  // count (and allocator traffic) logarithmic.
+  Arena arena(1024);
+  for (int i = 0; i < 1000; ++i) (void)arena.allocate(512, 8);
+  EXPECT_GE(arena.bytes_reserved(), 512u * 1000u);
+  EXPECT_LE(arena.block_count(), 12u);
+}
+
+TEST(Arena, ResetRetainsBlocksForReuse) {
+  Arena arena(1024);
+  std::vector<void*> first;
+  for (int i = 0; i < 200; ++i) first.push_back(arena.allocate(256, 8));
+  const std::size_t blocks = arena.block_count();
+  const std::size_t reserved = arena.bytes_reserved();
+  ASSERT_GT(blocks, 1u);
+
+  arena.reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.block_count(), blocks) << "reset must keep storage";
+  EXPECT_EQ(arena.reset_count(), 1u);
+
+  // Replaying the same allocation pattern must be served entirely from the
+  // retained blocks: no new block appears, and the first pointer repeats.
+  std::vector<void*> second;
+  for (int i = 0; i < 200; ++i) second.push_back(arena.allocate(256, 8));
+  EXPECT_EQ(arena.block_count(), blocks);
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  EXPECT_EQ(second.front(), first.front());
+}
+
+TEST(Arena, OversizedRequestGetsFittingBlock) {
+  Arena arena(64);  // tiny first block
+  void* p = arena.allocate(100'000, 64);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(aligned_to(p, 64));
+  std::memset(p, 0x5A, 100'000);
+  EXPECT_GE(arena.bytes_reserved(), 100'000u);
+}
+
+TEST(Arena, AllocateArrayIsTypedAndUsable) {
+  Arena arena;
+  std::uint64_t* xs = arena.allocate_array<std::uint64_t>(1000);
+  ASSERT_NE(xs, nullptr);
+  EXPECT_TRUE(aligned_to(xs, alignof(std::uint64_t)));
+  for (std::size_t i = 0; i < 1000; ++i) xs[i] = i * i;
+  for (std::size_t i = 0; i < 1000; ++i) ASSERT_EQ(xs[i], i * i);
+}
+
+TEST(Arena, BytesUsedTracksHandouts) {
+  Arena arena(4096);
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  (void)arena.allocate(100, 8);
+  const std::size_t after_first = arena.bytes_used();
+  EXPECT_GE(after_first, 100u);
+  (void)arena.allocate(100, 8);
+  EXPECT_GE(arena.bytes_used(), after_first + 100);
+}
+
+TEST(Arena, BacksEventQueueAcrossResets) {
+  // The engine's intended lifecycle: one arena, many runs.  Each queue
+  // carves its slot/node slabs from the arena; after the queue dies, a
+  // reset() recycles the same blocks for the next run, so the steady-state
+  // block count stops growing.
+  Arena arena(64 * 1024);
+  std::size_t blocks_after_first = 0;
+  for (int run = 0; run < 5; ++run) {
+    {
+      sim::EventQueue q(&arena);
+      int fired = 0;
+      for (int i = 0; i < 1000; ++i) {
+        q.push(Time(i * 1000), [&fired] { ++fired; });
+      }
+      while (!q.empty()) q.run_top();
+      EXPECT_EQ(fired, 1000);
+      EXPECT_GT(arena.bytes_used(), 0u);
+    }
+    if (run == 0) {
+      blocks_after_first = arena.block_count();
+    } else {
+      EXPECT_EQ(arena.block_count(), blocks_after_first)
+          << "identical runs must reuse retained blocks, run " << run;
+    }
+    arena.reset();
+  }
+  EXPECT_EQ(arena.reset_count(), 5u);
+}
+
+}  // namespace
+}  // namespace cgs::util

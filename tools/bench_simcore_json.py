@@ -1,88 +1,156 @@
 #!/usr/bin/env python3
-"""Run bench/perf_simcore and record the perf trajectory in BENCH_simcore.json.
+"""Record or check the simulation-core perf baseline (BENCH_simcore.json).
 
-Usage: bench_simcore_json.py <perf_simcore-binary> [output-json] [--allow-debug]
+Record mode (default) runs bench/perf_simcore and writes one entry per
+benchmark with the median-of-repetitions wall time and items/sec, so
+successive PRs have a machine-readable baseline to compare against (see
+DESIGN.md "Performance architecture"):
 
-Writes one entry per benchmark with the median-of-repetitions wall time and
-items/sec, so successive PRs have a machine-readable baseline to compare
-against (see DESIGN.md "Performance architecture"). Run via the CMake target:
+    bench_simcore_json.py <perf_simcore-binary> [output-json] [options]
+    cmake --build build --target bench_simcore_json      # canonical route
 
-    cmake --build build --target bench_simcore_json
+Check mode re-runs the benchmarks and diffs them against a committed
+baseline, exiting non-zero when any benchmark's median wall time regressed
+beyond the tolerance:
 
-The baseline is only meaningful from an optimized binary: the run is REFUSED
-when the binary reports a non-release build type (perf_simcore embeds it via
-the cgs_build_type benchmark context), unless --allow-debug is passed — and
-then the output is loudly marked tainted.
+    bench_simcore_json.py --check <perf_simcore-binary> [baseline-json] \\
+        [--tolerance=0.15] [--filter=REGEX] [--repetitions=N]
+
+Caveats the tolerance must absorb (and why the default is a generous 15%,
+with CI running even looser — see .github/workflows/ci.yml):
+
+  * absolute times are machine-dependent: a baseline recorded on one host
+    is only a smoke bound on another, never a precision gate;
+  * shared/virtualised runners add noise; medians help but do not fix a
+    busy machine.  For real perf work, ignore this gate and A/B two
+    binaries interleaved on a quiet host (EXPERIMENTS.md "Perf recipe").
+
+Benchmarks present in the run but absent from the baseline are reported as
+new (not failures); benchmarks in the baseline that no longer exist are
+warnings, so stale baselines surface without bricking CI on a rename.
+
+The baseline is only meaningful from an optimized binary: the run is
+REFUSED when the binary reports a non-release build type (perf_simcore
+embeds it via the cgs_build_type benchmark context), unless --allow-debug
+is passed — and then the output is loudly marked tainted.
 """
 
 import json
+import re
 import subprocess
 import sys
 import tempfile
 
 
-def main() -> int:
-    args = [a for a in sys.argv[1:] if a != "--allow-debug"]
-    allow_debug = "--allow-debug" in sys.argv[1:]
-    if len(args) < 1:
-        print(__doc__, file=sys.stderr)
-        return 2
-    binary = args[0]
-    out_path = args[1] if len(args) > 1 else "BENCH_simcore.json"
+def parse_args(argv):
+    opts = {
+        "check": False,
+        "allow_debug": False,
+        "tolerance": 0.15,
+        "repetitions": 5,
+        "filter": None,
+        "positional": [],
+    }
+    for arg in argv:
+        if arg == "--check":
+            opts["check"] = True
+        elif arg == "--allow-debug":
+            opts["allow_debug"] = True
+        elif arg.startswith("--tolerance="):
+            opts["tolerance"] = float(arg.split("=", 1)[1])
+        elif arg.startswith("--repetitions="):
+            opts["repetitions"] = int(arg.split("=", 1)[1])
+        elif arg.startswith("--filter="):
+            opts["filter"] = arg.split("=", 1)[1]
+        elif arg.startswith("--"):
+            print(f"error: unknown option {arg}\n", file=sys.stderr)
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        else:
+            opts["positional"].append(arg)
+    return opts
 
+
+def run_benchmarks(binary, repetitions, bench_filter):
+    """Run perf_simcore, return the parsed google-benchmark JSON document."""
     with tempfile.NamedTemporaryFile(suffix=".json") as tmp:
-        try:
-            subprocess.run(
-                [
-                    binary,
-                    "--benchmark_repetitions=5",
-                    "--benchmark_report_aggregates_only=true",
-                    f"--benchmark_out={tmp.name}",
-                    "--benchmark_out_format=json",
-                ],
-                check=True,
-            )
-        except (OSError, subprocess.CalledProcessError) as err:
-            print(f"error: failed to run {binary}: {err}", file=sys.stderr)
-            return 1
-        raw = json.load(open(tmp.name))
+        cmd = [
+            binary,
+            f"--benchmark_repetitions={repetitions}",
+            "--benchmark_report_aggregates_only=true",
+            f"--benchmark_out={tmp.name}",
+            "--benchmark_out_format=json",
+        ]
+        if bench_filter:
+            cmd.append(f"--benchmark_filter={bench_filter}")
+        subprocess.run(cmd, check=True)
+        return json.load(open(tmp.name))
 
+
+def build_type_of(raw):
     # The binary's own build type (bench/CMakeLists.txt bakes it in);
     # library_build_type is libbenchmark's and says nothing about our code.
-    build_type = raw["context"].get(
-        "cgs_build_type", raw["context"].get("library_build_type", "unknown")
-    )
-    if str(build_type).lower() not in ("release", "relwithdebinfo"):
-        print(
-            f"error: perf_simcore was built '{build_type}', not Release — a "
-            "debug baseline poisons every future comparison.\n"
-            "Rebuild with -DCMAKE_BUILD_TYPE=Release (or pass --allow-debug "
-            "to record a tainted baseline anyway).",
-            file=sys.stderr,
+    return str(
+        raw["context"].get(
+            "cgs_build_type", raw["context"].get("library_build_type", "unknown")
         )
-        if not allow_debug:
-            return 1
-        print("warning: recording TAINTED non-release baseline", file=sys.stderr)
+    ).lower()
 
-    results = {}
+
+def refuse_debug(build_type, allow_debug):
+    if build_type in ("release", "relwithdebinfo"):
+        return
+    print(
+        f"error: perf_simcore was built '{build_type}', not Release — a "
+        "debug baseline poisons every future comparison.\n"
+        "Rebuild with -DCMAKE_BUILD_TYPE=Release (or pass --allow-debug "
+        "to proceed with tainted numbers anyway).",
+        file=sys.stderr,
+    )
+    if not allow_debug:
+        sys.exit(1)
+    print("warning: proceeding with TAINTED non-release numbers", file=sys.stderr)
+
+
+def medians_of(raw):
+    """Map run_name -> {real_time, time_unit, items_per_second?} medians.
+
+    With --repetitions=1 google-benchmark emits no aggregates at all; fall
+    back to the plain per-run rows so a single-repetition check still
+    compares something instead of silently passing an empty diff.
+    """
+    medians = {}
+    plain = {}
     for bench in raw["benchmarks"]:
-        if bench.get("aggregate_name") != "median":
-            continue
-        name = bench["run_name"]
         entry = {
             "real_time": bench["real_time"],
             "time_unit": bench["time_unit"],
         }
         if "items_per_second" in bench:
             entry["items_per_second"] = bench["items_per_second"]
-        results[name] = entry
+        if bench.get("aggregate_name") == "median":
+            medians[bench["run_name"]] = entry
+        elif "aggregate_name" not in bench:
+            plain[bench["run_name"]] = entry
+    return medians or plain
 
+
+def record(binary, out_path, opts):
+    try:
+        raw = run_benchmarks(binary, opts["repetitions"], opts["filter"])
+    except (OSError, subprocess.CalledProcessError,
+            json.JSONDecodeError) as err:
+        print(f"error: failed to run {binary}: {err}", file=sys.stderr)
+        return 1
+    build_type = build_type_of(raw)
+    refuse_debug(build_type, opts["allow_debug"])
+    results = medians_of(raw)
     doc = {
         "context": {
             "host": raw["context"].get("host_name", "unknown"),
             "num_cpus": raw["context"].get("num_cpus"),
             "mhz_per_cpu": raw["context"].get("mhz_per_cpu"),
-            "build_type": str(build_type).lower(),
+            "build_type": build_type,
         },
         "benchmarks": results,
     }
@@ -91,6 +159,93 @@ def main() -> int:
         f.write("\n")
     print(f"wrote {out_path} ({len(results)} benchmarks)")
     return 0
+
+
+def to_ns(value, unit):
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+    return value * scale.get(unit, 1.0)
+
+
+def check(binary, baseline_path, opts):
+    try:
+        baseline = json.load(open(baseline_path))
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"error: cannot read baseline {baseline_path}: {err}",
+              file=sys.stderr)
+        return 1
+    base_benches = baseline.get("benchmarks", {})
+    if opts["filter"]:
+        pat = re.compile(opts["filter"])
+        base_benches = {k: v for k, v in base_benches.items() if pat.search(k)}
+
+    try:
+        raw = run_benchmarks(binary, opts["repetitions"], opts["filter"])
+    except (OSError, subprocess.CalledProcessError,
+            json.JSONDecodeError) as err:
+        print(f"error: failed to run {binary}: {err}", file=sys.stderr)
+        return 1
+    refuse_debug(build_type_of(raw), opts["allow_debug"])
+    current = medians_of(raw)
+    if not current:
+        print("error: the benchmark run produced no results (bad --filter?)",
+              file=sys.stderr)
+        return 1
+
+    tol = opts["tolerance"]
+    regressions = []
+    width = max((len(n) for n in current), default=20)
+    print(f"\n{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  delta")
+    for name in sorted(current):
+        cur = current[name]
+        cur_ns = to_ns(cur["real_time"], cur["time_unit"])
+        if name not in base_benches:
+            print(f"{name:<{width}}  {'—':>12}  {cur_ns:>10.0f}ns  (new)")
+            continue
+        base = base_benches[name]
+        base_ns = to_ns(base["real_time"], base["time_unit"])
+        delta = (cur_ns - base_ns) / base_ns
+        flag = ""
+        if delta > tol:
+            flag = f"  REGRESSION (>{tol:.0%})"
+            regressions.append((name, delta))
+        print(
+            f"{name:<{width}}  {base_ns:>10.0f}ns  {cur_ns:>10.0f}ns  "
+            f"{delta:+7.1%}{flag}"
+        )
+    for name in sorted(set(base_benches) - set(current)):
+        print(f"warning: baseline benchmark '{name}' not in this run",
+              file=sys.stderr)
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} benchmark(s) regressed beyond "
+            f"{tol:.0%} vs {baseline_path}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nOK: no benchmark regressed beyond {tol:.0%} vs {baseline_path}")
+    return 0
+
+
+def main() -> int:
+    opts = parse_args(sys.argv[1:])
+    if len(opts["positional"]) < 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    binary = opts["positional"][0]
+    if opts["check"]:
+        baseline = (
+            opts["positional"][1]
+            if len(opts["positional"]) > 1
+            else "BENCH_simcore.json"
+        )
+        return check(binary, baseline, opts)
+    out_path = (
+        opts["positional"][1]
+        if len(opts["positional"]) > 1
+        else "BENCH_simcore.json"
+    )
+    return record(binary, out_path, opts)
 
 
 if __name__ == "__main__":
