@@ -17,6 +17,7 @@
 #include "core/journal.hpp"      // IWYU pragma: export
 #include "core/metrics.hpp"      // IWYU pragma: export
 #include "core/ping.hpp"         // IWYU pragma: export
+#include "core/proc.hpp"         // IWYU pragma: export
 #include "core/report.hpp"       // IWYU pragma: export
 #include "core/runner.hpp"       // IWYU pragma: export
 #include "core/scenario.hpp"     // IWYU pragma: export

@@ -1,5 +1,6 @@
 #include "core/error.hpp"
 
+#include <new>
 #include <sstream>
 
 #include "sim/simulator.hpp"
@@ -30,6 +31,9 @@ std::string_view to_string(ErrorClass c) {
     case ErrorClass::kInvariant: return "invariant";
     case ErrorClass::kScenario: return "scenario";
     case ErrorClass::kUnclassified: return "unclassified";
+    case ErrorClass::kCrash: return "crash";
+    case ErrorClass::kTimeout: return "timeout";
+    case ErrorClass::kResource: return "resource";
   }
   return "?";
 }
@@ -45,6 +49,9 @@ ErrorClass classify(const std::exception& e) {
   }
   if (dynamic_cast<const sim::WatchdogError*>(&e) != nullptr) {
     return ErrorClass::kWatchdog;
+  }
+  if (dynamic_cast<const std::bad_alloc*>(&e) != nullptr) {
+    return ErrorClass::kResource;
   }
   if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr ||
       dynamic_cast<const std::logic_error*>(&e) != nullptr) {
@@ -70,6 +77,9 @@ ErrorClass error_class_from_byte(std::uint8_t b) {
     case std::uint8_t(ErrorClass::kWatchdog): return ErrorClass::kWatchdog;
     case std::uint8_t(ErrorClass::kInvariant): return ErrorClass::kInvariant;
     case std::uint8_t(ErrorClass::kScenario): return ErrorClass::kScenario;
+    case std::uint8_t(ErrorClass::kCrash): return ErrorClass::kCrash;
+    case std::uint8_t(ErrorClass::kTimeout): return ErrorClass::kTimeout;
+    case std::uint8_t(ErrorClass::kResource): return ErrorClass::kResource;
     default: return ErrorClass::kUnclassified;
   }
 }

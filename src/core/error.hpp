@@ -25,6 +25,11 @@ enum class ErrorClass : std::uint8_t {
   kInvariant = 1,     // InvariantViolation — conservation/sanity audit trip
   kScenario = 2,      // invalid or inconsistent configuration
   kUnclassified = 3,  // anything else (possibly environmental)
+  // Process-level classes reported by the forked-isolation supervisor
+  // (core/proc.hpp) — the job's *process* died, not its simulation logic.
+  kCrash = 4,     // child killed by a fatal signal (SIGSEGV, SIGABRT, ...)
+  kTimeout = 5,   // supervisor wall-clock deadline expired; child SIGKILLed
+  kResource = 6,  // resource cap: rlimit kill (SIGXCPU), OOM, bad_alloc
 };
 
 [[nodiscard]] std::string_view to_string(ErrorClass c);
@@ -34,6 +39,15 @@ enum class ErrorClass : std::uint8_t {
 /// retried.
 [[nodiscard]] constexpr bool is_transient(ErrorClass c) {
   return c == ErrorClass::kUnclassified;
+}
+
+/// Process-level failures the forked-mode supervisor observes from outside
+/// the child.  Possibly environmental (a loaded machine wedges a wall
+/// deadline, memory pressure fails an allocation), so forked sweeps grant
+/// them strike-limited retries with backoff before quarantining the job.
+[[nodiscard]] constexpr bool is_process_failure(ErrorClass c) {
+  return c == ErrorClass::kCrash || c == ErrorClass::kTimeout ||
+         c == ErrorClass::kResource;
 }
 
 /// Where in the grid/run a failure happened.  Fields default to "unknown":
@@ -77,8 +91,9 @@ class ScenarioError : public SimError {
 };
 
 /// Classify an in-flight exception: SimError reports its own class,
-/// sim::WatchdogError maps to kWatchdog, std::invalid_argument /
-/// std::logic_error to kScenario, everything else to kUnclassified.
+/// sim::WatchdogError maps to kWatchdog, std::bad_alloc to kResource,
+/// std::invalid_argument / std::logic_error to kScenario, everything else
+/// to kUnclassified.
 [[nodiscard]] ErrorClass classify(const std::exception& e);
 
 /// Extract whatever structured context the exception carries (sim-time for

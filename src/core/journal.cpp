@@ -23,8 +23,19 @@ constexpr std::size_t kRecordFixed = 4 + 4 + 4 + 8 + 1 + 1 + 8 + 4;
 constexpr std::uint32_t kMaxPayload = 1u << 30;
 
 [[noreturn]] void throw_errno(const std::string& op, const std::string& path) {
-  throw JournalError("journal: " + op + " '" + path +
-                     "': " + std::strerror(errno));
+  const int err = errno;
+  throw JournalError("journal: " + op + " '" + path + "': " +
+                     std::strerror(err) + " (errno " + std::to_string(err) +
+                     ")");
+}
+
+/// fsync with EINTR retry; throws naming the path and errno.  This is
+/// where ENOSPC/EIO from deferred writeback most often surface.
+void fsync_or_throw(int fd, const std::string& path) {
+  while (::fsync(fd) != 0) {
+    if (errno == EINTR) continue;
+    throw_errno("fsync", path);
+  }
 }
 
 // -- little binary buffer helpers -----------------------------------------
@@ -302,10 +313,10 @@ JournalWriter JournalWriter::create(const std::string& path,
   const int fd =
       ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) throw_errno("create", path);
-  JournalWriter w(fd, sync);
+  JournalWriter w(fd, sync, path);
   const auto hdr = header_bytes(meta);
   write_all(fd, hdr.data(), hdr.size(), path);
-  if (sync && ::fsync(fd) != 0) throw_errno("fsync", path);
+  if (sync) fsync_or_throw(fd, path);
   return w;
 }
 
@@ -313,7 +324,7 @@ JournalWriter JournalWriter::append_to(const std::string& path,
                                        std::uint64_t valid_bytes, bool sync) {
   const int fd = ::open(path.c_str(), O_WRONLY);
   if (fd < 0) throw_errno("open", path);
-  JournalWriter w(fd, sync);
+  JournalWriter w(fd, sync, path);
   // Drop any torn tail before appending over it.
   if (::ftruncate(fd, off_t(valid_bytes)) != 0) throw_errno("truncate", path);
   if (::lseek(fd, off_t(valid_bytes), SEEK_SET) < 0) throw_errno("seek", path);
@@ -321,28 +332,48 @@ JournalWriter JournalWriter::append_to(const std::string& path,
 }
 
 JournalWriter::JournalWriter(JournalWriter&& o) noexcept
-    : fd_(std::exchange(o.fd_, -1)), sync_(o.sync_) {}
+    : fd_(std::exchange(o.fd_, -1)),
+      sync_(o.sync_),
+      path_(std::move(o.path_)) {}
 
 JournalWriter& JournalWriter::operator=(JournalWriter&& o) noexcept {
   if (this != &o) {
     if (fd_ >= 0) ::close(fd_);
     fd_ = std::exchange(o.fd_, -1);
     sync_ = o.sync_;
+    path_ = std::move(o.path_);
   }
   return *this;
 }
 
 JournalWriter::~JournalWriter() {
+  // Silent close: a destructor cannot throw.  Callers that must learn
+  // about deferred ENOSPC/EIO call close() explicitly first.
   if (fd_ >= 0) ::close(fd_);
 }
 
 void JournalWriter::append(const JournalEntry& e) {
   if (fd_ < 0) throw JournalError("journal: append on a moved-from writer");
   const auto rec = record_bytes(e);
-  write_all(fd_, rec.data(), rec.size(), "<journal>");
-  if (sync_ && ::fsync(fd_) != 0) {
-    throw JournalError(std::string("journal: fsync: ") + std::strerror(errno));
+  write_all(fd_, rec.data(), rec.size(), path_);
+  if (sync_) fsync_or_throw(fd_, path_);
+}
+
+void JournalWriter::close() {
+  if (fd_ < 0) return;
+  const int fd = std::exchange(fd_, -1);
+  // Without per-record fsync, buffered records may not have hit the disk
+  // yet — flush now so a full filesystem fails the sweep loudly instead
+  // of quietly truncating the journal.
+  if (!sync_) {
+    try {
+      fsync_or_throw(fd, path_);
+    } catch (...) {
+      ::close(fd);
+      throw;
+    }
   }
+  if (::close(fd) != 0) throw_errno("close", path_);
 }
 
 // -- RunTrace round-trip ---------------------------------------------------
@@ -461,6 +492,15 @@ std::uint64_t sweep_fingerprint(const std::vector<SweepCell>& cells,
     mix_u64(std::uint64_t(sc.tcp_stop.count()));
     mix_u64(std::uint64_t(sc.queue_kind));
     mix_u64(sc.watchdog_event_budget);
+    // Fault injection changes what the grid *is*, so an active fault must
+    // fail fingerprint matching against a clean journal.  Mixed only when
+    // armed so every pre-existing clean-grid fingerprint stays stable.
+    // (The wall budget is deliberately absent: it is environmental and
+    // never alters a healthy run's trace.)
+    if (sc.fault.kind != Scenario::FaultKind::kNone) {
+      mix_u64(std::uint64_t(sc.fault.kind));
+      mix_u64(sc.fault.seed);
+    }
     const auto flows = sc.effective_flows();
     mix_u64(flows.size());
     for (const FlowSpec& f : flows) {

@@ -107,15 +107,24 @@ class JournalWriter {
   JournalWriter& operator=(const JournalWriter&) = delete;
   ~JournalWriter();
 
-  /// Append one record (write + optional fsync).  Throws JournalError on
-  /// I/O failure.
+  /// Append one record (write + optional fsync).  Throws JournalError
+  /// naming the path and errno on I/O failure — ENOSPC and EIO surface at
+  /// the record that hit them, not as silently missing data.
   void append(const JournalEntry& e);
 
+  /// Flush (when not already fsync'ing per record) and close the file,
+  /// throwing JournalError if the kernel reports a deferred write error —
+  /// the destructor closes silently, so callers that care about ENOSPC on
+  /// the final records must close() explicitly.  Idempotent.
+  void close();
+
  private:
-  JournalWriter(int fd, bool sync) : fd_(fd), sync_(sync) {}
+  JournalWriter(int fd, bool sync, std::string path)
+      : fd_(fd), sync_(sync), path_(std::move(path)) {}
 
   int fd_ = -1;
   bool sync_ = true;
+  std::string path_;
 };
 
 /// Exact binary round-trip of a RunTrace (doubles via memcpy — bit-exact).

@@ -1,0 +1,296 @@
+#include "core/proc.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/crc32.hpp"
+#include "util/rng.hpp"
+
+namespace cgs::core::proc {
+namespace {
+
+// One result frame crosses the pipe, child -> supervisor:
+//   u32 magic | u8 status (0 ok, 1 classified failure) | u8 class
+//   | u32 payload_len | payload | u32 crc(everything before crc)
+// A frame that is torn (child killed mid-write) or absent fails the CRC /
+// length check and the supervisor falls back to exit-status classification.
+constexpr std::uint32_t kFrameMagic = 0x50534743u;  // "CGSP"
+constexpr std::size_t kFrameFixed = 4 + 1 + 1 + 4;
+
+// Child exit codes for supervisor-protocol failures (never from the job).
+constexpr int kExitWriteFailed = 121;
+
+[[noreturn]] void supervisor_error(const char* op) {
+  throw std::runtime_error(std::string("proc: ") + op + ": " +
+                           std::strerror(errno));
+}
+
+bool write_exact(int fd, const unsigned char* p, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= std::size_t(w);
+  }
+  return true;
+}
+
+void put_u32(std::vector<unsigned char>& out, std::uint32_t v) {
+  const std::size_t off = out.size();
+  out.resize(off + sizeof v);
+  std::memcpy(out.data() + off, &v, sizeof v);
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+/// Build the wire frame for one child verdict.
+std::vector<unsigned char> frame_bytes(bool ok, ErrorClass cls,
+                                       const unsigned char* payload,
+                                       std::size_t payload_len) {
+  std::vector<unsigned char> out;
+  out.reserve(kFrameFixed + payload_len + 4);
+  put_u32(out, kFrameMagic);
+  out.push_back(ok ? 0 : 1);
+  out.push_back(std::uint8_t(cls));
+  put_u32(out, std::uint32_t(payload_len));
+  if (payload_len > 0) {
+    const std::size_t off = out.size();
+    out.resize(off + payload_len);
+    std::memcpy(out.data() + off, payload, payload_len);
+  }
+  put_u32(out, util::crc32(out.data(), out.size()));
+  return out;
+}
+
+/// Parse the child's buffered pipe output.  False when no complete, intact
+/// frame is present (absent, torn, or corrupt) — the caller then classifies
+/// from the exit status instead.
+bool parse_frame(const std::vector<unsigned char>& buf, ChildResult& out) {
+  if (buf.size() < kFrameFixed + 4) return false;
+  if (get_u32(buf.data()) != kFrameMagic) return false;
+  const std::uint32_t payload_len = get_u32(buf.data() + 6);
+  const std::size_t total = kFrameFixed + payload_len + 4;
+  if (buf.size() != total) return false;
+  if (get_u32(buf.data() + total - 4) != util::crc32(buf.data(), total - 4)) {
+    return false;
+  }
+  const bool ok = buf[4] == 0;
+  out.ok = ok;
+  out.cls = ok ? ErrorClass::kUnclassified : error_class_from_byte(buf[5]);
+  if (ok) {
+    out.payload.assign(buf.begin() + std::ptrdiff_t(kFrameFixed),
+                       buf.begin() + std::ptrdiff_t(kFrameFixed + payload_len));
+  } else {
+    out.message.assign(reinterpret_cast<const char*>(buf.data()) + kFrameFixed,
+                       payload_len);
+  }
+  return true;
+}
+
+/// Apply the per-job caps inside the child.  Failures are ignored — a cap
+/// that cannot be applied degrades to "uncapped", never to a dead child.
+void apply_limits(const ResourceLimits& limits) {
+  // Crash-heavy workloads must not litter (or stall on) core dumps.
+  rlimit core{0, 0};
+  (void)::setrlimit(RLIMIT_CORE, &core);
+  if (limits.address_space_bytes > 0) {
+    rlimit as{rlim_t(limits.address_space_bytes),
+              rlim_t(limits.address_space_bytes)};
+    (void)::setrlimit(RLIMIT_AS, &as);
+  }
+  if (limits.cpu_seconds > 0) {
+    // Soft cap delivers SIGXCPU (classified kResource); the hard cap two
+    // seconds later SIGKILLs a child that somehow survives it.
+    rlimit cpu{rlim_t(limits.cpu_seconds), rlim_t(limits.cpu_seconds) + 2};
+    (void)::setrlimit(RLIMIT_CPU, &cpu);
+  }
+}
+
+[[noreturn]] void child_main(int write_fd, const ChildJob& job,
+                             const ResourceLimits& limits) {
+  apply_limits(limits);
+  std::vector<unsigned char> frame;
+  try {
+    const std::vector<unsigned char> payload = job();
+    frame = frame_bytes(true, ErrorClass::kUnclassified, payload.data(),
+                        payload.size());
+  } catch (const std::exception& e) {
+    const char* what = e.what();
+    frame = frame_bytes(false, classify(e),
+                        reinterpret_cast<const unsigned char*>(what),
+                        std::strlen(what));
+  } catch (...) {
+    static constexpr char kMsg[] = "unknown exception";
+    frame = frame_bytes(false, ErrorClass::kUnclassified,
+                        reinterpret_cast<const unsigned char*>(kMsg),
+                        sizeof kMsg - 1);
+  }
+  if (!write_exact(write_fd, frame.data(), frame.size())) {
+    ::_exit(kExitWriteFailed);
+  }
+  ::_exit(0);
+}
+
+const char* signal_name(int sig) {
+  switch (sig) {
+    case SIGSEGV: return "SIGSEGV";
+    case SIGABRT: return "SIGABRT";
+    case SIGBUS: return "SIGBUS";
+    case SIGILL: return "SIGILL";
+    case SIGFPE: return "SIGFPE";
+    case SIGTRAP: return "SIGTRAP";
+    case SIGSYS: return "SIGSYS";
+    case SIGKILL: return "SIGKILL";
+    case SIGXCPU: return "SIGXCPU";
+    case SIGTERM: return "SIGTERM";
+    case SIGINT: return "SIGINT";
+    default: return "signal";
+  }
+}
+
+/// Classify a child that died without delivering an intact result frame.
+void classify_exit(int status, bool timed_out, const ResourceLimits& limits,
+                   ChildResult& out) {
+  out.ok = false;
+  std::ostringstream os;
+  if (timed_out) {
+    // The supervisor's own SIGKILL: the deadline verdict wins regardless
+    // of how the wait status reads.
+    out.cls = ErrorClass::kTimeout;
+    os << "job exceeded its " << limits.wall_seconds
+       << " s wall-clock deadline and was killed";
+    out.message = os.str();
+    return;
+  }
+  if (WIFSIGNALED(status)) {
+    const int sig = WTERMSIG(status);
+    out.term_signal = sig;
+    out.exit_status = -1;
+    if (sig == SIGXCPU) {
+      out.cls = ErrorClass::kResource;
+      os << "child hit its " << limits.cpu_seconds
+         << " s CPU rlimit (SIGXCPU)";
+    } else if (sig == SIGKILL) {
+      // Not our deadline kill, so the kernel's: the OOM killer (or an
+      // operator) SIGKILLed the child.
+      out.cls = ErrorClass::kResource;
+      os << "child was SIGKILLed outside the supervisor "
+         << "(kernel OOM killer or operator)";
+    } else {
+      out.cls = ErrorClass::kCrash;
+      os << "child died on fatal signal " << sig << " (" << signal_name(sig)
+         << ")";
+    }
+    out.message = os.str();
+    return;
+  }
+  const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  out.exit_status = code;
+  out.cls = ErrorClass::kCrash;
+  os << "child exited with status " << code
+     << " without reporting a result";
+  out.message = os.str();
+}
+
+}  // namespace
+
+ChildResult run_forked(const ChildJob& job, const ResourceLimits& limits) {
+  int fds[2];
+  if (::pipe(fds) != 0) supervisor_error("pipe");
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    supervisor_error("fork");
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    child_main(fds[1], job, limits);  // never returns
+  }
+  ::close(fds[1]);
+
+  using Clock = std::chrono::steady_clock;
+  const bool has_deadline = limits.wall_seconds > 0;
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(limits.wall_seconds));
+
+  ChildResult result;
+  std::vector<unsigned char> buf;
+  unsigned char chunk[4096];
+  for (;;) {
+    int timeout_ms = -1;
+    if (has_deadline && !result.timed_out) {
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(deadline - Clock::now());
+      timeout_ms = int(std::max<std::int64_t>(remaining.count(), 0));
+    }
+    pollfd pfd{fds[0], POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      ::kill(pid, SIGKILL);
+      ::close(fds[0]);
+      while (::waitpid(pid, nullptr, 0) < 0 && errno == EINTR) {}
+      supervisor_error("poll");
+    }
+    if (pr == 0) {
+      // Deadline expired with the child still holding the pipe open:
+      // SIGKILL it and drain whatever it managed to write (EOF follows).
+      result.timed_out = true;
+      ::kill(pid, SIGKILL);
+      continue;
+    }
+    const ssize_t r = ::read(fds[0], chunk, sizeof chunk);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;  // classify from the exit status
+    }
+    if (r == 0) break;  // EOF: the child exited (or died)
+    buf.insert(buf.end(), chunk, chunk + r);
+  }
+  ::close(fds[0]);
+
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0) {
+    if (errno != EINTR) supervisor_error("waitpid");
+  }
+
+  // An intact frame is authoritative: the job finished and reported before
+  // anything killed the process.
+  if (parse_frame(buf, result)) return result;
+  classify_exit(status, result.timed_out, limits, result);
+  return result;
+}
+
+std::uint32_t backoff_ms(std::uint32_t base_ms, std::uint32_t max_ms,
+                         int attempt, std::uint64_t jitter_key) {
+  if (base_ms == 0 || attempt <= 0) return 0;
+  const int shift = std::min(attempt - 1, 20);
+  const std::uint64_t raw = std::uint64_t(base_ms) << shift;
+  const std::uint64_t capped = std::min<std::uint64_t>(raw, max_ms);
+  // Deterministic jitter into [50%, 100%]: same key, same schedule.
+  const std::uint64_t h =
+      splitmix64(jitter_key ^ (0x9e3779b97f4a7c15ULL * std::uint64_t(attempt)));
+  return std::uint32_t(capped / 2 + (h % (capped / 2 + 1)));
+}
+
+}  // namespace cgs::core::proc

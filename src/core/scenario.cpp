@@ -115,6 +115,12 @@ void Scenario::validate() const {
     os << "base_rtt must be > 0 (got " << to_seconds(base_rtt) << " s)";
     invalid(os.str());
   }
+  if (watchdog_wall_budget_s < 0) {
+    std::ostringstream os;
+    os << "watchdog_wall_budget_s must be >= 0 (got " << watchdog_wall_budget_s
+       << ")";
+    invalid(os.str());
+  }
   // The scalar TCP schedule only matters for the synthesized default mix.
   if (flows.empty() && tcp_algo) {
     if (tcp_start < kTimeZero) {

@@ -117,6 +117,37 @@ struct Scenario {
   /// 0 derives a generous duration-proportional budget.
   std::uint64_t watchdog_event_budget = 0;
 
+  /// Wall-clock budget (real seconds) for the run's watchdog: a run that
+  /// keeps the host CPU busy longer than this aborts with a WatchdogError
+  /// carrying the budget and elapsed time.  Catches wedges the event and
+  /// sim-time budgets cannot see — a handler spinning wall time away
+  /// inside individual callbacks.  0 (the default) disables it.  This
+  /// budget is environmental (it depends on host speed), so it is NOT
+  /// mixed into sweep fingerprints and never alters a healthy run's trace.
+  double watchdog_wall_budget_s = 0;
+
+  /// Test-only deterministic fault injection: makes a chosen (cell, seed)
+  /// job misbehave in a controlled way so the sweep engine's isolation and
+  /// quarantine machinery can be exercised by real process deaths instead
+  /// of mocks.  kNone (the default) is a strict no-op — a scenario with no
+  /// fault produces bit-identical traces to one that never had the field.
+  enum class FaultKind : std::uint8_t {
+    kNone = 0,
+    kCrash = 1,  ///< raise SIGSEGV at run start (fatal signal -> kCrash)
+    kOom = 2,    ///< allocate without bound (bad_alloc / RLIMIT_AS / OOM
+                 ///< kill -> kResource)
+    kSpin = 3,   ///< burn real time in periodic sim events: invisible to
+                 ///< event and sim-time budgets, caught by the wall
+                 ///< watchdog in-process or the supervisor deadline forked
+  };
+  struct FaultSpec {
+    FaultKind kind = FaultKind::kNone;
+    /// Trigger only when the run's seed matches; 0 poisons every seed of
+    /// the cell.
+    std::uint64_t seed = 0;
+  };
+  FaultSpec fault;
+
   /// Invariant-audit policy for the run (byte conservation, queue bounds,
   /// sequence sanity at the bottleneck; see core/audit.hpp).  The auditor
   /// is observer-only — traces are bit-identical with it on or off — so

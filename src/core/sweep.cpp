@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -243,10 +244,29 @@ SweepReport sweep_jobs(
     ++report.skipped;
   }
 
+  auto stopped = [&] {
+    return opts.stop != nullptr && opts.stop->load(std::memory_order_relaxed);
+  };
+
+  // Backoff between quarantine strikes: deterministic jitter keyed by the
+  // job, sliced so a stop request is honored mid-sleep.
+  auto backoff_sleep = [&](int attempt, std::size_t cell, std::uint64_t seed) {
+    const std::uint64_t key = (std::uint64_t(cell) << 32) ^ seed;
+    std::uint32_t left_ms =
+        proc::backoff_ms(opts.backoff_base_ms, opts.backoff_max_ms, attempt,
+                         key);
+    while (left_ms > 0 && !stopped()) {
+      const std::uint32_t slice = std::min<std::uint32_t>(left_ms, 10);
+      std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+      left_ms -= slice;
+    }
+  };
+
   auto execute = [&](int job, util::Arena& arena) {
     const auto cell = std::size_t(job) / std::size_t(runs);
     const int run = job % runs;
     const std::uint64_t seed = cells[cell].scenario.seed + std::uint64_t(run);
+    const bool forked = opts.isolation == Isolation::kForked;
     std::optional<RunTrace> trace;
     for (int attempt = 1;; ++attempt) {
       SweepFailure f;
@@ -254,31 +274,80 @@ SweepReport sweep_jobs(
       f.cell_label = cells[cell].label;
       f.seed = seed;
       f.attempts = attempt;
-      try {
+      if (forked) {
+        // Run the job in its own process: the child executes the same
+        // Testbed code path against a fresh arena and ships the bit-exact
+        // serialized trace back over the pipe.  The supervisor classifies
+        // every way the child can die (core/proc.hpp).
         Scenario sc = cells[cell].scenario;
         sc.seed = seed;
-        // Recycle the worker's arena blocks; the previous job's Testbed is
-        // already destroyed, so its slabs are dead storage by now.
-        arena.reset();
-        Testbed bed(sc, &arena);
-        trace = bed.run();
-        break;
-      } catch (const std::exception& e) {
-        f.what = e.what();
-        f.cls = classify(e);
-        const ErrorContext ctx = context_of(e);
-        f.sim_time = ctx.sim_time;
-        f.flow = ctx.flow;
-      } catch (...) {
-        f.what = "unknown exception";
-        f.cls = ErrorClass::kUnclassified;
+        const proc::ChildResult cr = proc::run_forked(
+            [&sc]() {
+              util::Arena child_arena;
+              Testbed bed(sc, &child_arena);
+              return serialize_trace(bed.run());
+            },
+            opts.limits);
+        if (cr.ok) {
+          try {
+            trace = deserialize_trace(cr.payload.data(), cr.payload.size());
+            break;
+          } catch (const std::exception& e) {
+            f.what = std::string("result frame did not deserialize: ") +
+                     e.what();
+            f.cls = ErrorClass::kUnclassified;
+          }
+        } else {
+          f.what = cr.message;
+          f.cls = cr.cls;
+          // Child-side context (sim-time, flow) is unavailable for process
+          // deaths; classified simulation failures embed it in what().
+        }
+      } else {
+        try {
+          Scenario sc = cells[cell].scenario;
+          sc.seed = seed;
+          // Recycle the worker's arena blocks; the previous job's Testbed
+          // is already destroyed, so its slabs are dead storage by now.
+          arena.reset();
+          Testbed bed(sc, &arena);
+          trace = bed.run();
+          break;
+        } catch (const std::exception& e) {
+          f.what = e.what();
+          f.cls = classify(e);
+          const ErrorContext ctx = context_of(e);
+          f.sim_time = ctx.sim_time;
+          f.flow = ctx.flow;
+        } catch (...) {
+          f.what = "unknown exception";
+          f.cls = ErrorClass::kUnclassified;
+        }
       }
       // Deterministic failures reproduce identically — only possibly-
       // environmental (unclassified) ones earn another attempt.
-      if (is_transient(f.cls) && attempt <= opts.max_retries) {
+      if (is_transient(f.cls) && attempt <= opts.max_retries && !stopped()) {
         std::lock_guard lk(failures_mu);
         ++report.retries;
         continue;
+      }
+      // Process deaths (forked mode) get their strikes: they too can be
+      // environmental (co-tenant OOM, loaded host missing a deadline), but
+      // a job that keeps killing its child is poison — quarantine it.
+      if (forked && is_process_failure(f.cls)) {
+        if (attempt < opts.quarantine_strikes && !stopped()) {
+          {
+            std::lock_guard lk(failures_mu);
+            ++report.retries;
+          }
+          backoff_sleep(attempt, cell, seed);
+          continue;
+        }
+        if (attempt >= opts.quarantine_strikes) {
+          f.quarantined = true;
+          std::lock_guard lk(failures_mu);
+          ++report.quarantined;
+        }
       }
       record_failure(std::move(f));
       break;
@@ -306,10 +375,6 @@ SweepReport sweep_jobs(
     }
     deques.push_back(std::move(dq));
   }
-
-  auto stopped = [&] {
-    return opts.stop != nullptr && opts.stop->load(std::memory_order_relaxed);
-  };
 
   auto worker = [&](int w) {
     WorkDeque& self = *deques[std::size_t(w)];
@@ -473,6 +538,10 @@ SweepResult run_sweep(std::vector<SweepCell> cells, const SweepOptions& opts) {
 
   SweepResult res;
   res.report = sweep_jobs(cells, jopts, consume, preloaded);
+
+  // Surface deferred write errors (ENOSPC/EIO under journal_sync=false)
+  // now, while the caller can still react — not in a silent destructor.
+  if (writer) writer->close();
 
   if (res.report.failed() != 0 && !res.report.interrupted &&
       opts.throw_on_failure) {

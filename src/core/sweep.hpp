@@ -25,6 +25,17 @@
 // uninterrupted one.  A stop flag (SweepOptions::stop) drains gracefully:
 // in-flight jobs finish and are journaled, queued jobs stay queued, and
 // the partial result comes back marked interrupted.
+//
+// Fault isolation: with SweepOptions::isolation = kForked each job runs in
+// a fork()ed child under per-job rlimits and a wall-clock deadline
+// (core/proc.hpp), so a segfault, OOM, or wedge kills one child instead of
+// the sweep.  The child ships its RunTrace over a pipe via the bit-exact
+// journal serialization, and the parent folds it through the same
+// seed-order delivery path — forked results are bit-identical to
+// in-process ones at any thread count.  A job whose child keeps dying is
+// retried with capped jittered backoff and quarantined after
+// quarantine_strikes total executions: recorded as a failure, journaled,
+// and never run again (resume skips it like any journaled failure).
 #pragma once
 
 #include <atomic>
@@ -36,6 +47,7 @@
 
 #include "core/aggregate.hpp"
 #include "core/error.hpp"
+#include "core/proc.hpp"
 #include "core/scenario.hpp"
 
 namespace cgs::core {
@@ -81,6 +93,22 @@ struct SweepFailure {
   Time sim_time = kTimeInfinite;  // kTimeInfinite = not known
   net::FlowId flow = 0;           // 0 = not flow-specific
   int attempts = 1;               // executions including retries
+  /// Forked isolation only: the job kept killing its worker process and
+  /// exhausted its quarantine strikes — it is recorded as failed and never
+  /// executed again this sweep (nor on resume: the journal remembers).
+  bool quarantined = false;
+};
+
+/// How each (cell, seed) job executes.
+enum class Isolation : std::uint8_t {
+  /// In the worker thread (the default): fastest, but a crashing or
+  /// runaway job takes the whole sweep with it.
+  kInProcess,
+  /// In a fork()ed child per job under a supervisor (core/proc.hpp): a
+  /// poisoned job costs one child, the sweep completes and quarantines it.
+  /// Results cross the pipe via the bit-exact RunTrace serialization, so
+  /// forked sweeps are bit-identical to in-process ones.
+  kForked,
 };
 
 struct SweepOptions {
@@ -98,6 +126,31 @@ struct SweepOptions {
   /// Deterministic simulation failures (watchdog, invariant, scenario)
   /// reproduce identically and are never retried.
   int max_retries = 0;
+
+  // --- fault isolation -----------------------------------------------------
+
+  /// Execution mode; see Isolation.  Defaults to in-process.
+  Isolation isolation = Isolation::kInProcess;
+
+  /// Per-job resource caps, applied in the child (forked mode only):
+  /// address-space and CPU rlimits plus a supervisor-enforced wall-clock
+  /// deadline.  Zero fields are uncapped.
+  proc::ResourceLimits limits;
+
+  /// Forked mode only: total executions granted to a job whose child dies
+  /// a process death (kCrash / kTimeout / kResource) before the job is
+  /// quarantined — recorded as failed, never run again this sweep.
+  /// Process deaths are retried at all (unlike deterministic simulation
+  /// failures) because they can be environmental: a transient OOM from a
+  /// co-tenant, an operator kill, a loaded host missing a deadline.
+  int quarantine_strikes = 3;
+
+  /// Backoff between those strikes: capped exponential with deterministic
+  /// jitter (proc::backoff_ms), base doubling per attempt up to the max.
+  /// base 0 disables the sleep (tests).  Sleeps poll `stop` so a drain
+  /// request is honored mid-backoff.
+  std::uint32_t backoff_base_ms = 100;
+  std::uint32_t backoff_max_ms = 2000;
 
   /// At most this many SweepFailure records are kept per cell; the rest
   /// are counted (SweepReport::failures_suppressed / cell_failures) but
@@ -151,7 +204,8 @@ struct SweepReport {
   int finished = 0;  // jobs delivered: successes + failures + preloaded
   int succeeded = 0;  // fresh jobs that produced a trace this invocation
   int skipped = 0;    // jobs satisfied from preloaded/journaled results
-  int retries = 0;    // extra attempts granted to transient failures
+  int retries = 0;    // extra attempts: transient retries + forked strikes
+  int quarantined = 0;       // jobs that exhausted their quarantine strikes
   int progress_errors = 0;   // progress-callback exceptions swallowed
   bool interrupted = false;  // stop flag drained the pool before the end
 

@@ -1,6 +1,11 @@
 #include "core/testbed.hpp"
 
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <memory>
 #include <stdexcept>
+#include <vector>
 
 #include "net/codel.hpp"
 
@@ -129,7 +134,10 @@ Testbed::Testbed(const Scenario& scenario, util::Arena* arena)
             .count();
     budget = std::uint64_t(secs + 1) * 1'000'000;
   }
-  if (budget != Scenario::kWatchdogDisabled) sim_.set_watchdog(budget);
+  if (budget == Scenario::kWatchdogDisabled) budget = 0;  // 0 = no budget
+  if (budget != 0 || scenario.watchdog_wall_budget_s > 0) {
+    sim_.set_watchdog(budget, kTimeInfinite, scenario.watchdog_wall_budget_s);
+  }
 
   router_ = std::make_unique<net::BottleneckRouter>(
       sim_, scenario.capacity, kBottleneckProp, make_queue());
@@ -234,6 +242,7 @@ tcp::BulkTcpFlow* Testbed::tcp_flow() {
 }
 
 RunTrace Testbed::run() {
+  inject_fault();
   // Immediate starts first, in mix order, matching the pre-registry event
   // sequence (game receiver, game sender, ping client, collectors, then the
   // scheduled TCP start/stop events).
@@ -272,6 +281,48 @@ RunTrace Testbed::run() {
   return collectors_->finalize(
       pings_.empty() ? nullptr : pings_.front().client.get(),
       games_.empty() ? nullptr : games_.front().receiver.get());
+}
+
+void Testbed::inject_fault() {
+  const Scenario::FaultSpec& fault = scenario_.fault;
+  if (fault.kind == Scenario::FaultKind::kNone) return;
+  if (fault.seed != 0 && fault.seed != scenario_.seed) return;
+  switch (fault.kind) {
+    case Scenario::FaultKind::kCrash:
+      // A real fatal signal, exactly what a wild pointer would produce:
+      // in-process this kills the whole pool (which is the point of the
+      // demonstration); forked it kills only the child.
+      std::raise(SIGSEGV);
+      return;
+    case Scenario::FaultKind::kOom: {
+      // Unbounded, touched allocations.  Under RLIMIT_AS this ends in
+      // bad_alloc (classified kResource); uncapped it ends with the
+      // kernel's OOM killer.  16 MB steps keep the loop brisk without
+      // overshooting a limit by much.
+      std::vector<std::unique_ptr<char[]>> hog;
+      for (;;) {
+        constexpr std::size_t kChunk = 16ull << 20;
+        hog.push_back(std::make_unique<char[]>(kChunk));
+        std::memset(hog.back().get(), 0x5a, kChunk);
+      }
+    }
+    case Scenario::FaultKind::kSpin: {
+      // A wedge the event and sim-time budgets cannot see: every 10 ms of
+      // sim time one event burns ~20 ms of real time, so the event count
+      // stays tiny while wall time runs away.  Caught by the wall-clock
+      // watchdog in-process or the supervisor deadline when forked.
+      sim_.schedule_at(kTimeZero, [this] {
+        const auto until = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(20);
+        while (std::chrono::steady_clock::now() < until) {
+        }
+        sim_.reschedule_current_in(std::chrono::milliseconds(10));
+      });
+      return;
+    }
+    case Scenario::FaultKind::kNone:
+      return;
+  }
 }
 
 }  // namespace cgs::core

@@ -103,6 +103,10 @@ class Testbed {
  private:
   [[nodiscard]] std::unique_ptr<net::Queue> make_queue() const;
 
+  /// Arm the scenario's test-only fault (Scenario::fault) at run start:
+  /// no-op unless the fault targets this run's seed.
+  void inject_fault();
+
   void build_game_flow(const FlowSpec& spec, net::PacketSink* down_entry,
                        Time pad, Time bottleneck_prop);
   void build_tcp_flow(const FlowSpec& spec, net::PacketSink* down_entry,

@@ -13,6 +13,39 @@ void Simulator::watchdog_fail(const char* budget) const {
   throw WatchdogError(os.str(), now_, processed_);
 }
 
+void Simulator::check_wall_budget() {
+  const auto now = std::chrono::steady_clock::now();
+  if (!wall_started_) {
+    wall_started_ = true;
+    wall_start_ = now;
+    wall_last_check_ = now;
+    wall_countdown_ = wall_interval_;
+    return;
+  }
+  const double elapsed =
+      std::chrono::duration<double>(now - wall_start_).count();
+  if (elapsed > watchdog_wall_s_) {
+    std::ostringstream os;
+    os << "simulation watchdog: wall-clock budget of " << watchdog_wall_s_
+       << " s exceeded (" << elapsed << " s elapsed) after " << processed_
+       << " events at sim time " << to_seconds(now_) << " s with "
+       << queue_.size() << " pending events (run is wedged or starved)";
+    throw WatchdogError(os.str(), now_, processed_, watchdog_wall_s_, elapsed);
+  }
+  // Adapt the interval so detection latency tracks the budget, not the
+  // per-event cost: slow events pull checks closer, fast events push them
+  // apart (bounded, so overhead stays one clock read per <=4096 events).
+  const double since_last =
+      std::chrono::duration<double>(now - wall_last_check_).count();
+  if (since_last < watchdog_wall_s_ / 16) {
+    wall_interval_ = std::min(wall_interval_ * 2, kWallIntervalMax);
+  } else if (since_last > watchdog_wall_s_ / 8) {
+    wall_interval_ = std::max(wall_interval_ / 2, kWallIntervalMin);
+  }
+  wall_last_check_ = now;
+  wall_countdown_ = wall_interval_;
+}
+
 EventId Simulator::reschedule_at(EventId id, Time at) {
   return queue_.reschedule(id, std::max(at, now_));
 }
@@ -34,6 +67,7 @@ bool Simulator::step() {
   if (now_ > watchdog_time_) {
     watchdog_fail("sim-time budget");
   }
+  if (wall_armed_ && --wall_countdown_ <= 0) check_wall_budget();
   ++processed_;
   // Runs the callback in place in its slot: no move of the closure, and
   // reschedule_current_in() can re-arm it with zero churn.
@@ -57,7 +91,10 @@ void Simulator::run_until(Time deadline) {
     if (now_ > watchdog_time_) {
       watchdog_fail("sim-time budget");
     }
-    processed_ += queue_.run_top_batched();
+    if (wall_armed_ && wall_countdown_ <= 0) check_wall_budget();
+    const std::uint64_t ran = queue_.run_top_batched();
+    processed_ += ran;
+    wall_countdown_ -= std::int64_t(ran);
   }
   if (now_ < deadline) now_ = deadline;
 }
@@ -72,7 +109,10 @@ void Simulator::run() {
     if (now_ > watchdog_time_) {
       watchdog_fail("sim-time budget");
     }
-    processed_ += queue_.run_top_batched();
+    if (wall_armed_ && wall_countdown_ <= 0) check_wall_budget();
+    const std::uint64_t ran = queue_.run_top_batched();
+    processed_ += ran;
+    wall_countdown_ -= std::int64_t(ran);
   }
 }
 

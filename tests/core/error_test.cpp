@@ -23,6 +23,9 @@ TEST(ErrorTaxonomy, ClassifyMapsExceptionTypes) {
             ErrorClass::kScenario);
   EXPECT_EQ(classify(std::logic_error("oops")), ErrorClass::kScenario);
   EXPECT_EQ(classify(std::runtime_error("env?")), ErrorClass::kUnclassified);
+  // A failed allocation is a resource failure whether it happens in-process
+  // or under a forked child's RLIMIT_AS cap.
+  EXPECT_EQ(classify(std::bad_alloc()), ErrorClass::kResource);
 }
 
 TEST(ErrorTaxonomy, OnlyUnclassifiedIsTransient) {
@@ -30,6 +33,19 @@ TEST(ErrorTaxonomy, OnlyUnclassifiedIsTransient) {
   EXPECT_FALSE(is_transient(ErrorClass::kInvariant));
   EXPECT_FALSE(is_transient(ErrorClass::kScenario));
   EXPECT_TRUE(is_transient(ErrorClass::kUnclassified));
+  EXPECT_FALSE(is_transient(ErrorClass::kCrash));
+  EXPECT_FALSE(is_transient(ErrorClass::kTimeout));
+  EXPECT_FALSE(is_transient(ErrorClass::kResource));
+}
+
+TEST(ErrorTaxonomy, ProcessFailuresAreTheSupervisorClasses) {
+  EXPECT_TRUE(is_process_failure(ErrorClass::kCrash));
+  EXPECT_TRUE(is_process_failure(ErrorClass::kTimeout));
+  EXPECT_TRUE(is_process_failure(ErrorClass::kResource));
+  EXPECT_FALSE(is_process_failure(ErrorClass::kWatchdog));
+  EXPECT_FALSE(is_process_failure(ErrorClass::kInvariant));
+  EXPECT_FALSE(is_process_failure(ErrorClass::kScenario));
+  EXPECT_FALSE(is_process_failure(ErrorClass::kUnclassified));
 }
 
 TEST(ErrorTaxonomy, SimErrorCarriesStructuredContext) {
@@ -68,13 +84,17 @@ TEST(ErrorTaxonomy, ContextOfExtractsWhatTheExceptionKnows) {
 TEST(ErrorTaxonomy, ClassBytesRoundTripAndRejectGarbage) {
   for (const ErrorClass c :
        {ErrorClass::kWatchdog, ErrorClass::kInvariant, ErrorClass::kScenario,
-        ErrorClass::kUnclassified}) {
+        ErrorClass::kUnclassified, ErrorClass::kCrash, ErrorClass::kTimeout,
+        ErrorClass::kResource}) {
     EXPECT_EQ(error_class_from_byte(std::uint8_t(c)), c);
   }
   // On-disk bytes are untrusted: unknown values degrade, never UB.
   EXPECT_EQ(error_class_from_byte(200), ErrorClass::kUnclassified);
   EXPECT_EQ(to_string(ErrorClass::kWatchdog), "watchdog");
   EXPECT_EQ(to_string(ErrorClass::kUnclassified), "unclassified");
+  EXPECT_EQ(to_string(ErrorClass::kCrash), "crash");
+  EXPECT_EQ(to_string(ErrorClass::kTimeout), "timeout");
+  EXPECT_EQ(to_string(ErrorClass::kResource), "resource");
 }
 
 }  // namespace

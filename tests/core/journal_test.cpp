@@ -235,5 +235,56 @@ TEST(Journal, FingerprintPinsGridShape) {
   EXPECT_NE(sweep_fingerprint(requeued, 3), base);  // scenario shape matters
 }
 
+TEST(Journal, ActiveFaultInjectionChangesTheFingerprint) {
+  std::vector<SweepCell> cells = {{"a", quick_scenario(1)}};
+  const std::uint64_t base = sweep_fingerprint(cells, 3);
+
+  std::vector<SweepCell> poisoned = cells;
+  poisoned[0].scenario.fault.kind = Scenario::FaultKind::kCrash;
+  EXPECT_NE(sweep_fingerprint(poisoned, 3), base)
+      << "a poisoned grid must not resume a clean journal";
+  std::vector<SweepCell> targeted = poisoned;
+  targeted[0].scenario.fault.seed = 2;
+  EXPECT_NE(sweep_fingerprint(targeted, 3), sweep_fingerprint(poisoned, 3));
+
+  // Environmental knobs must NOT move it: same experiment, slower host.
+  std::vector<SweepCell> budgeted = cells;
+  budgeted[0].scenario.watchdog_wall_budget_s = 5.0;
+  EXPECT_EQ(sweep_fingerprint(budgeted, 3), base);
+}
+
+TEST(Journal, WriteFailureNamesThePathAndErrno) {
+  // /dev/full accepts the open and fails every write with ENOSPC — the
+  // exact failure mode of a journal on a filled-up disk.
+  if (::std::ifstream("/dev/full").fail()) {
+    GTEST_SKIP() << "no /dev/full on this host";
+  }
+  try {
+    JournalWriter w =
+        JournalWriter::create("/dev/full", test_meta(), /*sync=*/false);
+    w.append(ok_entry());
+    w.close();
+    FAIL() << "writing a journal to /dev/full must throw";
+  } catch (const JournalError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("/dev/full"), std::string::npos) << what;
+    EXPECT_NE(what.find("errno"), std::string::npos) << what;
+    EXPECT_NE(what.find("No space left"), std::string::npos) << what;
+  }
+}
+
+TEST(Journal, CloseSurfacesDeferredErrorsAndIsIdempotent) {
+  const std::string path = tmp_journal("close.jnl");
+  JournalWriter w = JournalWriter::create(path, test_meta(), /*sync=*/false);
+  w.append(ok_entry());
+  EXPECT_NO_THROW(w.close());
+  EXPECT_NO_THROW(w.close());  // second close is a no-op
+  EXPECT_THROW(w.append(ok_entry()), JournalError);  // closed writer
+  const auto scan = read_journal(path);
+  ASSERT_TRUE(scan.has_value());
+  EXPECT_EQ(scan->entries.size(), 1u);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace cgs::core

@@ -1,0 +1,176 @@
+// Supervisor contract: every way a forked child can die maps to the right
+// ErrorClass, intact result frames round-trip byte-exact, and the backoff
+// schedule is deterministic.  These are the properties the sweep engine's
+// forked-isolation mode is built on.
+#include "core/proc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace cgs::core::proc {
+namespace {
+
+// Sanitizer runtimes reserve huge address-space shadows and install their
+// own death handlers, which breaks RLIMIT_AS semantics (and turns a clean
+// bad_alloc into an allocator abort) — gate those cases off.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+TEST(Proc, OkPayloadRoundTripsByteExact) {
+  std::vector<unsigned char> want(10'000);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    want[i] = (unsigned char)(i * 131 + 7);
+  }
+  const ChildResult r = run_forked([&want] { return want; }, {});
+  ASSERT_TRUE(r.ok) << r.message;
+  EXPECT_EQ(r.payload, want);
+  EXPECT_EQ(r.term_signal, 0);
+  EXPECT_FALSE(r.timed_out);
+}
+
+TEST(Proc, ChildExceptionComesBackClassified) {
+  const ChildResult r = run_forked(
+      []() -> std::vector<unsigned char> {
+        throw sim::WatchdogError("event budget exceeded",
+                                 std::chrono::seconds(3), 42);
+      },
+      {});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.cls, ErrorClass::kWatchdog);
+  EXPECT_NE(r.message.find("event budget"), std::string::npos) << r.message;
+
+  const ChildResult s = run_forked(
+      []() -> std::vector<unsigned char> {
+        throw std::invalid_argument("bad knob");
+      },
+      {});
+  EXPECT_FALSE(s.ok);
+  EXPECT_EQ(s.cls, ErrorClass::kScenario);
+}
+
+TEST(Proc, FatalSignalIsCrash) {
+  const ChildResult r = run_forked(
+      []() -> std::vector<unsigned char> {
+        std::raise(SIGSEGV);
+        return {};
+      },
+      {});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.cls, ErrorClass::kCrash);
+  EXPECT_EQ(r.term_signal, SIGSEGV);
+  EXPECT_NE(r.message.find("SIGSEGV"), std::string::npos) << r.message;
+}
+
+TEST(Proc, SilentExitIsCrashWithStatus) {
+  const ChildResult r = run_forked(
+      []() -> std::vector<unsigned char> {
+        std::_Exit(7);  // dies without writing a result frame
+      },
+      {});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.cls, ErrorClass::kCrash);
+  EXPECT_EQ(r.exit_status, 7);
+  EXPECT_NE(r.message.find("status 7"), std::string::npos) << r.message;
+}
+
+TEST(Proc, WallDeadlineKillsAndClassifiesTimeout) {
+  ResourceLimits limits;
+  limits.wall_seconds = 0.2;
+  const auto t0 = std::chrono::steady_clock::now();
+  const ChildResult r = run_forked(
+      []() -> std::vector<unsigned char> {
+        for (;;) ::pause();  // wedged and idle: only a wall deadline sees it
+      },
+      limits);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_EQ(r.cls, ErrorClass::kTimeout);
+  EXPECT_NE(r.message.find("wall-clock"), std::string::npos) << r.message;
+  EXPECT_LT(wall, 5.0) << "deadline must kill promptly, not hang the worker";
+}
+
+TEST(Proc, CpuRlimitKillIsResource) {
+  ResourceLimits limits;
+  limits.cpu_seconds = 1;
+  const ChildResult r = run_forked(
+      []() -> std::vector<unsigned char> {
+        volatile std::uint64_t sink = 0;
+        for (;;) sink += 1;  // burns CPU until SIGXCPU
+      },
+      limits);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.cls, ErrorClass::kResource);
+  EXPECT_EQ(r.term_signal, SIGXCPU);
+}
+
+TEST(Proc, AddressSpaceLimitSurfacesAsResource) {
+  if (kSanitized) {
+    GTEST_SKIP() << "RLIMIT_AS is incompatible with sanitizer shadows";
+  }
+  ResourceLimits limits;
+  limits.address_space_bytes = 512ull << 20;
+  limits.wall_seconds = 30;  // backstop: never hang the suite
+  const ChildResult r = run_forked(
+      []() -> std::vector<unsigned char> {
+        std::vector<std::unique_ptr<char[]>> hog;
+        for (;;) {
+          constexpr std::size_t kChunk = 16ull << 20;
+          hog.push_back(std::make_unique<char[]>(kChunk));
+          std::memset(hog.back().get(), 0x5a, kChunk);
+        }
+      },
+      limits);
+  EXPECT_FALSE(r.ok);
+  // Orderly path: the allocation fails, the child reports bad_alloc as a
+  // clean kResource failure (no signal at all).
+  EXPECT_EQ(r.cls, ErrorClass::kResource) << r.message;
+}
+
+TEST(Proc, BackoffGrowsCapsAndJittersDeterministically) {
+  // Same key -> identical schedule.
+  for (int attempt = 1; attempt <= 6; ++attempt) {
+    EXPECT_EQ(backoff_ms(100, 2000, attempt, 77),
+              backoff_ms(100, 2000, attempt, 77));
+  }
+  // Jitter stays within [cap/2, cap]; the cap binds from attempt 6 on.
+  for (int attempt = 1; attempt <= 10; ++attempt) {
+    const std::uint32_t cap =
+        std::min<std::uint32_t>(100u << (attempt - 1), 2000u);
+    const std::uint32_t d = backoff_ms(100, 2000, attempt, 12345);
+    EXPECT_GE(d, cap / 2) << "attempt " << attempt;
+    EXPECT_LE(d, cap) << "attempt " << attempt;
+  }
+  // Different keys decorrelate.
+  bool any_different = false;
+  for (std::uint64_t key = 0; key < 8; ++key) {
+    any_different = any_different ||
+                    backoff_ms(100, 2000, 3, key) != backoff_ms(100, 2000, 3,
+                                                                key + 100);
+  }
+  EXPECT_TRUE(any_different);
+  EXPECT_EQ(backoff_ms(0, 2000, 3, 1), 0u) << "base 0 disables backoff";
+}
+
+}  // namespace
+}  // namespace cgs::core::proc

@@ -1,0 +1,326 @@
+// Fault-isolated sweep execution.
+//
+// Forked. — the determinism half of the contract: a sweep whose jobs run
+// in fork()ed children must produce results bit-identical to the
+// in-process engine at any thread count, journal the identical bytes, and
+// resume across modes.
+//
+// Poison. — the robustness half: a grid with deliberately poisoned
+// (cell, seed) jobs (SIGSEGV / unbounded allocation / wall-clock spin)
+// must complete, quarantine exactly the poisoned jobs with the right
+// ErrorClass, leave every healthy cell bit-identical to a clean run, and
+// remember the quarantine through the journal.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/journal.hpp"
+#include "core/sweep.hpp"
+#include "sweep_test_util.hpp"
+
+namespace cgs::core {
+namespace {
+
+// fork() + RLIMIT_AS interact badly with sanitizer runtimes (shadow
+// mappings count against RLIMIT_AS; TSan's runtime locks are not
+// fork-safe in a multithreaded parent) — gate the process-heavy cases.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+std::string tmp_journal(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "cgs_forked_test_" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+/// Two fast cells x 3 runs = 6 jobs, same shape as the Resume suite.
+std::vector<SweepCell> small_grid() {
+  Scenario a = quick_scenario(11);
+  Scenario b = quick_scenario(23);
+  b.queue_bdp_mult = 0.5;
+  b.tcp_algo = tcp::CcAlgo::kBbr;
+  return {{"a", a}, {"b", b}};
+}
+
+SweepOptions forked_opts(int threads) {
+  SweepOptions opts;
+  opts.runs = 3;
+  opts.threads = threads;
+  opts.isolation = Isolation::kForked;
+  opts.backoff_base_ms = 0;  // no sleeps in tests
+  return opts;
+}
+
+TEST(Forked, BitIdenticalToInProcessAtAnyThreadCount) {
+  if (kSanitized) GTEST_SKIP() << "fork-per-job under sanitizers";
+  const auto cells = small_grid();
+  SweepOptions ref_opts;
+  ref_opts.runs = 3;
+  ref_opts.threads = 1;
+  const SweepResult want = run_sweep(cells, ref_opts);
+
+  for (const int threads : {1, 2, 8}) {
+    const SweepResult got = run_sweep(cells, forked_opts(threads));
+    EXPECT_EQ(got.report.failed(), 0u) << "threads=" << threads;
+    EXPECT_EQ(got.report.succeeded, got.report.total);
+    ASSERT_EQ(got.results.size(), want.results.size());
+    for (std::size_t c = 0; c < want.results.size(); ++c) {
+      expect_results_equal(got.results[c], want.results[c]);
+    }
+  }
+}
+
+TEST(Forked, JournalsTheIdenticalBytesAsInProcessMode) {
+  if (kSanitized) GTEST_SKIP() << "fork-per-job under sanitizers";
+  const auto cells = small_grid();
+  const std::string jnl_in = tmp_journal("inproc.jnl");
+  const std::string jnl_fk = tmp_journal("forked.jnl");
+
+  SweepOptions in_opts;
+  in_opts.runs = 3;
+  in_opts.threads = 2;
+  in_opts.journal_path = jnl_in;
+  in_opts.journal_sync = false;
+  (void)run_sweep(cells, in_opts);
+
+  SweepOptions fk_opts = forked_opts(2);
+  fk_opts.journal_path = jnl_fk;
+  fk_opts.journal_sync = false;
+  (void)run_sweep(cells, fk_opts);
+
+  const auto scan_in = read_journal(jnl_in);
+  const auto scan_fk = read_journal(jnl_fk);
+  ASSERT_TRUE(scan_in.has_value());
+  ASSERT_TRUE(scan_fk.has_value());
+  EXPECT_EQ(scan_in->meta.fingerprint, scan_fk->meta.fingerprint);
+  ASSERT_EQ(scan_in->entries.size(), 6u);
+  ASSERT_EQ(scan_fk->entries.size(), 6u);
+
+  // Same records (completion order may differ): key by (cell, run) and
+  // demand byte-identical payloads and equal golden hashes.
+  const auto by_slot = [](const JournalScan& s) {
+    std::vector<const JournalEntry*> v(s.entries.size(), nullptr);
+    for (const JournalEntry& e : s.entries) {
+      v[e.cell * 3 + e.run] = &e;
+    }
+    return v;
+  };
+  const auto in_slots = by_slot(*scan_in);
+  const auto fk_slots = by_slot(*scan_fk);
+  for (std::size_t i = 0; i < in_slots.size(); ++i) {
+    ASSERT_NE(in_slots[i], nullptr);
+    ASSERT_NE(fk_slots[i], nullptr);
+    EXPECT_TRUE(in_slots[i]->ok);
+    EXPECT_TRUE(fk_slots[i]->ok);
+    EXPECT_EQ(in_slots[i]->trace_hash, fk_slots[i]->trace_hash) << "slot " << i;
+    EXPECT_EQ(in_slots[i]->payload, fk_slots[i]->payload) << "slot " << i;
+  }
+
+  std::remove(jnl_in.c_str());
+  std::remove(jnl_fk.c_str());
+}
+
+TEST(Forked, ResumesAnInProcessJournalBitExactly) {
+  if (kSanitized) GTEST_SKIP() << "fork-per-job under sanitizers";
+  const auto cells = small_grid();
+  SweepOptions ref_opts;
+  ref_opts.runs = 3;
+  ref_opts.threads = 2;
+  const SweepResult want = run_sweep(cells, ref_opts);
+
+  // Interrupt an in-process journaled sweep partway...
+  const std::string journal = tmp_journal("crossmode.jnl");
+  std::atomic<bool> stop{false};
+  SweepOptions part_opts = ref_opts;
+  part_opts.journal_path = journal;
+  part_opts.journal_sync = false;
+  part_opts.stop = &stop;
+  part_opts.progress = [&](int done, int) {
+    if (done >= 2) stop.store(true);
+  };
+  const SweepResult partial = run_sweep(cells, part_opts);
+  if (partial.report.finished == partial.report.total) {
+    GTEST_SKIP() << "in-flight jobs drained the grid before the stop landed";
+  }
+
+  // ...and finish it under forked isolation: journaled results restore,
+  // the rest run in children, the fold is bit-identical.
+  SweepOptions fk_opts = forked_opts(2);
+  fk_opts.journal_path = journal;
+  fk_opts.journal_sync = false;
+  const SweepResult resumed = run_sweep(cells, fk_opts);
+  EXPECT_EQ(resumed.report.skipped, partial.report.finished);
+  EXPECT_EQ(resumed.report.finished, resumed.report.total);
+  ASSERT_EQ(resumed.results.size(), want.results.size());
+  for (std::size_t c = 0; c < want.results.size(); ++c) {
+    expect_results_equal(resumed.results[c], want.results[c]);
+  }
+  std::remove(journal.c_str());
+}
+
+TEST(Poison, CrashCellIsQuarantinedAndSurvivorsAreBitExact) {
+  if (kSanitized) GTEST_SKIP() << "fork-per-job under sanitizers";
+  Scenario poison = quick_scenario(500);
+  poison.fault.kind = Scenario::FaultKind::kCrash;  // every seed segfaults
+  const std::vector<SweepCell> cells = {{"healthy", quick_scenario(11)},
+                                        {"poison-crash", poison}};
+
+  SweepOptions clean_opts;
+  clean_opts.runs = 2;
+  clean_opts.threads = 1;
+  const SweepResult clean =
+      run_sweep({{"healthy", quick_scenario(11)}}, clean_opts);
+
+  SweepOptions opts = forked_opts(2);
+  opts.runs = 2;
+  opts.quarantine_strikes = 2;
+  opts.throw_on_failure = false;
+  const SweepResult got = run_sweep(cells, opts);
+
+  // The sweep finished; only the poisoned cell's jobs failed.
+  EXPECT_FALSE(got.report.interrupted);
+  EXPECT_EQ(got.report.finished, got.report.total);
+  EXPECT_EQ(got.report.cell_failures[0], 0u);
+  EXPECT_EQ(got.report.cell_failures[1], 2u);
+  EXPECT_EQ(got.report.quarantined, 2);
+  ASSERT_EQ(got.report.failures.size(), 2u);
+  for (const SweepFailure& f : got.report.failures) {
+    EXPECT_EQ(f.cls, ErrorClass::kCrash);
+    EXPECT_TRUE(f.quarantined);
+    EXPECT_EQ(f.attempts, 2) << "each strike is one real execution";
+    EXPECT_NE(f.what.find("SIGSEGV"), std::string::npos) << f.what;
+  }
+  // Strikes show up as retries: one extra execution per quarantined job.
+  EXPECT_EQ(got.report.retries, 2);
+
+  // The healthy cell never noticed its neighbors dying.
+  expect_results_equal(got.results[0], clean.results[0]);
+}
+
+TEST(Poison, SeedTargetedFaultQuarantinesExactlyThatJob) {
+  if (kSanitized) GTEST_SKIP() << "fork-per-job under sanitizers";
+  Scenario poison = quick_scenario(700);
+  poison.fault.kind = Scenario::FaultKind::kCrash;
+  poison.fault.seed = 701;  // only run index 1 of this cell
+  const std::vector<SweepCell> cells = {{"mostly-fine", poison}};
+
+  SweepOptions opts = forked_opts(2);
+  opts.runs = 3;
+  opts.quarantine_strikes = 1;  // no second chances
+  opts.throw_on_failure = false;
+  const SweepResult got = run_sweep(cells, opts);
+
+  EXPECT_EQ(got.report.succeeded, 2);
+  EXPECT_EQ(got.report.quarantined, 1);
+  ASSERT_EQ(got.report.failures.size(), 1u);
+  EXPECT_EQ(got.report.failures[0].seed, 701u);
+  EXPECT_EQ(got.report.failures[0].cls, ErrorClass::kCrash);
+  EXPECT_TRUE(got.report.failures[0].quarantined);
+  EXPECT_EQ(got.report.failures[0].attempts, 1);
+  EXPECT_EQ(got.report.retries, 0);
+}
+
+TEST(Poison, OomFaultUnderAddressSpaceCapIsResource) {
+  if (kSanitized) GTEST_SKIP() << "RLIMIT_AS under sanitizers";
+  Scenario poison = quick_scenario(900);
+  poison.fault.kind = Scenario::FaultKind::kOom;
+  const std::vector<SweepCell> cells = {{"poison-oom", poison}};
+
+  SweepOptions opts = forked_opts(1);
+  opts.runs = 1;
+  opts.quarantine_strikes = 1;
+  opts.limits.address_space_bytes = 512ull << 20;
+  opts.limits.wall_seconds = 30;  // backstop only
+  opts.throw_on_failure = false;
+  const SweepResult got = run_sweep(cells, opts);
+
+  ASSERT_EQ(got.report.failures.size(), 1u);
+  EXPECT_EQ(got.report.failures[0].cls, ErrorClass::kResource);
+  EXPECT_TRUE(got.report.failures[0].quarantined);
+}
+
+TEST(Poison, SpinFaultHitsTheSupervisorDeadlineAsTimeout) {
+  if (kSanitized) GTEST_SKIP() << "fork-per-job under sanitizers";
+  Scenario poison = quick_scenario(1100);
+  poison.fault.kind = Scenario::FaultKind::kSpin;
+  const std::vector<SweepCell> cells = {{"poison-spin", poison}};
+
+  SweepOptions opts = forked_opts(1);
+  opts.runs = 1;
+  opts.quarantine_strikes = 1;
+  opts.limits.wall_seconds = 0.5;
+  opts.throw_on_failure = false;
+  const SweepResult got = run_sweep(cells, opts);
+
+  ASSERT_EQ(got.report.failures.size(), 1u);
+  EXPECT_EQ(got.report.failures[0].cls, ErrorClass::kTimeout);
+  EXPECT_TRUE(got.report.failures[0].quarantined);
+  EXPECT_NE(got.report.failures[0].what.find("wall-clock"), std::string::npos);
+}
+
+TEST(Poison, SpinFaultInProcessIsCaughtByTheWallWatchdog) {
+  // No fork here: the scenario's own wall-clock watchdog budget converts
+  // the spin into a clean, classified WatchdogError instead of a hang.
+  Scenario poison = quick_scenario(1300);
+  poison.fault.kind = Scenario::FaultKind::kSpin;
+  poison.watchdog_wall_budget_s = 0.3;
+  const std::vector<SweepCell> cells = {{"poison-spin-inproc", poison}};
+
+  SweepOptions opts;
+  opts.runs = 1;
+  opts.threads = 1;
+  opts.throw_on_failure = false;
+  const SweepResult got = run_sweep(cells, opts);
+
+  ASSERT_EQ(got.report.failures.size(), 1u);
+  EXPECT_EQ(got.report.failures[0].cls, ErrorClass::kWatchdog);
+  EXPECT_FALSE(got.report.failures[0].quarantined);
+  EXPECT_NE(got.report.failures[0].what.find("wall-clock"), std::string::npos);
+}
+
+TEST(Poison, QuarantineIsRememberedThroughTheJournal) {
+  if (kSanitized) GTEST_SKIP() << "fork-per-job under sanitizers";
+  Scenario poison = quick_scenario(1500);
+  poison.fault.kind = Scenario::FaultKind::kCrash;
+  const std::vector<SweepCell> cells = {{"healthy", quick_scenario(11)},
+                                        {"poison-crash", poison}};
+  const std::string journal = tmp_journal("quarantine.jnl");
+
+  SweepOptions opts = forked_opts(2);
+  opts.runs = 2;
+  opts.quarantine_strikes = 1;
+  opts.journal_path = journal;
+  opts.journal_sync = false;
+  opts.throw_on_failure = false;
+  const SweepResult first = run_sweep(cells, opts);
+  EXPECT_EQ(first.report.failed(), 2u);
+  EXPECT_EQ(first.report.quarantined, 2);
+
+  // Resume: every job (quarantined failures included) restores from the
+  // journal; no child is ever forked again for the poisoned jobs.
+  const SweepResult second = run_sweep(cells, opts);
+  EXPECT_EQ(second.report.skipped, second.report.total);
+  EXPECT_EQ(second.report.succeeded, 0);
+  EXPECT_EQ(second.report.failed(), 2u);
+  ASSERT_EQ(second.report.failures.size(), 2u);
+  for (const SweepFailure& f : second.report.failures) {
+    EXPECT_EQ(f.cls, ErrorClass::kCrash);
+  }
+  expect_results_equal(second.results[0], first.results[0]);
+  std::remove(journal.c_str());
+}
+
+}  // namespace
+}  // namespace cgs::core

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <functional>
 #include <string>
 #include <vector>
@@ -174,6 +175,47 @@ TEST(Watchdog, GenerousBudgetDoesNotTriggerOnHealthyRun) {
   for (int i = 0; i < 100; ++i) sim.schedule_in(Time(i * 1000), [] {});
   EXPECT_NO_THROW(sim.run());
   EXPECT_EQ(sim.processed_events(), 100u);
+}
+
+TEST(Watchdog, WallClockBudgetCatchesSpinningHandlers) {
+  Simulator sim;
+  // No event or sim-time budget: each spin event is cheap by both counts
+  // but burns ~5 ms of real time, which only the wall budget can see.
+  sim.set_watchdog(/*max_events=*/0, /*max_sim_time=*/kTimeInfinite,
+                   /*max_wall_seconds=*/0.2);
+  EXPECT_DOUBLE_EQ(sim.watchdog_wall_budget_s(), 0.2);
+  std::function<void()> spin = [&] {
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+    while (std::chrono::steady_clock::now() < until) {}
+    sim.schedule_in(1_ms, [&] { spin(); });
+  };
+  sim.schedule_at(kTimeZero, [&] { spin(); });
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    sim.run();
+    FAIL() << "wall watchdog did not fire";
+  } catch (const WatchdogError& e) {
+    EXPECT_NE(std::string(e.what()).find("wall-clock"), std::string::npos)
+        << e.what();
+    EXPECT_DOUBLE_EQ(e.wall_budget_s(), 0.2);
+    EXPECT_GT(e.wall_elapsed_s(), 0.2);
+  }
+  // The adaptive check interval must keep detection latency a small
+  // multiple of the budget even with slow events (loose bound for CI).
+  const double took =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(took, 5.0);
+}
+
+TEST(Watchdog, WallClockBudgetIgnoresFastRuns) {
+  Simulator sim;
+  sim.set_watchdog(/*max_events=*/0, /*max_sim_time=*/kTimeInfinite,
+                   /*max_wall_seconds=*/30.0);
+  for (int i = 0; i < 20'000; ++i) sim.schedule_in(Time(i), [] {});
+  EXPECT_NO_THROW(sim.run());
+  EXPECT_EQ(sim.processed_events(), 20'000u);
 }
 
 TEST(OneShotTimer, FiresOnce) {

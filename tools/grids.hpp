@@ -119,6 +119,31 @@ inline std::vector<SweepCell> sick_grid(std::uint64_t seed) {
   return cells;
 }
 
+/// Chaos-engineering grid for forked isolation: the smoke grid's first
+/// cell kept healthy (the survivor baseline — its rows must be
+/// bit-identical to a clean smoke run) plus three poisoned cells whose
+/// every job dies a different process death: SIGSEGV, unbounded
+/// allocation, and a wall-clock spin.  Only meaningful with
+/// --isolation=forked; in-process the crash cell kills the whole tool,
+/// which is exactly the failure mode forked isolation exists to remove.
+inline std::vector<SweepCell> poison_grid(std::uint64_t seed) {
+  const std::vector<SweepCell> smoke = smoke_grid(seed);
+  std::vector<SweepCell> cells;
+  cells.push_back(smoke[0]);  // untouched survivor
+
+  const Scenario::FaultKind kinds[] = {Scenario::FaultKind::kCrash,
+                                       Scenario::FaultKind::kOom,
+                                       Scenario::FaultKind::kSpin};
+  const char* names[] = {"crash", "oom", "spin"};
+  for (std::size_t i = 0; i < 3; ++i) {
+    SweepCell c = smoke[i + 1];
+    c.scenario.fault.kind = kinds[i];
+    c.label = std::string("poison-") + names[i] + " " + c.label;
+    cells.push_back(std::move(c));
+  }
+  return cells;
+}
+
 /// Build the named grid, or nullopt for an unknown name.
 inline std::optional<std::vector<SweepCell>> grid_by_name(
     const std::string& name, std::uint64_t seed) {
@@ -126,9 +151,11 @@ inline std::optional<std::vector<SweepCell>> grid_by_name(
   if (name == "table3") return solo_grid(seed);
   if (name == "smoke") return smoke_grid(seed);
   if (name == "sick") return sick_grid(seed);
+  if (name == "poison") return poison_grid(seed);
   return std::nullopt;
 }
 
-inline constexpr const char* kGridNames = "fig3|table3|table4|smoke|sick";
+inline constexpr const char* kGridNames =
+    "fig3|table3|table4|smoke|sick|poison";
 
 }  // namespace cgs::tools

@@ -15,6 +15,12 @@
 // trace hash bit-for-bit; failed records must fail again with the same
 // error class.  --csv=PREFIX writes the per-event packet log per job.
 //
+// Process-class failures (crash/timeout/resource, journaled by a forked
+// sweep) are replayed inside a forked sandbox — a reproducing SIGSEGV
+// kills the child, not the tool — under --job-timeout/--job-mem/--job-cpu
+// caps.  Only the error class is verified there: the packet log dies with
+// the child.
+//
 // Exit: 0 all replays reproduced, 1 any mismatch, 2 usage/journal error.
 #include <cinttypes>
 #include <cstdio>
@@ -44,12 +50,19 @@ struct Args {
   std::uint64_t grid_seed = 42;
   int runs = 5;
   int cell_index = -1;
+  // Sandbox caps for replaying process-class failures (crash/timeout/
+  // resource) — those re-run fork()ed so a reproducing SIGSEGV kills the
+  // sandbox child, not the replay tool.
+  double job_timeout_s = 10;
+  double job_mem_mb = 1024;
+  int job_cpu_s = 0;
 };
 
 void usage() {
   std::printf(
       "usage: replay --journal=PATH [--failed | --all] [--cell=SUBSTR]\n"
       "              [--seed=S] [--csv=PREFIX]\n"
+      "              [--job-timeout=SECS] [--job-mem=MB] [--job-cpu=SECS]\n"
       "       replay --grid=%s --gridseed=S --runs=N\n"
       "              --cellindex=I --seed=S [--csv=PREFIX]\n",
       cgs::tools::kGridNames);
@@ -79,6 +92,12 @@ Args parse_args(int argc, char** argv) {
       a.runs = std::atoi(arg + 7);
     } else if (std::strncmp(arg, "--cellindex=", 12) == 0) {
       a.cell_index = std::atoi(arg + 12);
+    } else if (std::strncmp(arg, "--job-timeout=", 14) == 0) {
+      a.job_timeout_s = std::atof(arg + 14);
+    } else if (std::strncmp(arg, "--job-mem=", 10) == 0) {
+      a.job_mem_mb = std::atof(arg + 10);
+    } else if (std::strncmp(arg, "--job-cpu=", 10) == 0) {
+      a.job_cpu_s = std::atoi(arg + 10);
     } else {
       usage();
       std::exit(std::strcmp(arg, "--help") == 0 ? 0 : 2);
@@ -110,7 +129,8 @@ bool parse_note(const std::string& note, std::string& grid,
 /// faithful reproduction (same hash for successes, same error class for
 /// failures).
 bool replay_job(const std::vector<SweepCell>& cells, const JournalEntry& e,
-                const std::string& csv_prefix) {
+                const std::string& csv_prefix,
+                const cgs::core::proc::ResourceLimits& limits) {
   const SweepCell& cell = cells[e.cell];
   Scenario sc = cell.scenario;
   sc.seed = e.seed;
@@ -120,6 +140,36 @@ bool replay_job(const std::vector<SweepCell>& cells, const JournalEntry& e,
 
   std::printf("replay cell %u '%s' seed %" PRIu64 " (journal: %s)\n", e.cell,
               cell.label.c_str(), e.seed, e.ok ? "ok" : "failed");
+
+  if (!e.ok && cgs::core::is_process_failure(e.cls)) {
+    // A journaled process death (crash/timeout/resource) would take the
+    // replay tool down with it if re-run in-process, so re-run it in the
+    // same forked sandbox the sweep used.  The packet log lives in the
+    // child and dies with it, so this path verifies the error class only.
+    std::printf("  process-class failure: replaying in a forked sandbox "
+                "(timeout %.1f s, mem %.0f MB, cpu %u s)\n",
+                limits.wall_seconds,
+                double(limits.address_space_bytes) / (1024.0 * 1024.0),
+                limits.cpu_seconds);
+    const cgs::core::proc::ChildResult cr = cgs::core::proc::run_forked(
+        [&sc] {
+          cgs::core::Testbed bed(sc);
+          return cgs::core::serialize_trace(bed.run());
+        },
+        limits);
+    if (cr.ok) {
+      std::printf(
+          "  journaled failure did NOT reproduce (sandboxed run "
+          "succeeded)\n");
+      return false;
+    }
+    const bool reproduced = cr.cls == e.cls;
+    std::printf("  failure reproduced [%s vs journal %s] — %s\n    %s\n",
+                std::string(to_string(cr.cls)).c_str(),
+                std::string(to_string(e.cls)).c_str(),
+                reproduced ? "MATCH" : "CLASS MISMATCH", cr.message.c_str());
+    return reproduced;
+  }
 
   cgs::core::Testbed bed(sc);
   cgs::core::TraceLog log;
@@ -179,6 +229,12 @@ bool replay_job(const std::vector<SweepCell>& cells, const JournalEntry& e,
 
 int main(int argc, char** argv) {
   const Args args = parse_args(argc, argv);
+
+  cgs::core::proc::ResourceLimits limits;
+  limits.wall_seconds = args.job_timeout_s;
+  limits.cpu_seconds = std::uint32_t(args.job_cpu_s);
+  limits.address_space_bytes =
+      std::uint64_t(args.job_mem_mb * 1024.0 * 1024.0);
 
   std::string grid_name;
   std::uint64_t grid_seed = 42;
@@ -247,7 +303,7 @@ int main(int argc, char** argv) {
     // Nothing journaled to verify against: this is a pure forensic run,
     // so the outcome (and the packet log) is the product, not a verdict.
     std::printf("explicit mode: no journal record to verify against\n");
-    (void)replay_job(cells, e, args.csv_prefix);
+    (void)replay_job(cells, e, args.csv_prefix, limits);
     return 0;
   }
 
@@ -277,7 +333,7 @@ int main(int argc, char** argv) {
               selected.size(), entries.size(), grid_name.c_str());
   int mismatches = 0;
   for (const JournalEntry& e : selected) {
-    if (!replay_job(cells, e, args.csv_prefix)) ++mismatches;
+    if (!replay_job(cells, e, args.csv_prefix, limits)) ++mismatches;
   }
   if (mismatches > 0) {
     std::fprintf(stderr, "%d of %zu replays did NOT reproduce\n", mismatches,

@@ -6,6 +6,14 @@
 //   sweep --grid=table4  # same grid as fig3, RTT-oriented columns
 //   sweep --grid=smoke   # 30 s schedule, 2 systems x 2 queues (CI)
 //   sweep --grid=sick    # 1 healthy + 1 watchdog-tripping cell (triage CI)
+//   sweep --grid=poison  # 1 healthy + crash/oom/spin cells (chaos CI)
+//
+// Fault isolation: --isolation=forked runs every (cell, seed) job in a
+// fork()ed child under a supervisor, so a crashing or runaway scenario
+// kills only its own job.  --job-timeout / --job-mem / --job-cpu cap each
+// child's wall clock, address space and CPU time; a job that keeps dying
+// is quarantined after --strikes executions and lands in the failure CSV
+// with quarantined=1.  Forked results are bit-identical to in-process.
 //
 // Crash safety: --journal=PATH appends every finished (cell, seed) job to
 // an fsync'd journal; re-running the same command after a crash (or after
@@ -58,6 +66,12 @@ struct Args {
   int retries = 0;
   bool verify = false;
   bool progress = true;
+  // Fault isolation (forked workers, core/proc.hpp).
+  bool forked = false;
+  double job_timeout_s = 0;  // supervisor wall deadline per job
+  double job_mem_mb = 0;     // RLIMIT_AS per job
+  int job_cpu_s = 0;         // RLIMIT_CPU per job
+  int strikes = 3;           // executions before quarantine
 };
 
 Args parse_args(int argc, char** argv) {
@@ -78,6 +92,25 @@ Args parse_args(int argc, char** argv) {
       a.journal = arg + 10;
     } else if (std::strncmp(arg, "--retries=", 10) == 0) {
       a.retries = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--isolation=", 12) == 0) {
+      const char* mode = arg + 12;
+      if (std::strcmp(mode, "forked") == 0) {
+        a.forked = true;
+      } else if (std::strcmp(mode, "inprocess") == 0) {
+        a.forked = false;
+      } else {
+        std::fprintf(stderr, "unknown isolation '%s' (forked|inprocess)\n",
+                     mode);
+        std::exit(2);
+      }
+    } else if (std::strncmp(arg, "--job-timeout=", 14) == 0) {
+      a.job_timeout_s = std::atof(arg + 14);
+    } else if (std::strncmp(arg, "--job-mem=", 10) == 0) {
+      a.job_mem_mb = std::atof(arg + 10);
+    } else if (std::strncmp(arg, "--job-cpu=", 10) == 0) {
+      a.job_cpu_s = std::atoi(arg + 10);
+    } else if (std::strncmp(arg, "--strikes=", 10) == 0) {
+      a.strikes = std::atoi(arg + 10);
     } else if (std::strcmp(arg, "--verify") == 0) {
       a.verify = true;
     } else if (std::strcmp(arg, "--no-progress") == 0) {
@@ -87,7 +120,9 @@ Args parse_args(int argc, char** argv) {
           "usage: sweep [--grid=%s] [--runs=N]\n"
           "             [--threads=N] [--seed=S] [--csv=PREFIX]\n"
           "             [--journal=PATH] [--retries=N] [--verify]\n"
-          "             [--no-progress]\n",
+          "             [--no-progress]\n"
+          "             [--isolation=forked|inprocess] [--strikes=K]\n"
+          "             [--job-timeout=SECS] [--job-mem=MB] [--job-cpu=SECS]\n",
           cgs::tools::kGridNames);
       std::exit(std::strcmp(arg, "--help") == 0 ? 0 : 2);
     }
@@ -152,6 +187,9 @@ void print_triage(const cgs::core::SweepReport& report) {
     std::fprintf(stderr, ", %d retr%s granted", report.retries,
                  report.retries == 1 ? "y" : "ies");
   }
+  if (report.quarantined > 0) {
+    std::fprintf(stderr, ", %d quarantined", report.quarantined);
+  }
   std::fprintf(stderr, "):\n");
 
   std::map<std::pair<std::string, cgs::core::ErrorClass>, int> groups;
@@ -180,11 +218,11 @@ void print_triage(const cgs::core::SweepReport& report) {
 void write_failures_csv(const std::string& path,
                         const cgs::core::SweepReport& report) {
   cgs::CsvWriter csv(path);
-  csv.header({"cell", "seed", "class", "attempts", "message"});
+  csv.header({"cell", "seed", "class", "attempts", "quarantined", "message"});
   for (const auto& f : report.failures) {
     csv.row({f.cell_label, std::to_string(f.seed),
              std::string(to_string(f.cls)), std::to_string(f.attempts),
-             f.what});
+             f.quarantined ? "1" : "0", f.what});
   }
   std::fprintf(stderr, "wrote %s (%zu failure records)\n", path.c_str(),
                report.failures.size());
@@ -210,6 +248,14 @@ int main(int argc, char** argv) {
   opts.runs = args.runs;
   opts.threads = args.threads;
   opts.max_retries = args.retries;
+  if (args.forked) {
+    opts.isolation = cgs::core::Isolation::kForked;
+    opts.quarantine_strikes = args.strikes;
+    opts.limits.wall_seconds = args.job_timeout_s;
+    opts.limits.cpu_seconds = args.job_cpu_s;
+    opts.limits.address_space_bytes =
+        std::uint64_t(args.job_mem_mb * 1024.0 * 1024.0);
+  }
   opts.stop = &g_stop;
   opts.throw_on_failure = false;
   opts.journal_path = args.journal;
