@@ -31,6 +31,7 @@
 #include "net/queue.hpp"         // IWYU pragma: export
 #include "net/router.hpp"        // IWYU pragma: export
 #include "net/sniffer.hpp"       // IWYU pragma: export
+#include "net/topology.hpp"      // IWYU pragma: export
 #include "sim/simulator.hpp"     // IWYU pragma: export
 #include "sim/timer.hpp"         // IWYU pragma: export
 #include "stream/profiles.hpp"   // IWYU pragma: export

@@ -1,5 +1,6 @@
 #include "core/aggregate.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/stats.hpp"
@@ -40,6 +41,12 @@ void ConditionAccumulator::add(const RunTrace& t) {
       row.kind = f.kind;
       flow_rows_.push_back(std::move(row));
     }
+    link_rows_.reserve(t.links.size());
+    for (const LinkTrace& l : t.links) {
+      LinkRowAcc row;
+      row.name = l.name;
+      link_rows_.push_back(std::move(row));
+    }
   }
   ++runs_;
 
@@ -54,6 +61,23 @@ void ConditionAccumulator::add(const RunTrace& t) {
     flow_rows_[fi].series.add(t.flows[fi].mbps);
     flow_rows_[fi].fair_win.add(t.mean_bitrate_mbps(
         t.flows[fi].mbps, aw.fairness_from, aw.fairness_to));
+  }
+  // Per-link digests (same first-trace shaping as the flow rows).
+  for (std::size_t li = 0; li < link_rows_.size(); ++li) {
+    if (li >= t.links.size()) continue;
+    const LinkTrace& l = t.links[li];
+    link_rows_[li].util.add(l.util_mbps);
+    link_rows_[li].fair_win.add(
+        t.mean_bitrate_mbps(l.util_mbps, aw.fairness_from, aw.fairness_to));
+    // Cumulative boundary counters: the sampler's last firing lands on the
+    // penultimate boundary slot (collectors quirk), so the end-of-run count
+    // is the series maximum, not .back().
+    std::uint64_t total = 0;
+    for (std::uint64_t d : l.drops) total = std::max(total, d);
+    link_rows_[li].drops.add(double(total));
+    std::uint64_t peak = 0;
+    for (std::uint64_t d : l.depth_bytes) peak = std::max(peak, d);
+    link_rows_[li].peak_depth.add(double(peak));
   }
   jain_.add(jain_index(t, aw));
 
@@ -100,6 +124,18 @@ ConditionResult ConditionAccumulator::finalize() const {
     row.fair_mbps_mean = acc.fair_win.mean();
     row.fair_mbps_sd = acc.fair_win.stddev();
     res.flow_rows.push_back(std::move(row));
+  }
+  res.link_rows.reserve(link_rows_.size());
+  for (const LinkRowAcc& acc : link_rows_) {
+    LinkSummaryRow row;
+    row.name = acc.name;
+    row.util = series_stats(acc.util);
+    row.util_fair_mean = acc.fair_win.mean();
+    row.util_fair_sd = acc.fair_win.stddev();
+    row.drops_mean = acc.drops.mean();
+    row.drops_sd = acc.drops.stddev();
+    row.peak_depth_mean = acc.peak_depth.mean();
+    res.link_rows.push_back(std::move(row));
   }
   res.jain_mean = jain_.mean();
   res.jain_sd = jain_.stddev();

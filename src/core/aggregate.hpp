@@ -40,6 +40,24 @@ struct FlowSummaryRow {
   double fair_mbps_sd = 0.0;
 };
 
+/// Cross-run digest of one topology link.
+struct LinkSummaryRow {
+  std::string name;
+
+  SeriesStats util;  // delivered Mb/s per bucket, aggregated across runs
+
+  // Mean utilization over the fairness window: mean/sd across runs.
+  double util_fair_mean = 0.0;
+  double util_fair_sd = 0.0;
+
+  // End-of-run cumulative drops: mean/sd across runs.
+  double drops_mean = 0.0;
+  double drops_sd = 0.0;
+
+  // Peak sampled queue depth in bytes, averaged across runs.
+  double peak_depth_mean = 0.0;
+};
+
 /// Everything the benches need about one grid cell.
 struct ConditionResult {
   Scenario scenario;
@@ -51,6 +69,9 @@ struct ConditionResult {
   /// Per-flow digests, in mix order (the N-flow generalisation of
   /// game/tcp above).
   std::vector<FlowSummaryRow> flow_rows;
+
+  /// Per-link digests, in topology link order.
+  std::vector<LinkSummaryRow> link_rows;
 
   /// N-flow Jain index over the fairness window (ping excluded): mean/sd
   /// across runs.
@@ -112,6 +133,13 @@ class ConditionAccumulator {
     OnlineSeries series;
     OnlineStats fair_win;
   };
+  struct LinkRowAcc {
+    std::string name;
+    OnlineSeries util;
+    OnlineStats fair_win;
+    OnlineStats drops;
+    OnlineStats peak_depth;
+  };
 
   Scenario sc_;
   int runs_ = 0;
@@ -119,6 +147,7 @@ class ConditionAccumulator {
 
   OnlineSeries game_, tcp_;
   std::vector<FlowRowAcc> flow_rows_;  // shaped by the first trace's mix
+  std::vector<LinkRowAcc> link_rows_;  // shaped by the first trace's links
   OnlineStats jain_, fair_, fps_, loss_, steady_, gfair_, tfair_;
   OnlineStats rtt_all_;  // pooled RTT samples across runs
 };

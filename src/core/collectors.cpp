@@ -24,6 +24,13 @@ const FlowTrace* RunTrace::flow(net::FlowId id) const {
   return nullptr;
 }
 
+const LinkTrace* RunTrace::link(std::string_view name) const {
+  for (const LinkTrace& l : links) {
+    if (l.name == name) return &l;
+  }
+  return nullptr;
+}
+
 double RunTrace::mean_flow_mbps(net::FlowId id, Time from, Time to) const {
   const FlowTrace* f = flow(id);
   return f != nullptr ? mean_bitrate_mbps(f->mbps, from, to) : 0.0;
@@ -108,15 +115,35 @@ std::size_t TraceCollectors::bucket_of(Time t) const {
   return std::min(bucket_index(t, interval_), n_buckets_ - 1);
 }
 
-void TraceCollectors::attach_bottleneck(net::Link& link) {
-  link.sniffer().on_deliver([this](const net::Packet& p, Time t) {
-    const auto it = flow_index_.find(p.flow);
-    if (it == flow_index_.end()) return;
+void TraceCollectors::attach_link(net::Link& link,
+                                  std::vector<net::FlowId> terminal_flows) {
+  links_.push_back(std::make_unique<LinkTap>());
+  LinkTap* tap = links_.back().get();
+  tap->name = link.name();
+  tap->link = &link;
+  tap->util_bytes.assign(n_buckets_, 0);
+  tap->depth.assign(n_buckets_ + 1, 0);
+  tap->drops.assign(n_buckets_ + 1, 0);
+
+  // Per-flow goodput is accounted only at a flow's terminal hop.
+  std::unordered_map<net::FlowId, std::size_t> terminal;
+  for (net::FlowId id : terminal_flows) {
+    const auto it = flow_index_.find(id);
+    if (it != flow_index_.end()) terminal.emplace(id, it->second);
+  }
+  link.sniffer().on_deliver([this, tap, terminal = std::move(terminal)](
+                                const net::Packet& p, Time t) {
+    tap->util_bytes[bucket_of(t)] += p.size_bytes;
+    const auto it = terminal.find(p.flow);
+    if (it == terminal.end()) return;
     bytes_[it->second][bucket_of(t)] += p.size_bytes;
     ++pkt_counters_[it->second];
   });
-  link.sniffer().on_drop(
-      [this](const net::Packet&, net::DropReason, Time) { ++drop_counter_; });
+  link.sniffer().on_drop([this, tap](const net::Packet&, net::DropReason,
+                                     Time) {
+    ++tap->drop_counter;
+    ++drop_counter_;
+  });
 }
 
 void TraceCollectors::attach_game_receiver(net::FlowId id,
@@ -135,6 +162,10 @@ void TraceCollectors::sample_counters() {
                   interval_.count()),
       n_buckets_);
   drops_[k] = drop_counter_;
+  for (const auto& tap : links_) {
+    tap->depth[k] = std::uint64_t(tap->link->queue().byte_length().bytes());
+    tap->drops[k] = tap->drop_counter;
+  }
   for (std::size_t i = 0; i < flows_.size(); ++i) {
     if (receivers_[i] != nullptr) {
       recv_samples_[i][k] = receivers_[i]->packets_received();
@@ -185,6 +216,19 @@ RunTrace TraceCollectors::finalize(const PingClient* ping,
   }
 
   t.queue_drops = drops_;
+
+  t.links.resize(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    LinkTrace& l = t.links[i];
+    l.name = links_[i]->name;
+    l.util_mbps.resize(n_buckets_);
+    for (std::size_t b = 0; b < n_buckets_; ++b) {
+      l.util_mbps[b] = double(links_[i]->util_bytes[b]) * 8.0 / ival_s / 1e6;
+    }
+    l.depth_bytes = links_[i]->depth;
+    l.drops = links_[i]->drops;
+  }
+
   if (ping != nullptr) t.rtt = ping->samples();
   if (recv != nullptr) t.frame_times = recv->display().presentation_times();
   return t;

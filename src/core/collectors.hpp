@@ -3,7 +3,9 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -32,6 +34,23 @@ struct FlowTrace {
   /// stays zero for them.
   std::vector<std::uint64_t> pkts_recv;
   std::vector<std::uint64_t> pkts_lost;
+};
+
+/// Per-link measured series (one per topology link, in link declaration
+/// order).
+struct LinkTrace {
+  std::string name;
+
+  /// Delivered throughput per sample interval, all flows, in Mb/s.
+  std::vector<double> util_mbps;
+
+  /// Queue occupancy in bytes sampled at bucket boundaries (entry k =
+  /// depth at k * interval).
+  std::vector<std::uint64_t> depth_bytes;
+
+  /// Cumulative drops at bucket boundaries (entry k = count at
+  /// k * interval).
+  std::vector<std::uint64_t> drops;
 };
 
 /// Everything measured in one experiment run.
@@ -65,9 +84,15 @@ struct RunTrace {
   // stream flow).
   std::vector<Time> frame_times;
 
+  /// Per-link series, in topology link order.  Always at least one entry
+  /// (the synthesized default's "bottleneck" link).
+  std::vector<LinkTrace> links;
+
   // -- per-flow lookups -----------------------------------------------------
   /// The trace of flow `id`, or nullptr when the mix has no such flow.
   [[nodiscard]] const FlowTrace* flow(net::FlowId id) const;
+  /// The trace of the named link, or nullptr when there is no such link.
+  [[nodiscard]] const LinkTrace* link(std::string_view name) const;
   /// Mean goodput of flow `id` over [from, to); 0 for unknown flows.
   [[nodiscard]] double mean_flow_mbps(net::FlowId id, Time from,
                                       Time to) const;
@@ -106,8 +131,12 @@ class TraceCollectors {
   TraceCollectors(sim::Simulator& sim, Time duration, Time sample_interval,
                   std::vector<FlowInfo> flows);
 
-  /// Subscribe to the bottleneck link (delivery + drop taps).
-  void attach_bottleneck(net::Link& link);
+  /// Subscribe to one topology link: per-link utilization/depth/drop
+  /// series for everything it carries, plus per-flow goodput accounting
+  /// for the flows in `terminal_flows` (the flows whose client-side hop
+  /// this is — counting at the terminal hop keeps multi-hop flows from
+  /// being double-counted).  Call once per link, in topology link order.
+  void attach_link(net::Link& link, std::vector<net::FlowId> terminal_flows);
   /// Sample `recv`'s counters for flow `id` each bucket.  Must outlive
   /// collection.
   void attach_game_receiver(net::FlowId id, const stream::StreamReceiver& recv);
@@ -144,6 +173,19 @@ class TraceCollectors {
 
   std::vector<std::uint64_t> drops_;
   std::uint64_t drop_counter_ = 0;
+
+  // Per-link series state (unique_ptr: sniffer callbacks capture stable
+  // addresses across vector growth).
+  struct LinkTap {
+    std::string name;
+    const net::Link* link = nullptr;
+    std::vector<std::int64_t> util_bytes;   // [bucket]
+    std::vector<std::uint64_t> depth;       // [boundary]
+    std::vector<std::uint64_t> drops;       // [boundary]
+    std::uint64_t drop_counter = 0;
+  };
+  std::vector<std::unique_ptr<LinkTap>> links_;
+
   sim::PeriodicTimer sampler_;
 };
 

@@ -14,7 +14,8 @@ namespace cgs::core {
 namespace {
 
 constexpr char kMagic[8] = {'C', 'G', 'S', 'J', 'N', 'L', '0', '1'};
-constexpr std::uint32_t kVersion = 1;
+// v2: RunTrace payloads grew a per-link series section (topology layer).
+constexpr std::uint32_t kVersion = 2;
 constexpr std::uint32_t kRecordMagic = 0x4C4E5247u;  // "GRNL"
 // magic + cell + run + seed + ok + class + trace_hash + payload_len.
 constexpr std::size_t kRecordFixed = 4 + 4 + 4 + 8 + 1 + 1 + 8 + 4;
@@ -410,6 +411,13 @@ std::vector<unsigned char> serialize_trace(const RunTrace& t) {
   put_pod_vec(out, t.game_pkts_lost);
   put_pod_vec(out, t.queue_drops);
   put_pod_vec(out, t.frame_times);
+  put_u32(out, std::uint32_t(t.links.size()));
+  for (const LinkTrace& l : t.links) {
+    put_string(out, l.name);
+    put_pod_vec(out, l.util_mbps);
+    put_pod_vec(out, l.depth_bytes);
+    put_pod_vec(out, l.drops);
+  }
   return out;
 }
 
@@ -437,6 +445,16 @@ RunTrace deserialize_trace(const unsigned char* data, std::size_t size) {
   t.game_pkts_lost = c.pod_vec<std::uint64_t>();
   t.queue_drops = c.pod_vec<std::uint64_t>();
   t.frame_times = c.pod_vec<Time>();
+  const std::uint32_t n_links = c.u32();
+  t.links.reserve(n_links);
+  for (std::uint32_t i = 0; i < n_links; ++i) {
+    LinkTrace l;
+    l.name = c.string();
+    l.util_mbps = c.pod_vec<double>();
+    l.depth_bytes = c.pod_vec<std::uint64_t>();
+    l.drops = c.pod_vec<std::uint64_t>();
+    t.links.push_back(std::move(l));
+  }
   if (!c.done()) {
     throw JournalError("journal: trailing bytes after trace payload");
   }
@@ -511,6 +529,45 @@ std::uint64_t sweep_fingerprint(const std::vector<SweepCell>& cells,
       mix_u64(std::uint64_t(f.start.count()));
       mix_u64(f.stop ? std::uint64_t(f.stop->count()) : ~std::uint64_t{0});
       mix_u64(std::uint64_t(f.extra_owd.count()));
+    }
+    // Explicit topologies change what the grid *is*; mixed only when
+    // non-empty so every legacy single-bottleneck fingerprint stays stable.
+    if (!sc.topology.empty()) {
+      const net::TopologySpec topo = sc.topology.resolved();
+      mix_str(topo.name);
+      mix_u64(topo.links.size());
+      for (const net::LinkSpec& l : topo.links) {
+        mix_str(l.name);
+        mix_u64(std::uint64_t(l.rate.bits_per_sec()));
+        mix_u64(std::uint64_t(l.prop_delay.count()));
+        mix_u64(l.queue ? std::uint64_t(*l.queue) + 1 : 0);
+        if (l.queue_bdp_mult) {
+          std::uint64_t bits;
+          std::memcpy(&bits, &*l.queue_bdp_mult, sizeof bits);
+          mix_u64(bits + 1);
+        } else {
+          mix_u64(0);
+        }
+        mix_u64(l.queue_bytes ? std::uint64_t(l.queue_bytes->bytes()) + 1 : 0);
+        mix_u64(l.impair && l.impair->any() ? 1 : 0);
+        mix_u64(l.rate_schedule.size());
+        for (const net::RateChange& rc : l.rate_schedule) {
+          mix_u64(std::uint64_t(rc.at.count()));
+          mix_u64(std::uint64_t(rc.rate.bits_per_sec()));
+        }
+      }
+      const auto mix_names = [&](const std::vector<std::string>& names) {
+        mix_u64(names.size());
+        for (const std::string& n : names) mix_str(n);
+      };
+      mix_names(topo.default_down);
+      mix_names(topo.default_up);
+      mix_u64(topo.paths.size());
+      for (const net::PathSpec& p : topo.paths) {
+        mix_u64(std::uint64_t(p.flow));
+        mix_names(p.down);
+        mix_names(p.up);
+      }
     }
   }
   return h;

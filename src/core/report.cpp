@@ -173,6 +173,50 @@ void write_flow_series_csv(const std::string& path, Time sample_interval,
   }
 }
 
+std::string render_link_summary(const ConditionResult& res) {
+  TextTable table;
+  table.set_header({"link", "fair-win Mb/s", "drops", "peak depth B"});
+  for (const LinkSummaryRow& row : res.link_rows) {
+    std::ostringstream depth;
+    depth << std::fixed << std::setprecision(0) << row.peak_depth_mean;
+    table.add_row({row.name,
+                   fmt_mean_sd(row.util_fair_mean, row.util_fair_sd),
+                   fmt_mean_sd(row.drops_mean, row.drops_sd, 0),
+                   depth.str()});
+  }
+  return table.render();
+}
+
+void write_link_series_csv(const std::string& path, Time sample_interval,
+                           const std::vector<LinkSummaryRow>& rows) {
+  CsvWriter csv(path);
+  std::vector<std::string> header{"t_s"};
+  std::size_t len = 0;
+  for (const LinkSummaryRow& r : rows) {
+    header.push_back(r.name + "_mbps");
+    header.push_back(r.name + "_ci_lo");
+    header.push_back(r.name + "_ci_hi");
+    len = std::max(len, r.util.mean.size());
+  }
+  csv.header(header);
+  const double dt = to_seconds(sample_interval);
+  for (std::size_t i = 0; i < len; ++i) {
+    std::vector<double> cells{double(i) * dt};
+    for (const LinkSummaryRow& r : rows) {
+      if (i < r.util.mean.size()) {
+        cells.push_back(r.util.mean[i]);
+        cells.push_back(r.util.mean[i] - r.util.ci95[i]);
+        cells.push_back(r.util.mean[i] + r.util.ci95[i]);
+      } else {
+        cells.push_back(0.0);
+        cells.push_back(0.0);
+        cells.push_back(0.0);
+      }
+    }
+    csv.row(cells);
+  }
+}
+
 std::string sparkline(const std::vector<double>& series, std::size_t width) {
   static const char* kLevels[] = {" ", "▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
   if (series.empty()) return "";

@@ -45,6 +45,15 @@ void write_series_csv(const std::string& path, Time sample_interval,
 void write_flow_series_csv(const std::string& path, Time sample_interval,
                            const std::vector<FlowSummaryRow>& rows);
 
+/// Per-link summary table: one row per topology link (utilization over the
+/// fairness window, end-of-run drops, peak queue depth).
+[[nodiscard]] std::string render_link_summary(const ConditionResult& res);
+
+/// Per-link mean/CI utilization CSV: t_s, then one
+/// "<name>_mbps,<name>_ci_lo,<name>_ci_hi" column group per link row.
+void write_link_series_csv(const std::string& path, Time sample_interval,
+                           const std::vector<LinkSummaryRow>& rows);
+
 /// Compact console sparkline of a bitrate series (for quick inspection).
 [[nodiscard]] std::string sparkline(const std::vector<double>& series,
                                     std::size_t width = 80);

@@ -189,15 +189,130 @@ void Scenario::validate() const {
   }
   impair_down.validate("impair_down");
   impair_up.validate("impair_up");
+  validate_topology();
 }
 
-std::string_view to_string(QueueKind k) {
-  switch (k) {
-    case QueueKind::kDropTail: return "droptail";
-    case QueueKind::kCoDel: return "codel";
-    case QueueKind::kFqCoDel: return "fq_codel";
+void Scenario::validate_topology() const {
+  if (topology.empty()) return;
+  if (impair_down.any()) {
+    invalid(
+        "impair_down cannot be combined with an explicit topology; set "
+        "topology.links[i].impair on the hop instead");
   }
-  return "?";
+  const net::TopologySpec topo = topology.resolved();
+  std::unordered_set<std::string> names;
+  for (std::size_t i = 0; i < topo.links.size(); ++i) {
+    const net::LinkSpec& l = topo.links[i];
+    const auto field = [&](const char* leaf) {
+      std::ostringstream os;
+      os << "topology.links[" << i << "]." << leaf;
+      return os.str();
+    };
+    if (!names.insert(l.name).second) {
+      std::ostringstream os;
+      os << field("name") << " duplicates link name '" << l.name << "'";
+      invalid(os.str());
+    }
+    if (l.rate.bits_per_sec() <= 0) {
+      std::ostringstream os;
+      os << field("rate") << " must be > 0 (got " << l.rate.bits_per_sec()
+         << " b/s)";
+      invalid(os.str());
+    }
+    if (l.prop_delay < kTimeZero) {
+      std::ostringstream os;
+      os << field("prop_delay") << " must be >= 0 (got "
+         << to_seconds(l.prop_delay) << " s)";
+      invalid(os.str());
+    }
+    if (l.queue_bdp_mult &&
+        (!(*l.queue_bdp_mult > 0.0) || !std::isfinite(*l.queue_bdp_mult))) {
+      std::ostringstream os;
+      os << field("queue_bdp_mult") << " must be > 0 (got "
+         << *l.queue_bdp_mult << ")";
+      invalid(os.str());
+    }
+    if (l.queue_bytes && l.queue_bytes->bytes() <= 0) {
+      std::ostringstream os;
+      os << field("queue_bytes") << " must be > 0 (got "
+         << l.queue_bytes->bytes() << ")";
+      invalid(os.str());
+    }
+    if (l.impair) l.impair->validate(field("impair"));
+    Time prev = kTimeZero;
+    for (std::size_t j = 0; j < l.rate_schedule.size(); ++j) {
+      const net::RateChange& rc = l.rate_schedule[j];
+      if (rc.rate.bits_per_sec() <= 0) {
+        std::ostringstream os;
+        os << field("rate_schedule") << "[" << j << "].rate must be > 0 (got "
+           << rc.rate.bits_per_sec() << " b/s)";
+        invalid(os.str());
+      }
+      if (rc.at < prev) {
+        std::ostringstream os;
+        os << field("rate_schedule") << "[" << j
+           << "].at must be non-decreasing (got " << to_seconds(rc.at)
+           << " s after " << to_seconds(prev) << " s)";
+        invalid(os.str());
+      }
+      prev = rc.at;
+    }
+  }
+  const auto check_names = [&](const std::vector<std::string>& path,
+                               const std::string& where) {
+    for (const std::string& n : path) {
+      if (topo.link_index(n) < 0) {
+        std::ostringstream os;
+        os << where << " references unknown link '" << n << "'";
+        invalid(os.str());
+      }
+    }
+  };
+  check_names(topo.default_down, "topology.default_down");
+  check_names(topo.default_up, "topology.default_up");
+  for (std::size_t i = 0; i < topo.paths.size(); ++i) {
+    std::ostringstream where;
+    where << "topology.paths[" << i << "]";
+    check_names(topo.paths[i].down, where.str() + ".down");
+    check_names(topo.paths[i].up, where.str() + ".up");
+  }
+  // RTT-padding feasibility (§3.3): each flow's fixed propagation must fit
+  // under base_rtt so the access pads stay non-negative.
+  for (const FlowSpec& f : effective_flows()) {
+    const net::PathSpec* p = topo.path_for(f.id);
+    Time down_fixed = kTimeZero;
+    Time up_fixed = kTimeZero;
+    const std::vector<std::string>& down =
+        (p != nullptr && !p->down.empty()) ? p->down : topo.default_down;
+    if (down.empty()) {
+      for (const net::LinkSpec& l : topo.links) down_fixed += l.prop_delay;
+    } else {
+      for (const std::string& n : down) {
+        down_fixed += topo.links[std::size_t(topo.link_index(n))].prop_delay;
+      }
+    }
+    for (const std::string& n : p != nullptr ? p->up : topo.default_up) {
+      up_fixed += topo.links[std::size_t(topo.link_index(n))].prop_delay;
+    }
+    const Time pad_down = (base_rtt - 2 * down_fixed) / 2;
+    const Time pad_up = base_rtt - down_fixed - up_fixed - pad_down;
+    if (pad_down < kTimeZero || pad_up < kTimeZero) {
+      std::ostringstream os;
+      os << "base_rtt (" << to_seconds(base_rtt)
+         << " s) is too small for flow " << f.id << " ('" << f.name
+         << "'): path propagation is " << to_seconds(down_fixed)
+         << " s down + " << to_seconds(up_fixed) << " s up";
+      invalid(os.str());
+    }
+  }
+}
+
+net::TopologySpec Scenario::effective_topology() const {
+  if (!topology.empty()) return topology.resolved();
+  net::TopologySpec t =
+      net::TopologySpec::single_bottleneck(capacity, kBottleneckProp);
+  if (impair_down.any()) t.links[0].impair = impair_down;
+  return t;
 }
 
 ByteSize Scenario::queue_bytes() const {
@@ -238,7 +353,73 @@ std::string Scenario::label() const {
   if (queue_kind != QueueKind::kDropTail) {
     os << " [" << to_string(queue_kind) << "]";
   }
+  if (!topology.empty()) {
+    os << " @" << topology.name << "(" << topology.links.size() << " links)";
+  }
   return os.str();
+}
+
+Scenario parking_lot_scenario(const ParkingLotParams& p) {
+  Scenario s;
+  s.capacity = p.hop_rate;  // informational; per-link rates govern
+  s.queue_bdp_mult = p.queue_bdp_mult;
+  s.duration = p.duration;
+  s.seed = p.seed;
+  s.topology = net::TopologySpec::parking_lot(p.hops, p.hop_rate, p.hop_prop);
+
+  const Time tcp_stop = p.tcp_stop.value_or(p.duration);
+  net::FlowId next = 1;
+  if (p.game_flow) {
+    FlowSpec g = FlowSpec::game_stream();
+    g.id = next++;
+    g.name = "game";
+    s.flows.push_back(std::move(g));
+  }
+  const auto add_tcp = [&](tcp::CcAlgo algo, const std::string& name) {
+    FlowSpec t = FlowSpec::bulk_tcp(algo, p.tcp_start, tcp_stop);
+    const net::FlowId id = next++;
+    t.id = id;
+    t.name = name;
+    s.flows.push_back(std::move(t));
+    return id;
+  };
+  for (std::size_t i = 0; i < p.bbr_flows; ++i) {
+    std::ostringstream os;
+    os << "bbr" << i;
+    add_tcp(tcp::CcAlgo::kBbr, os.str());
+  }
+  for (std::size_t i = 0; i < p.cubic_flows; ++i) {
+    std::ostringstream os;
+    os << "cubic" << i;
+    add_tcp(tcp::CcAlgo::kCubic, os.str());
+  }
+  for (std::size_t hop = 0; hop < p.hops; ++hop) {
+    for (std::size_t c = 0; c < p.cross_per_hop; ++c) {
+      std::ostringstream name, link;
+      name << "x" << hop << "_" << c;
+      link << "hop" << hop;
+      const net::FlowId id = add_tcp(p.cross_algo, name.str());
+      net::PathSpec path;
+      path.flow = id;
+      path.down = {link.str()};
+      s.topology.paths.push_back(std::move(path));
+    }
+  }
+  if (p.ping_flow) {
+    FlowSpec ping = FlowSpec::ping();
+    ping.id = next++;
+    ping.name = "ping";
+    s.flows.push_back(std::move(ping));
+  }
+  return s;
+}
+
+Scenario asymmetric_scenario(Bandwidth down_rate, Bandwidth up_rate) {
+  Scenario s;
+  s.capacity = down_rate;  // informational; per-link rates govern
+  s.topology = net::TopologySpec::asymmetric(down_rate, up_rate,
+                                             kBottleneckProp);
+  return s;
 }
 
 }  // namespace cgs::core

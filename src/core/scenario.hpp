@@ -10,15 +10,21 @@
 
 #include "net/impairment.hpp"
 #include "net/packet.hpp"
+#include "net/topology.hpp"
 #include "stream/profiles.hpp"
 #include "tcp/congestion_control.hpp"
 #include "util/units.hpp"
 
 namespace cgs::core {
 
-enum class QueueKind { kDropTail, kCoDel, kFqCoDel };
+// QueueKind lives with the topology layer now (net/topology.hpp); aliased
+// here so existing core::QueueKind spellings keep compiling.
+using QueueKind = net::QueueKind;
+using net::to_string;
 
-[[nodiscard]] std::string_view to_string(QueueKind k);
+/// Propagation delay of the synthesized default bottleneck link (the
+/// router -> clients segment of the paper's Figure 1).
+inline constexpr Time kBottleneckProp = std::chrono::milliseconds(1);
 
 /// What kind of traffic source a FlowSpec instantiates.
 enum class FlowKind { kGameStream, kBulkTcp, kPing };
@@ -101,6 +107,18 @@ struct Scenario {
   /// or the synthesized paper-default mix when `flows` is empty.
   [[nodiscard]] std::vector<FlowSpec> effective_flows() const;
 
+  /// Network shape.  Empty = the paper's Figure-1 single bottleneck
+  /// synthesized from the scalar fields above (capacity, queue_kind,
+  /// queue_bdp_mult, impair_down).  When non-empty, per-link rate/queue
+  /// fields govern and the scalar capacity is informational only;
+  /// impair_down must stay empty (set topology.links[i].impair instead).
+  net::TopologySpec topology;
+
+  /// The topology the testbed will instantiate: `topology` with link names
+  /// resolved, or the synthesized single-bottleneck graph (with impair_down
+  /// folded into the link) when `topology` is empty.
+  [[nodiscard]] net::TopologySpec effective_topology() const;
+
   /// Path impairments — the netem half of the paper's router.  The
   /// downstream stage sits in front of the shared bottleneck link (all
   /// downstream flows pass through it); the upstream spec is instantiated
@@ -165,12 +183,53 @@ struct Scenario {
   /// Testbed validates on construction; call directly to fail earlier.
   void validate() const;
 
+  /// Topology-specific half of validate() (`topology.links[i].field`-named
+  /// errors, path resolution, RTT-padding feasibility per flow).
+  void validate_topology() const;
+
   /// Queue capacity in bytes implied by capacity/queue_bdp_mult/base_rtt.
   [[nodiscard]] ByteSize queue_bytes() const;
 
   /// Human-readable condition label, e.g. "Stadia 25Mb/s 2.0xBDP cubic".
   [[nodiscard]] std::string label() const;
 };
+
+/// Knobs for the canonical parking-lot scenario family (N bottlenecks in
+/// series, end-to-end primary flows, single-hop cross traffic per hop).
+struct ParkingLotParams {
+  std::size_t hops = 3;
+  Bandwidth hop_rate = Bandwidth::mbps(25.0);
+  Time hop_prop = std::chrono::milliseconds(1);
+  double queue_bdp_mult = 2.0;
+
+  /// End-to-end primary flows (traverse every hop).
+  bool game_flow = true;
+  bool ping_flow = true;
+  std::size_t bbr_flows = 0;    ///< N-BBR melee participants
+  std::size_t cubic_flows = 0;  ///< N-Cubic melee participants
+
+  /// Single-hop cross-traffic TCP flows on each hop.
+  std::size_t cross_per_hop = 1;
+  tcp::CcAlgo cross_algo = tcp::CcAlgo::kCubic;
+
+  /// Activity window shared by every TCP flow (primary melee + cross).
+  Time tcp_start = std::chrono::seconds(30);
+  std::optional<Time> tcp_stop;
+
+  Time duration = std::chrono::seconds(90);
+  std::uint64_t seed = 1;
+};
+
+/// Build a parking-lot Scenario: topology from TopologySpec::parking_lot,
+/// explicit flow ids (game=1, then melee TCP, then per-hop cross flows,
+/// ping last) and PathSpecs pinning each cross flow to its single hop.
+[[nodiscard]] Scenario parking_lot_scenario(const ParkingLotParams& params);
+
+/// Build an asymmetric-access Scenario: the paper's default flow mix over
+/// TopologySpec::asymmetric, so upstream ACK/feedback traffic contends on
+/// its own constrained "up" link instead of an ideal delay line.
+[[nodiscard]] Scenario asymmetric_scenario(Bandwidth down_rate,
+                                           Bandwidth up_rate);
 
 /// The paper's grid values.
 inline constexpr double kQueueMults[] = {0.5, 2.0, 7.0};

@@ -7,33 +7,7 @@
 #include <stdexcept>
 #include <vector>
 
-#include "net/codel.hpp"
-
 namespace cgs::core {
-
-namespace {
-/// Bottleneck propagation delay (router -> clients segment).
-constexpr Time kBottleneckProp = std::chrono::milliseconds(1);
-}  // namespace
-
-std::unique_ptr<net::Queue> Testbed::make_queue() const {
-  const ByteSize limit = scenario_.queue_bytes();
-  switch (scenario_.queue_kind) {
-    case QueueKind::kDropTail:
-      return std::make_unique<net::DropTailQueue>(limit);
-    case QueueKind::kCoDel: {
-      net::CodelParams p;
-      p.capacity = limit;
-      return std::make_unique<net::CodelQueue>(p);
-    }
-    case QueueKind::kFqCoDel: {
-      net::CodelParams p;
-      p.capacity = limit;
-      return std::make_unique<net::FqCodelQueue>(p);
-    }
-  }
-  return nullptr;
-}
 
 Pcg32 Testbed::flow_master_rng(std::uint64_t seed, net::FlowId id) {
   // Id 1 is the historical single-master derivation; see header.
@@ -54,8 +28,8 @@ net::PacketSink* Testbed::upstream_entry(const FlowSpec& spec,
   return up_impairs_.back().get();
 }
 
-void Testbed::build_game_flow(const FlowSpec& spec, net::PacketSink* down_entry,
-                              Time pad, Time bottleneck_prop) {
+void Testbed::build_game_flow(const FlowSpec& spec, Time pad_down,
+                              Time pad_up) {
   const stream::GameSystem sys = spec.system.value_or(scenario_.system);
   const auto& prof = stream::profile_for(sys);
 
@@ -78,43 +52,42 @@ void Testbed::build_game_flow(const FlowSpec& spec, net::PacketSink* down_entry,
   ro.playout_deadline = prof.playout_deadline;
   g.receiver = std::make_unique<stream::StreamReceiver>(sim_, factory_, ro);
 
-  g.access = std::make_unique<net::DelayLine>(sim_, pad + spec.extra_owd,
-                                              down_entry);
+  g.access = std::make_unique<net::DelayLine>(
+      sim_, pad_down + spec.extra_owd, &graph_->downstream_entry(spec.id));
   g.sender->set_output(g.access.get());
-  router_->register_client(spec.id, g.receiver.get());
+  graph_->register_client(spec.id, g.receiver.get());
   g.receiver->set_output(upstream_entry(
-      spec, router_->make_upstream(pad + bottleneck_prop, g.sender.get())));
+      spec, graph_->make_upstream(spec.id, pad_up, g.sender.get())));
   games_.push_back(std::move(g));
 }
 
-void Testbed::build_tcp_flow(const FlowSpec& spec, net::PacketSink* down_entry,
-                             Time pad, Time bottleneck_prop) {
+void Testbed::build_tcp_flow(const FlowSpec& spec, Time pad_down,
+                             Time pad_up) {
   TcpFlow t;
   t.spec = spec;
   t.flow = std::make_unique<tcp::BulkTcpFlow>(sim_, factory_, spec.id,
                                               spec.algo);
-  t.access = std::make_unique<net::DelayLine>(sim_, pad + spec.extra_owd,
-                                              down_entry);
-  router_->register_client(spec.id, &t.flow->receiver());
+  t.access = std::make_unique<net::DelayLine>(
+      sim_, pad_down + spec.extra_owd, &graph_->downstream_entry(spec.id));
+  graph_->register_client(spec.id, &t.flow->receiver());
   t.flow->attach(t.access.get(),
-                 upstream_entry(spec, router_->make_upstream(
-                                          pad + bottleneck_prop,
-                                          &t.flow->sender())));
+                 upstream_entry(spec, graph_->make_upstream(
+                                          spec.id, pad_up, &t.flow->sender())));
   tcps_.push_back(std::move(t));
 }
 
-void Testbed::build_ping_flow(const FlowSpec& spec, net::PacketSink* down_entry,
-                              Time pad, Time bottleneck_prop) {
+void Testbed::build_ping_flow(const FlowSpec& spec, Time pad_down,
+                              Time pad_up) {
   PingFlow p;
   p.spec = spec;
   p.client = std::make_unique<PingClient>(sim_, factory_, spec.id);
   p.responder = std::make_unique<PingResponder>(sim_, factory_, spec.id);
-  p.access = std::make_unique<net::DelayLine>(sim_, pad + spec.extra_owd,
-                                              down_entry);
+  p.access = std::make_unique<net::DelayLine>(
+      sim_, pad_down + spec.extra_owd, &graph_->downstream_entry(spec.id));
   p.responder->set_output(p.access.get());
-  router_->register_client(spec.id, p.client.get());
+  graph_->register_client(spec.id, p.client.get());
   p.client->set_output(upstream_entry(
-      spec, router_->make_upstream(pad + bottleneck_prop, p.responder.get())));
+      spec, graph_->make_upstream(spec.id, pad_up, p.responder.get())));
   pings_.push_back(std::move(p));
 }
 
@@ -139,41 +112,46 @@ Testbed::Testbed(const Scenario& scenario, util::Arena* arena)
     sim_.set_watchdog(budget, kTimeInfinite, scenario.watchdog_wall_budget_s);
   }
 
-  router_ = std::make_unique<net::BottleneckRouter>(
-      sim_, scenario.capacity, kBottleneckProp, make_queue());
-
-  // Downstream impairment sits between the access delay lines and the
-  // bottleneck (netem on the router's ingress: one stage, all flows).
-  // Impairment RNGs are derived straight from the seed on private PCG
-  // streams so enabling them never perturbs the endpoint RNG forks.
-  net::PacketSink* down_entry = &router_->downstream_in();
-  if (scenario.impair_down.any()) {
-    down_impair_ = std::make_unique<net::Impairment>(
-        sim_, factory_, "down", scenario.impair_down,
-        Pcg32(scenario.seed, 0xd01), &router_->downstream_in());
-    down_entry = down_impair_.get();
+  // Instantiate the network graph.  Synthesized single-bottleneck specs
+  // produce object-for-object the wiring the hard-wired BottleneckRouter
+  // used to build (link "bottleneck", ingress impairment "down" on PCG
+  // stream 0xd01), so legacy traces stay bit-identical.
+  net::TopologyGraph::Config gc;
+  gc.default_queue = scenario.queue_kind;
+  gc.default_bdp_mult = scenario.queue_bdp_mult;
+  gc.base_rtt = scenario.base_rtt;
+  gc.seed = scenario.seed;
+  graph_ = std::make_unique<net::TopologyGraph>(
+      sim_, factory_, scenario_.effective_topology(), gc);
+  if (graph_->link_count() == 1) {
+    router_view_ = std::make_unique<net::BottleneckRouter>(*graph_);
   }
-
-  // RTT padding (§3.3): every flow sees base_rtt end to end. One-way split:
-  // server->router access pad + bottleneck propagation downstream, a pure
-  // delay line upstream.  Per-flow extra_owd lengthens only the downstream
-  // access segment.
-  const Time pad = (scenario.base_rtt - 2 * kBottleneckProp) / 2;
 
   // Instantiate every flow of the mix, in declaration order (ids, seeds and
   // upstream-impairment streams are all keyed by the spec's resolved id, so
   // the order only fixes event-queue tie-breaks, not any flow's RNG).
+  //
+  // RTT padding (§3.3): every flow sees base_rtt end to end, whatever its
+  // path's fixed propagation.  The downstream access pad splits the slack
+  // evenly around the downstream hops (the historical formula for the
+  // 1-bottleneck graph), the upstream pad absorbs the rest.  Per-flow
+  // extra_owd lengthens only the downstream access segment.
   const std::vector<FlowSpec> specs = scenario_.effective_flows();
   for (const FlowSpec& spec : specs) {
+    const Time down_fixed = graph_->down_prop(spec.id);
+    const Time up_fixed = graph_->up_prop(spec.id);
+    const Time pad_down = (scenario_.base_rtt - 2 * down_fixed) / 2;
+    const Time pad_up =
+        scenario_.base_rtt - down_fixed - up_fixed - pad_down;
     switch (spec.kind) {
       case FlowKind::kGameStream:
-        build_game_flow(spec, down_entry, pad, kBottleneckProp);
+        build_game_flow(spec, pad_down, pad_up);
         break;
       case FlowKind::kBulkTcp:
-        build_tcp_flow(spec, down_entry, pad, kBottleneckProp);
+        build_tcp_flow(spec, pad_down, pad_up);
         break;
       case FlowKind::kPing:
-        build_ping_flow(spec, down_entry, pad, kBottleneckProp);
+        build_ping_flow(spec, pad_down, pad_up);
         break;
     }
   }
@@ -187,31 +165,58 @@ Testbed::Testbed(const Scenario& scenario, util::Arena* arena)
   collectors_ = std::make_unique<TraceCollectors>(
       sim_, scenario.duration, std::chrono::milliseconds(500),
       std::move(infos));
-  collectors_->attach_bottleneck(router_->bottleneck());
+  for (std::size_t i = 0; i < graph_->link_count(); ++i) {
+    // A flow's goodput is measured at its terminal (client-side) hop so
+    // multi-hop flows are not double-counted.
+    std::vector<net::FlowId> terminal;
+    for (const FlowSpec& spec : specs) {
+      if (graph_->terminal_link(spec.id) == i) terminal.push_back(spec.id);
+    }
+    collectors_->attach_link(graph_->link_at(i), std::move(terminal));
+  }
   for (const GameFlow& g : games_) {
     collectors_->attach_game_receiver(g.spec.id, *g.receiver);
   }
 
-  // --- invariant auditor ---------------------------------------------------
-  // Observer-only (no RNG draws, no scheduled events), so enabling it never
-  // perturbs a trace; kAuto turns it on for Debug builds only, keeping
-  // Release benchmark numbers clean.
+  // --- invariant auditors --------------------------------------------------
+  // Observer-only (no RNG draws, no scheduled events), so enabling them
+  // never perturbs a trace; kAuto turns them on for Debug builds only,
+  // keeping Release benchmark numbers clean.  One auditor per link.
 #ifdef NDEBUG
   const bool audit_on = scenario_.audit == Scenario::AuditMode::kOn;
 #else
   const bool audit_on = scenario_.audit != Scenario::AuditMode::kOff;
 #endif
   if (audit_on) {
-    SimAuditor::Options ao;
-    ao.queue_capacity = scenario_.queue_bytes();
-    // Downstream duplication/reordering legitimately breaks per-flow
-    // sequence order at the bottleneck.
-    ao.check_sequences = !scenario_.impair_down.any();
-    ao.cell_label = scenario_.label();
-    ao.seed = scenario_.seed;
-    auditor_ = std::make_unique<SimAuditor>(std::move(ao));
-    auditor_->attach(router_->bottleneck());
+    // Any ingress impairment can duplicate/reorder, which legitimately
+    // breaks per-flow sequence order at the links.
+    bool impaired = false;
+    for (std::size_t i = 0; i < graph_->link_count(); ++i) {
+      if (graph_->ingress_impairment(i) != nullptr) impaired = true;
+    }
+    for (std::size_t i = 0; i < graph_->link_count(); ++i) {
+      SimAuditor::Options ao;
+      ao.queue_capacity = graph_->queue_capacity(i);
+      ao.check_sequences = !impaired;
+      ao.cell_label = graph_->link_count() == 1
+                          ? scenario_.label()
+                          : scenario_.label() + " / " +
+                                graph_->link_at(i).name();
+      ao.seed = scenario_.seed;
+      auditors_.push_back(std::make_unique<SimAuditor>(std::move(ao)));
+      auditors_.back()->attach(graph_->link_at(i));
+    }
   }
+}
+
+net::BottleneckRouter& Testbed::router() {
+  if (!router_view_) {
+    throw std::logic_error(
+        "Testbed: router(): topology '" + graph_->name() + "' has " +
+        std::to_string(graph_->link_count()) +
+        " links; use topology() to address individual links");
+  }
+  return *router_view_;
 }
 
 stream::StreamSender& Testbed::game_sender() {
@@ -243,6 +248,9 @@ tcp::BulkTcpFlow* Testbed::tcp_flow() {
 
 RunTrace Testbed::run() {
   inject_fault();
+  // Deterministic per-link capacity changes (no-op without schedules, so
+  // legacy scenarios see zero extra events).
+  graph_->schedule_rate_changes();
   // Immediate starts first, in mix order, matching the pre-registry event
   // sequence (game receiver, game sender, ping client, collectors, then the
   // scheduled TCP start/stop events).
@@ -277,7 +285,7 @@ RunTrace Testbed::run() {
   }
 
   sim_.run_until(scenario_.duration);
-  if (auditor_) auditor_->final_check();
+  for (const auto& a : auditors_) a->final_check();
   return collectors_->finalize(
       pings_.empty() ? nullptr : pings_.front().client.get(),
       games_.empty() ? nullptr : games_.front().receiver.get());

@@ -3,8 +3,10 @@
 // The paper's Figure-1 setup (game stream from t=0, competing iperf TCP
 // flow over [tcp_start, tcp_stop), ping probes throughout) is the default
 // 3-flow mix; arbitrary N-flow mixes are instantiated from
-// Scenario::flows.  Every flow gets its own endpoints, access delay line
-// and schedule events; collectors tap the shared bottleneck link.
+// Scenario::flows.  The network shape comes from Scenario::topology (or
+// the synthesized single-bottleneck graph): every flow gets its own
+// endpoints, access delay line and schedule events, and is routed over its
+// per-flow path through the net::TopologyGraph; collectors tap every link.
 #pragma once
 
 #include <memory>
@@ -15,6 +17,7 @@
 #include "core/ping.hpp"
 #include "core/scenario.hpp"
 #include "net/router.hpp"
+#include "net/topology.hpp"
 #include "stream/receiver.hpp"
 #include "stream/sender.hpp"
 #include "tcp/bulk_app.hpp"
@@ -66,10 +69,20 @@ class Testbed {
 
   // Component access (tests, custom schedules).
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
-  [[nodiscard]] net::BottleneckRouter& router() { return *router_; }
-  /// Downstream impairment stage, or nullptr when the scenario has none.
+
+  /// The instantiated network graph.
+  [[nodiscard]] net::TopologyGraph& topology() { return *graph_; }
+
+  /// Legacy single-bottleneck view; throws std::logic_error naming the
+  /// topology when the scenario's graph has more than one link (address
+  /// links through topology() instead).
+  [[nodiscard]] net::BottleneckRouter& router();
+
+  /// First link's ingress impairment stage (the scenario-wide downstream
+  /// stage for synthesized single-bottleneck graphs), or nullptr when none
+  /// is configured.
   [[nodiscard]] net::Impairment* downstream_impairment() {
-    return down_impair_.get();
+    return graph_->ingress_impairment(0);
   }
   /// Per-flow upstream impairment stages (empty when the scenario has none).
   [[nodiscard]] const std::vector<std::unique_ptr<net::Impairment>>&
@@ -96,25 +109,27 @@ class Testbed {
 
   [[nodiscard]] const Scenario& scenario() const { return scenario_; }
 
-  /// The run's invariant auditor, or nullptr when auditing resolved to off
-  /// (Scenario::audit, kAuto = Debug builds only).
-  [[nodiscard]] const SimAuditor* auditor() const { return auditor_.get(); }
+  /// The first link's invariant auditor, or nullptr when auditing resolved
+  /// to off (Scenario::audit, kAuto = Debug builds only).
+  [[nodiscard]] const SimAuditor* auditor() const {
+    return auditors_.empty() ? nullptr : auditors_.front().get();
+  }
+  /// Per-link auditors, parallel to the topology's links (empty when off).
+  [[nodiscard]] const std::vector<std::unique_ptr<SimAuditor>>& auditors()
+      const {
+    return auditors_;
+  }
 
  private:
-  [[nodiscard]] std::unique_ptr<net::Queue> make_queue() const;
-
   /// Arm the scenario's test-only fault (Scenario::fault) at run start:
   /// no-op unless the fault targets this run's seed.
   void inject_fault();
 
-  void build_game_flow(const FlowSpec& spec, net::PacketSink* down_entry,
-                       Time pad, Time bottleneck_prop);
-  void build_tcp_flow(const FlowSpec& spec, net::PacketSink* down_entry,
-                      Time pad, Time bottleneck_prop);
-  void build_ping_flow(const FlowSpec& spec, net::PacketSink* down_entry,
-                       Time pad, Time bottleneck_prop);
-  /// Upstream path entry for `spec`: the router's delay line, fronted by an
-  /// impairment stage when the spec (or scenario) configures one.
+  void build_game_flow(const FlowSpec& spec, Time pad_down, Time pad_up);
+  void build_tcp_flow(const FlowSpec& spec, Time pad_down, Time pad_up);
+  void build_ping_flow(const FlowSpec& spec, Time pad_down, Time pad_up);
+  /// Upstream path entry for `spec`: the graph's reverse path, fronted by
+  /// an impairment stage when the spec (or scenario) configures one.
   [[nodiscard]] net::PacketSink* upstream_entry(const FlowSpec& spec,
                                                 net::PacketSink& up);
 
@@ -124,11 +139,12 @@ class Testbed {
   // sim_ and factory_ precede every component so endpoints/links are
   // destroyed (returning packets to the pool) before the engine and pool.
 
-  std::unique_ptr<net::BottleneckRouter> router_;
+  std::unique_ptr<net::TopologyGraph> graph_;
+  // Legacy facade over graph_, synthesized only for 1-link topologies.
+  std::unique_ptr<net::BottleneckRouter> router_view_;
 
-  // Optional netem-style impairment stages (scenario.impair_down/up and
-  // per-flow overrides).
-  std::unique_ptr<net::Impairment> down_impair_;
+  // Per-flow upstream impairment stages (scenario.impair_up and per-flow
+  // overrides); downstream stages live inside the graph.
   std::vector<std::unique_ptr<net::Impairment>> up_impairs_;
 
   std::vector<GameFlow> games_;
@@ -136,7 +152,7 @@ class Testbed {
   std::vector<PingFlow> pings_;
 
   std::unique_ptr<TraceCollectors> collectors_;
-  std::unique_ptr<SimAuditor> auditor_;
+  std::vector<std::unique_ptr<SimAuditor>> auditors_;
 };
 
 }  // namespace cgs::core

@@ -186,5 +186,86 @@ TEST(ScenarioValidation, TestbedConstructionValidates) {
   EXPECT_THROW(Testbed bed(sc), std::invalid_argument);
 }
 
+TEST(ScenarioValidation, TopologyErrorsNameTheOffendingLinkField) {
+  Scenario sc;
+  sc.topology = net::TopologySpec::parking_lot(3, 25_mbps, 1_ms);
+
+  sc.topology.links[1].rate = Bandwidth(0);
+  EXPECT_NE(validation_message(sc).find("topology.links[1].rate must be > 0"),
+            std::string::npos);
+  sc.topology.links[1].rate = 25_mbps;
+
+  sc.topology.links[2].queue_bdp_mult = -1.0;
+  EXPECT_NE(validation_message(sc).find(
+                "topology.links[2].queue_bdp_mult must be > 0"),
+            std::string::npos);
+  sc.topology.links[2].queue_bdp_mult.reset();
+
+  sc.topology.links[0].queue_bytes = ByteSize(0);
+  EXPECT_NE(
+      validation_message(sc).find("topology.links[0].queue_bytes must be > 0"),
+      std::string::npos);
+  sc.topology.links[0].queue_bytes.reset();
+
+  net::ImpairmentConfig bad;
+  bad.loss_rate = 7.0;
+  sc.topology.links[1].impair = bad;
+  EXPECT_NE(validation_message(sc).find("topology.links[1].impair"),
+            std::string::npos);
+  sc.topology.links[1].impair.reset();
+
+  EXPECT_EQ(validation_message(sc), "");
+}
+
+TEST(ScenarioValidation, TopologyRejectsUnsortedRateSchedules) {
+  Scenario sc;
+  sc.topology = net::TopologySpec::parking_lot(2, 25_mbps, 1_ms);
+  sc.topology.links[0].rate_schedule = {{10_sec, 10_mbps}, {5_sec, 25_mbps}};
+  EXPECT_NE(validation_message(sc).find(
+                "topology.links[0].rate_schedule[1].at must be non-decreasing"),
+            std::string::npos);
+  sc.topology.links[0].rate_schedule = {{5_sec, Bandwidth(0)}};
+  EXPECT_NE(validation_message(sc).find(
+                "topology.links[0].rate_schedule[0].rate must be > 0"),
+            std::string::npos);
+}
+
+TEST(ScenarioValidation, TopologyRejectsDuplicateAndUnknownLinkNames) {
+  Scenario sc;
+  sc.topology = net::TopologySpec::parking_lot(2, 25_mbps, 1_ms);
+  sc.topology.links[1].name = "hop0";
+  EXPECT_NE(validation_message(sc).find("duplicates link name 'hop0'"),
+            std::string::npos);
+
+  sc.topology = net::TopologySpec::parking_lot(2, 25_mbps, 1_ms);
+  sc.topology.default_down = {"hop0", "hopX"};
+  EXPECT_NE(validation_message(sc).find(
+                "topology.default_down references unknown link 'hopX'"),
+            std::string::npos);
+
+  sc.topology = net::TopologySpec::parking_lot(2, 25_mbps, 1_ms);
+  sc.topology.paths.push_back({1, {"nope"}, {}});
+  EXPECT_NE(validation_message(sc).find(
+                "topology.paths[0].down references unknown link 'nope'"),
+            std::string::npos);
+}
+
+TEST(ScenarioValidation, TopologyRejectsScalarImpairDownCombination) {
+  Scenario sc;
+  sc.topology = net::TopologySpec::single_bottleneck(25_mbps, 1_ms);
+  sc.impair_down.loss_rate = 0.01;
+  EXPECT_NE(validation_message(sc).find("impair_down cannot be combined"),
+            std::string::npos);
+}
+
+TEST(ScenarioValidation, TopologyRejectsInfeasibleRttPadding) {
+  // Propagation across the hops exceeding base_rtt leaves no room for the
+  // access pads — the scenario must be rejected up front.
+  Scenario sc;
+  sc.topology =
+      net::TopologySpec::parking_lot(3, 25_mbps, std::chrono::milliseconds(4));
+  EXPECT_NE(validation_message(sc).find("base_rtt"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace cgs::core

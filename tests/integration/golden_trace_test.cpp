@@ -7,8 +7,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/journal.hpp"
+#include "core/sweep.hpp"
 #include "core/testbed.hpp"
 
 namespace cgs::core {
@@ -80,6 +84,103 @@ TEST(GoldenTrace, ExplicitPaperMixMatchesScalarSynthesis) {
     Testbed bed(sc);
     EXPECT_EQ(hash_trace(bed.run()), c.trace_hash) << c.name;
   }
+}
+
+TEST(GoldenTrace, ExplicitSingleBottleneckTopologyMatchesScalarSynthesis) {
+  // Spelling the paper's Figure-1 shape as an explicit one-link topology
+  // must be indistinguishable from the scalar synthesis — same Link,
+  // demux and queue-sizing construction, so byte-identical traces.
+  for (const GoldenCell& c : kCells) {
+    const Scenario scalar = scalar_scenario(c);
+    Scenario topo = scalar;
+    topo.topology =
+        net::TopologySpec::single_bottleneck(scalar.capacity, kBottleneckProp);
+
+    Testbed scalar_bed(scalar);
+    Testbed topo_bed(topo);
+    const auto scalar_bytes = serialize_trace(scalar_bed.run());
+    const auto topo_bytes = serialize_trace(topo_bed.run());
+    EXPECT_EQ(scalar_bytes, topo_bytes) << c.name;
+    EXPECT_EQ(trace_hash(deserialize_trace(topo_bytes.data(),
+                                           topo_bytes.size())),
+              c.trace_hash)
+        << c.name;
+  }
+}
+
+TEST(GoldenTrace, TopologySpellingsJournalIdenticalBytesAtAnyThreadCount) {
+  // Three spellings of the same stadia/cubic condition — scalar synthesis,
+  // explicit FlowSpecs, explicit one-link topology — swept at 1/2/8
+  // threads: every (cell, run) slot must journal the same payload bytes,
+  // every spelling must journal the same trace as every other, and run 0
+  // must still carry the pre-refactor golden hash.
+  const GoldenCell& gold = kCells[0];
+  const Scenario scalar = scalar_scenario(gold);
+
+  Scenario flows = scalar;
+  {
+    FlowSpec g = FlowSpec::game_stream();
+    g.id = 1;
+    g.name = "game";
+    flows.flows.push_back(g);
+    FlowSpec t = FlowSpec::bulk_tcp(*gold.cc, seconds(30), seconds(60));
+    t.id = 2;
+    t.name = "tcp";
+    flows.flows.push_back(t);
+    FlowSpec p = FlowSpec::ping();
+    p.id = 3;
+    p.name = "ping";
+    flows.flows.push_back(p);
+  }
+
+  Scenario topo = scalar;
+  topo.topology =
+      net::TopologySpec::single_bottleneck(scalar.capacity, kBottleneckProp);
+
+  const std::vector<SweepCell> cells = {
+      {"scalar", scalar}, {"flows", flows}, {"topo", topo}};
+  constexpr int kRuns = 2;
+
+  std::vector<std::vector<JournalEntry>> slots_by_threads;
+  for (const int threads : {1, 2, 8}) {
+    const std::string journal = ::testing::TempDir() +
+                                "cgs_golden_topology_t" +
+                                std::to_string(threads) + ".jnl";
+    std::remove(journal.c_str());
+    SweepOptions opts;
+    opts.runs = kRuns;
+    opts.threads = threads;
+    opts.journal_path = journal;
+    opts.journal_sync = false;
+    const SweepResult swept = run_sweep(cells, opts);
+    EXPECT_EQ(swept.report.failed(), 0u) << "threads=" << threads;
+
+    const auto scan = read_journal(journal);
+    ASSERT_TRUE(scan.has_value());
+    ASSERT_EQ(scan->entries.size(), cells.size() * kRuns);
+    std::vector<JournalEntry> slots(scan->entries.size());
+    for (const JournalEntry& e : scan->entries) {
+      slots[e.cell * kRuns + e.run] = e;
+    }
+    slots_by_threads.push_back(std::move(slots));
+    std::remove(journal.c_str());
+  }
+
+  const auto& ref = slots_by_threads.front();
+  for (std::size_t s = 0; s < ref.size(); ++s) {
+    ASSERT_TRUE(ref[s].ok) << "slot " << s;
+    // Thread-count independence: identical journal bytes per slot.
+    for (std::size_t v = 1; v < slots_by_threads.size(); ++v) {
+      EXPECT_EQ(slots_by_threads[v][s].trace_hash, ref[s].trace_hash)
+          << "slot " << s;
+      EXPECT_EQ(slots_by_threads[v][s].payload, ref[s].payload)
+          << "slot " << s;
+    }
+    // Spelling independence: cells 1 and 2 match cell 0 run-for-run.
+    EXPECT_EQ(ref[s].payload, ref[s % kRuns].payload) << "slot " << s;
+  }
+  // The pre-refactor pin: run 0 of every spelling is the golden seed.
+  EXPECT_EQ(ref[0].trace_hash, gold.trace_hash);
 }
 
 }  // namespace

@@ -144,6 +144,32 @@ inline std::vector<SweepCell> poison_grid(std::uint64_t seed) {
   return cells;
 }
 
+/// Multi-bottleneck smoke grid: 3-hop parking lots on a 30 s schedule.
+/// Varies per-hop queue depth and the primary mix (game + cross traffic
+/// only, or adding a 2-BBR-vs-2-Cubic end-to-end melee), with single-hop
+/// cubic cross traffic competing on every hop in all cells.
+inline std::vector<SweepCell> parkinglot_grid(std::uint64_t seed) {
+  std::vector<SweepCell> cells;
+  for (double q : {0.5, 2.0}) {
+    for (bool melee : {false, true}) {
+      core::ParkingLotParams p;
+      p.hops = 3;
+      p.queue_bdp_mult = q;
+      p.bbr_flows = melee ? 2 : 0;
+      p.cubic_flows = melee ? 2 : 0;
+      p.duration = std::chrono::seconds(30);
+      p.tcp_start = std::chrono::seconds(5);
+      p.tcp_stop = std::chrono::seconds(20);
+      p.seed = seed;
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "parkinglot3 %.1fxBDP %s", q,
+                    melee ? "2bbr+2cubic melee" : "cross-only");
+      cells.push_back({buf, core::parking_lot_scenario(p)});
+    }
+  }
+  return cells;
+}
+
 /// Build the named grid, or nullopt for an unknown name.
 inline std::optional<std::vector<SweepCell>> grid_by_name(
     const std::string& name, std::uint64_t seed) {
@@ -152,10 +178,11 @@ inline std::optional<std::vector<SweepCell>> grid_by_name(
   if (name == "smoke") return smoke_grid(seed);
   if (name == "sick") return sick_grid(seed);
   if (name == "poison") return poison_grid(seed);
+  if (name == "parkinglot") return parkinglot_grid(seed);
   return std::nullopt;
 }
 
 inline constexpr const char* kGridNames =
-    "fig3|table3|table4|smoke|sick|poison";
+    "fig3|table3|table4|smoke|sick|poison|parkinglot";
 
 }  // namespace cgs::tools

@@ -11,7 +11,7 @@
 // grid, so replay rebuilds the *exact* scenario a sweep worker ran —
 // same cell mutators, same derived seed — and re-runs it single-threaded
 // with the invariant auditor forced on and a per-packet TraceLog attached
-// to the bottleneck.  Successful journal records must reproduce their
+// to every topology link.  Successful journal records must reproduce their
 // trace hash bit-for-bit; failed records must fail again with the same
 // error class.  --csv=PREFIX writes the per-event packet log per job.
 //
@@ -178,7 +178,12 @@ bool replay_job(const std::vector<SweepCell>& cells, const JournalEntry& e,
       (1u << unsigned(cgs::core::TraceEvent::kDrop)) |
       (1u << unsigned(cgs::core::TraceEvent::kTransmit)) |
       (1u << unsigned(cgs::core::TraceEvent::kDeliver));
-  log.attach(bed.router().bottleneck(), kAllEvents);
+  // Every link of the topology: the single bottleneck for synthesized
+  // scenarios, each hop for multi-bottleneck graphs.  Multi-hop flows are
+  // recorded once per hop, which is the point of a forensic capture.
+  for (std::size_t li = 0; li < bed.topology().link_count(); ++li) {
+    log.attach(bed.topology().link_at(li), kAllEvents);
+  }
 
   bool reproduced = false;
   try {

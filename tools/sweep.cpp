@@ -332,6 +332,27 @@ int main(int argc, char** argv) {
   }
   std::printf("wrote %s (%zu cells) — wall %.1f s, peak RSS %.1f MB\n",
               path.c_str(), sweep.results.size(), wall, peak_rss_mb);
+
+  // Per-link digest: one row per (cell, topology link).  Single-bottleneck
+  // grids get one "bottleneck" row per cell; parking lots one per hop.
+  {
+    std::size_t link_rows = 0;
+    const std::string lpath = args.csv_prefix + "_links.csv";
+    cgs::CsvWriter lcsv(lpath);
+    lcsv.header({"cell", "link", "util_fair_mbps_mean", "util_fair_mbps_sd",
+                 "drops_mean", "drops_sd", "peak_depth_bytes_mean"});
+    for (std::size_t i = 0; i < sweep.results.size(); ++i) {
+      for (const auto& l : sweep.results[i].link_rows) {
+        lcsv.row({sweep.cells[i].label, l.name,
+                  std::to_string(l.util_fair_mean),
+                  std::to_string(l.util_fair_sd), std::to_string(l.drops_mean),
+                  std::to_string(l.drops_sd),
+                  std::to_string(l.peak_depth_mean)});
+        ++link_rows;
+      }
+    }
+    std::printf("wrote %s (%zu link rows)\n", lpath.c_str(), link_rows);
+  }
   if (report.progress_errors > 0) {
     std::fprintf(stderr, "warning: progress callback threw %d time%s\n",
                  report.progress_errors,
