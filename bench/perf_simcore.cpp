@@ -219,6 +219,70 @@ void BM_SweepPerCellLoop(benchmark::State& state) {
 }
 BENCHMARK(BM_SweepPerCellLoop)->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// -- hybrid-fidelity fleet --------------------------------------------------
+//
+// BM_FleetSecond: one simulated second of a game-stream testbed plus N
+// fluid background sessions (no churn, so every iteration ticks the same
+// population).  items processed = fleet session-seconds, so the reported
+// items/s is directly comparable against packet-path flow-seconds
+// (BM_TestbedSecond runs 3 packet flows per iteration).  Acceptance
+// (ISSUE): the 1000-session point must come in >= 50x cheaper per
+// session-second than the packet path's per-flow-second cost.
+
+cgs::core::Scenario fleet_scenario(int sessions) {
+  cgs::core::Scenario sc;
+  sc.duration = 1_sec;
+  sc.capacity = 1_gbps;  // headroom: measure fleet cost, not contention
+  sc.tcp_algo = std::nullopt;
+  const auto place = [&](cgs::net::FluidClass cls, std::uint32_t n) {
+    cgs::net::FluidSourceSpec src;
+    src.cls = cls;
+    src.sessions = n;
+    src.rate_jitter = 0.0;
+    sc.fleet.sources.push_back(src);
+  };
+  place(cgs::net::FluidClass::kGameStream, std::uint32_t(sessions / 2));
+  place(cgs::net::FluidClass::kBulkCubic, std::uint32_t(sessions / 4));
+  place(cgs::net::FluidClass::kBulkBbr,
+        std::uint32_t(sessions - sessions / 2 - sessions / 4));
+  return sc;
+}
+
+void BM_FleetSecond(benchmark::State& state) {
+  const int sessions = int(state.range(0));
+  const cgs::core::Scenario sc = fleet_scenario(sessions);
+  for (auto _ : state) {
+    cgs::core::Testbed bed(sc);
+    benchmark::DoNotOptimize(bed.run());
+  }
+  state.SetItemsProcessed(state.iterations() * sessions);
+  state.counters["sessions"] = double(sessions);
+}
+BENCHMARK(BM_FleetSecond)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void BM_FluidTick(benchmark::State& state) {
+  // The fleet layer's inner loop in isolation: one churn + demand +
+  // capacity-sharing + digest pass over 1000 static sessions, no packet
+  // traffic.  This is the O(sessions) arithmetic a 100 ms tick costs.
+  cgs::sim::Simulator sim;
+  cgs::net::PacketFactory factory;
+  cgs::net::TopologyGraph graph(
+      sim, factory, cgs::net::TopologySpec::single_bottleneck(1_gbps, 1_ms),
+      {});
+  cgs::net::FleetSpec spec;
+  cgs::net::FluidSourceSpec src;
+  src.cls = cgs::net::FluidClass::kGameStream;
+  src.sessions = 1000;
+  src.rate_jitter = 0.0;
+  spec.sources.push_back(src);
+  cgs::net::FluidAggregate fleet(sim, graph, spec, 1_sec, /*seed=*/1);
+  for (auto _ : state) {
+    fleet.tick();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_FluidTick);
+
 const cgs::core::RunTrace& bench_trace() {
   // One 1-second full-mix run, shared across iterations (the serializer
   // under test never mutates it).

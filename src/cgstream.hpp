@@ -25,6 +25,7 @@
 #include "core/testbed.hpp"      // IWYU pragma: export
 #include "core/tracelog.hpp"     // IWYU pragma: export
 #include "net/codel.hpp"         // IWYU pragma: export
+#include "net/fluid.hpp"         // IWYU pragma: export
 #include "net/impairment.hpp"    // IWYU pragma: export
 #include "net/link.hpp"          // IWYU pragma: export
 #include "net/packet.hpp"        // IWYU pragma: export

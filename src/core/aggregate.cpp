@@ -104,6 +104,19 @@ void ConditionAccumulator::add(const RunTrace& t) {
       win_from > std::chrono::seconds(60) ? win_from - std::chrono::seconds(60)
                                           : win_from / 2;
   steady_.add(t.mean_game_mbps(steady_from, win_from));
+
+  if (t.fleet.active) {
+    fleet_active_ = true;
+    fp50_.add(t.fleet.p50_mbps);
+    fp95_.add(t.fleet.p95_mbps);
+    fp99_.add(t.fleet.p99_mbps);
+    fmean_.add(t.fleet.mean_mbps);
+    fstall_.add(t.fleet.stall_rate);
+    fjain_.add(t.fleet.jain);
+    fpeak_.add(double(t.fleet.peak_sessions));
+    farr_.add(double(t.fleet.arrivals));
+    fdep_.add(double(t.fleet.departures));
+  }
 }
 
 ConditionResult ConditionAccumulator::finalize() const {
@@ -153,6 +166,25 @@ ConditionResult ConditionAccumulator::finalize() const {
 
   res.rr =
       response_recovery(res.game.mean, ival_, sc_.tcp_start, sc_.tcp_stop);
+
+  if (fleet_active_) {
+    res.fleet.active = true;
+    res.fleet.p50_mean = fp50_.mean();
+    res.fleet.p50_sd = fp50_.stddev();
+    res.fleet.p95_mean = fp95_.mean();
+    res.fleet.p95_sd = fp95_.stddev();
+    res.fleet.p99_mean = fp99_.mean();
+    res.fleet.p99_sd = fp99_.stddev();
+    res.fleet.mean_mbps_mean = fmean_.mean();
+    res.fleet.mean_mbps_sd = fmean_.stddev();
+    res.fleet.stall_mean = fstall_.mean();
+    res.fleet.stall_sd = fstall_.stddev();
+    res.fleet.jain_mean = fjain_.mean();
+    res.fleet.jain_sd = fjain_.stddev();
+    res.fleet.peak_sessions_mean = fpeak_.mean();
+    res.fleet.arrivals_mean = farr_.mean();
+    res.fleet.departures_mean = fdep_.mean();
+  }
   return res;
 }
 

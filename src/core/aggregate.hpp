@@ -58,6 +58,27 @@ struct LinkSummaryRow {
   double peak_depth_mean = 0.0;
 };
 
+/// Cross-run digest of a cell's fluid fleet (hybrid-fidelity runs);
+/// active stays false for fleet-free cells.
+struct FleetSummary {
+  bool active = false;
+
+  // Population bitrate percentiles (per-run digests): mean/sd across runs.
+  double p50_mean = 0.0, p50_sd = 0.0;
+  double p95_mean = 0.0, p95_sd = 0.0;
+  double p99_mean = 0.0, p99_sd = 0.0;
+  double mean_mbps_mean = 0.0, mean_mbps_sd = 0.0;
+
+  // Stall rate and population Jain: mean/sd across runs.
+  double stall_mean = 0.0, stall_sd = 0.0;
+  double jain_mean = 0.0, jain_sd = 0.0;
+
+  // Churn digests, averaged across runs.
+  double peak_sessions_mean = 0.0;
+  double arrivals_mean = 0.0;
+  double departures_mean = 0.0;
+};
+
 /// Everything the benches need about one grid cell.
 struct ConditionResult {
   Scenario scenario;
@@ -103,6 +124,9 @@ struct ConditionResult {
   // Steady-state game bitrate (Table 1 and solo baselines).
   double steady_mean_mbps = 0.0;
   double steady_sd_mbps = 0.0;
+
+  // Fleet population digest (hybrid-fidelity cells).
+  FleetSummary fleet;
 };
 
 /// Streaming per-condition reducer: feed each RunTrace the moment its run
@@ -150,6 +174,11 @@ class ConditionAccumulator {
   std::vector<LinkRowAcc> link_rows_;  // shaped by the first trace's links
   OnlineStats jain_, fair_, fps_, loss_, steady_, gfair_, tfair_;
   OnlineStats rtt_all_;  // pooled RTT samples across runs
+
+  // Fleet digests, folded only from traces with an active fleet.
+  bool fleet_active_ = false;
+  OnlineStats fp50_, fp95_, fp99_, fmean_, fstall_, fjain_;
+  OnlineStats fpeak_, farr_, fdep_;
 };
 
 /// Digest per-run traces into a ConditionResult (batch path: delegates to

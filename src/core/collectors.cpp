@@ -92,20 +92,29 @@ double RunTrace::fps_over(Time from, Time to) const {
 TraceCollectors::TraceCollectors(sim::Simulator& sim, Time duration,
                                  Time sample_interval,
                                  std::vector<FlowInfo> flows)
+    : TraceCollectors(sim, duration, sample_interval, std::move(flows),
+                      Policy{}) {}
+
+TraceCollectors::TraceCollectors(sim::Simulator& sim, Time duration,
+                                 Time sample_interval,
+                                 std::vector<FlowInfo> flows, Policy policy)
     : sim_(sim),
       duration_(duration),
-      interval_(sample_interval),
-      n_buckets_(bucket_index(duration, sample_interval) + 1),
+      interval_(sample_interval *
+                std::int64_t(std::max<std::size_t>(policy.stride, 1))),
+      n_buckets_(bucket_index(duration, interval_) + 1),
       flows_(std::move(flows)),
-      bytes_(flows_.size(), std::vector<std::int64_t>(n_buckets_, 0)),
-      recv_samples_(flows_.size(),
-                    std::vector<std::uint64_t>(n_buckets_ + 1, 0)),
-      lost_samples_(flows_.size(),
-                    std::vector<std::uint64_t>(n_buckets_ + 1, 0)),
-      pkt_counters_(flows_.size(), 0),
-      receivers_(flows_.size(), nullptr),
+      tracked_(policy.max_flow_series == 0
+                   ? flows_.size()
+                   : std::min(policy.max_flow_series, flows_.size())),
+      bytes_(tracked_, std::vector<std::int64_t>(n_buckets_, 0)),
+      recv_samples_(tracked_, std::vector<std::uint64_t>(n_buckets_ + 1, 0)),
+      lost_samples_(tracked_, std::vector<std::uint64_t>(n_buckets_ + 1, 0)),
+      pkt_counters_(tracked_, 0),
+      receivers_(tracked_, nullptr),
       drops_(n_buckets_ + 1, 0),
-      sampler_(sim, sample_interval, [this] { sample_counters(); }) {
+      residual_tcp_bytes_(n_buckets_, 0),
+      sampler_(sim, interval_, [this] { sample_counters(); }) {
   for (std::size_t i = 0; i < flows_.size(); ++i) {
     flow_index_.emplace(flows_[i].id, i);
   }
@@ -125,17 +134,29 @@ void TraceCollectors::attach_link(net::Link& link,
   tap->depth.assign(n_buckets_ + 1, 0);
   tap->drops.assign(n_buckets_ + 1, 0);
 
-  // Per-flow goodput is accounted only at a flow's terminal hop.
+  // Per-flow goodput is accounted only at a flow's terminal hop.  Flows
+  // past the policy's series cap keep their bulk-TCP bytes in the shared
+  // residual bucket instead of a per-flow series.
+  constexpr std::size_t kResidual = ~std::size_t{0};
   std::unordered_map<net::FlowId, std::size_t> terminal;
   for (net::FlowId id : terminal_flows) {
     const auto it = flow_index_.find(id);
-    if (it != flow_index_.end()) terminal.emplace(id, it->second);
+    if (it == flow_index_.end()) continue;
+    if (it->second < tracked_) {
+      terminal.emplace(id, it->second);
+    } else if (flows_[it->second].kind == FlowKind::kBulkTcp) {
+      terminal.emplace(id, kResidual);
+    }
   }
   link.sniffer().on_deliver([this, tap, terminal = std::move(terminal)](
                                 const net::Packet& p, Time t) {
     tap->util_bytes[bucket_of(t)] += p.size_bytes;
     const auto it = terminal.find(p.flow);
     if (it == terminal.end()) return;
+    if (it->second == kResidual) {
+      residual_tcp_bytes_[bucket_of(t)] += p.size_bytes;
+      return;
+    }
     bytes_[it->second][bucket_of(t)] += p.size_bytes;
     ++pkt_counters_[it->second];
   });
@@ -149,7 +170,9 @@ void TraceCollectors::attach_link(net::Link& link,
 void TraceCollectors::attach_game_receiver(net::FlowId id,
                                            const stream::StreamReceiver& recv) {
   const auto it = flow_index_.find(id);
-  if (it != flow_index_.end()) receivers_[it->second] = &recv;
+  if (it != flow_index_.end() && it->second < tracked_) {
+    receivers_[it->second] = &recv;
+  }
 }
 
 void TraceCollectors::start() { sampler_.start(); }
@@ -166,7 +189,7 @@ void TraceCollectors::sample_counters() {
     tap->depth[k] = std::uint64_t(tap->link->queue().byte_length().bytes());
     tap->drops[k] = tap->drop_counter;
   }
-  for (std::size_t i = 0; i < flows_.size(); ++i) {
+  for (std::size_t i = 0; i < tracked_; ++i) {
     if (receivers_[i] != nullptr) {
       recv_samples_[i][k] = receivers_[i]->packets_received();
       lost_samples_[i][k] = receivers_[i]->packets_lost();
@@ -183,8 +206,8 @@ RunTrace TraceCollectors::finalize(const PingClient* ping,
   t.duration = duration_;
   const double ival_s = to_seconds(interval_);
 
-  t.flows.resize(flows_.size());
-  for (std::size_t i = 0; i < flows_.size(); ++i) {
+  t.flows.resize(tracked_);
+  for (std::size_t i = 0; i < tracked_; ++i) {
     FlowTrace& f = t.flows[i];
     f.id = flows_[i].id;
     f.name = flows_[i].name;
@@ -213,6 +236,10 @@ RunTrace TraceCollectors::finalize(const PingClient* ping,
     } else if (f.kind == FlowKind::kBulkTcp) {
       for (std::size_t b = 0; b < n_buckets_; ++b) t.tcp_mbps[b] += f.mbps[b];
     }
+  }
+  // Untracked bulk-TCP flows still contribute to the aggregate view.
+  for (std::size_t b = 0; b < n_buckets_; ++b) {
+    t.tcp_mbps[b] += double(residual_tcp_bytes_[b]) * 8.0 / ival_s / 1e6;
   }
 
   t.queue_drops = drops_;

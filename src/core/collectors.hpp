@@ -88,6 +88,10 @@ struct RunTrace {
   /// (the synthesized default's "bottleneck" link).
   std::vector<LinkTrace> links;
 
+  /// Fleet population digest (hybrid-fidelity runs); active stays false
+  /// for scenarios with an empty fleet spec.
+  net::FleetResult fleet;
+
   // -- per-flow lookups -----------------------------------------------------
   /// The trace of flow `id`, or nullptr when the mix has no such flow.
   [[nodiscard]] const FlowTrace* flow(net::FlowId id) const;
@@ -128,8 +132,20 @@ class TraceCollectors {
     FlowKind kind = FlowKind::kBulkTcp;
   };
 
+  /// Trace-memory policy for large mixes.  stride multiplies the sample
+  /// interval (stride 1 = the historical cadence, bit-identical); when
+  /// max_flow_series > 0 only the first that-many mix flows materialize
+  /// per-flow series — the rest keep O(1) state and their bulk-TCP bytes
+  /// fold into the aggregate tcp_mbps view at finalize.
+  struct Policy {
+    std::size_t stride = 1;
+    std::size_t max_flow_series = 0;
+  };
+
   TraceCollectors(sim::Simulator& sim, Time duration, Time sample_interval,
                   std::vector<FlowInfo> flows);
+  TraceCollectors(sim::Simulator& sim, Time duration, Time sample_interval,
+                  std::vector<FlowInfo> flows, Policy policy);
 
   /// Subscribe to one topology link: per-link utilization/depth/drop
   /// series for everything it carries, plus per-flow goodput accounting
@@ -160,6 +176,9 @@ class TraceCollectors {
   std::size_t n_buckets_;
 
   std::vector<FlowInfo> flows_;
+  /// Flows with materialized series: the first min(max_flow_series, n)
+  /// mix entries (all of them when the policy cap is 0).
+  std::size_t tracked_;
   std::unordered_map<net::FlowId, std::size_t> flow_index_;
 
   // Indexed [flow][bucket].
@@ -173,6 +192,11 @@ class TraceCollectors {
 
   std::vector<std::uint64_t> drops_;
   std::uint64_t drop_counter_ = 0;
+
+  /// Terminal bulk-TCP bytes of untracked flows, per bucket: folded into
+  /// the aggregate tcp_mbps view at finalize so top-K trims series, not
+  /// throughput accounting.
+  std::vector<std::int64_t> residual_tcp_bytes_;
 
   // Per-link series state (unique_ptr: sniffer callbacks capture stable
   // addresses across vector growth).

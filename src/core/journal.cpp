@@ -15,7 +15,8 @@ namespace {
 
 constexpr char kMagic[8] = {'C', 'G', 'S', 'J', 'N', 'L', '0', '1'};
 // v2: RunTrace payloads grew a per-link series section (topology layer).
-constexpr std::uint32_t kVersion = 2;
+// v3: RunTrace payloads grew a fleet digest tail (hybrid-fidelity layer).
+constexpr std::uint32_t kVersion = 3;
 constexpr std::uint32_t kRecordMagic = 0x4C4E5247u;  // "GRNL"
 // magic + cell + run + seed + ok + class + trace_hash + payload_len.
 constexpr std::size_t kRecordFixed = 4 + 4 + 4 + 8 + 1 + 1 + 8 + 4;
@@ -68,6 +69,10 @@ void put_time(std::vector<unsigned char>& out, Time t) {
   put_i64(out, t.count());
 }
 
+void put_f64(std::vector<unsigned char>& out, double v) {
+  put_bytes(out, &v, sizeof v);
+}
+
 void put_string(std::vector<unsigned char>& out, const std::string& s) {
   put_u32(out, std::uint32_t(s.size()));
   put_bytes(out, s.data(), s.size());
@@ -115,6 +120,11 @@ class Cursor {
     return v;
   }
   Time time() { return Time(i64()); }
+  double f64() {
+    double v;
+    take(&v, sizeof v);
+    return v;
+  }
 
   std::string string() {
     const std::uint32_t n = u32();
@@ -418,6 +428,31 @@ std::vector<unsigned char> serialize_trace(const RunTrace& t) {
     put_pod_vec(out, l.depth_bytes);
     put_pod_vec(out, l.drops);
   }
+  // Fleet digest tail (outside trace_hash, which covers only the legacy
+  // views): one flag byte for fleet-free runs.
+  put_u8(out, t.fleet.active ? 1 : 0);
+  if (t.fleet.active) {
+    const net::FleetResult& fl = t.fleet;
+    put_u64(out, fl.ticks);
+    put_u64(out, fl.session_ticks);
+    put_u64(out, fl.stall_ticks);
+    put_u64(out, fl.arrivals);
+    put_u64(out, fl.departures);
+    put_u32(out, fl.peak_sessions);
+    put_u32(out, fl.final_sessions);
+    put_f64(out, fl.mean_mbps);
+    put_f64(out, fl.p50_mbps);
+    put_f64(out, fl.p95_mbps);
+    put_f64(out, fl.p99_mbps);
+    put_f64(out, fl.stall_rate);
+    put_f64(out, fl.jain);
+    put_u32(out, std::uint32_t(fl.links.size()));
+    for (const net::FleetLinkLoad& ll : fl.links) {
+      put_string(out, ll.link);
+      put_f64(out, ll.offered_mbps_mean);
+      put_f64(out, ll.served_mbps_mean);
+    }
+  }
   return out;
 }
 
@@ -454,6 +489,32 @@ RunTrace deserialize_trace(const unsigned char* data, std::size_t size) {
     l.depth_bytes = c.pod_vec<std::uint64_t>();
     l.drops = c.pod_vec<std::uint64_t>();
     t.links.push_back(std::move(l));
+  }
+  if (c.u8() != 0) {
+    net::FleetResult& fl = t.fleet;
+    fl.active = true;
+    fl.ticks = c.u64();
+    fl.session_ticks = c.u64();
+    fl.stall_ticks = c.u64();
+    fl.arrivals = c.u64();
+    fl.departures = c.u64();
+    fl.peak_sessions = c.u32();
+    fl.final_sessions = c.u32();
+    fl.mean_mbps = c.f64();
+    fl.p50_mbps = c.f64();
+    fl.p95_mbps = c.f64();
+    fl.p99_mbps = c.f64();
+    fl.stall_rate = c.f64();
+    fl.jain = c.f64();
+    const std::uint32_t n_loads = c.u32();
+    fl.links.reserve(n_loads);
+    for (std::uint32_t i = 0; i < n_loads; ++i) {
+      net::FleetLinkLoad ll;
+      ll.link = c.string();
+      ll.offered_mbps_mean = c.f64();
+      ll.served_mbps_mean = c.f64();
+      fl.links.push_back(std::move(ll));
+    }
   }
   if (!c.done()) {
     throw JournalError("journal: trailing bytes after trace payload");
@@ -568,6 +629,37 @@ std::uint64_t sweep_fingerprint(const std::vector<SweepCell>& cells,
         mix_names(p.down);
         mix_names(p.up);
       }
+    }
+    // The fleet spec changes what the grid *is*; mixed only when non-empty
+    // (same conditional pattern as fault/topology) so every fleet-free
+    // fingerprint stays stable.
+    if (!sc.fleet.empty()) {
+      const auto mix_f64 = [&](double v) {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof bits);
+        mix_u64(bits);
+      };
+      mix_u64(std::uint64_t(sc.fleet.tick.count()));
+      mix_f64(sc.fleet.stall_threshold);
+      mix_u64(sc.fleet.sources.size());
+      for (const net::FluidSourceSpec& src : sc.fleet.sources) {
+        mix_u64(std::uint64_t(src.cls));
+        mix_str(src.link);
+        mix_u64(src.sessions);
+        mix_f64(src.rate_mbps);
+        mix_f64(src.rate_jitter);
+        mix_f64(src.arrival_per_min);
+        mix_f64(src.mean_holding_s);
+        mix_u64(src.diurnal.size());
+        for (double d : src.diurnal) mix_f64(d);
+        mix_u64(src.max_sessions);
+      }
+    }
+    // Non-default trace policies thin the series a journal stores, so they
+    // also distinguish grids (mixed only when non-default).
+    if (sc.trace_stride != 1 || sc.trace_max_flow_series != 0) {
+      mix_u64(sc.trace_stride);
+      mix_u64(sc.trace_max_flow_series);
     }
   }
   return h;

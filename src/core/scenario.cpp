@@ -190,6 +190,79 @@ void Scenario::validate() const {
   impair_down.validate("impair_down");
   impair_up.validate("impair_up");
   validate_topology();
+
+  if (trace_stride < 1) {
+    std::ostringstream os;
+    os << "trace_stride must be >= 1 (got " << trace_stride << ")";
+    invalid(os.str());
+  }
+  if (!fleet.empty()) {
+    if (fleet.tick <= kTimeZero) {
+      std::ostringstream os;
+      os << "fleet.tick must be > 0 (got " << to_seconds(fleet.tick) << " s)";
+      invalid(os.str());
+    }
+    if (fleet.tick > duration) {
+      std::ostringstream os;
+      os << "fleet.tick (" << to_seconds(fleet.tick)
+         << " s) must not exceed duration (" << to_seconds(duration) << " s)";
+      invalid(os.str());
+    }
+    if (!(fleet.stall_threshold > 0.0) || fleet.stall_threshold > 1.0 ||
+        !std::isfinite(fleet.stall_threshold)) {
+      std::ostringstream os;
+      os << "fleet.stall_threshold must be in (0, 1] (got "
+         << fleet.stall_threshold << ")";
+      invalid(os.str());
+    }
+    const net::TopologySpec topo = effective_topology();
+    for (std::size_t i = 0; i < fleet.sources.size(); ++i) {
+      const net::FluidSourceSpec& src = fleet.sources[i];
+      const auto field = [&](const char* leaf) {
+        std::ostringstream os;
+        os << "fleet.sources[" << i << "]." << leaf;
+        return os.str();
+      };
+      if (src.sessions == 0 && !(src.arrival_per_min > 0.0)) {
+        std::ostringstream os;
+        os << field("sessions")
+           << " must be > 0 (or arrival_per_min > 0): the source would "
+              "never carry a session";
+        invalid(os.str());
+      }
+      const auto check_nonneg = [&](const char* leaf, double v) {
+        if (v < 0.0 || !std::isfinite(v)) {
+          std::ostringstream os;
+          os << field(leaf) << " must be finite and >= 0 (got " << v << ")";
+          invalid(os.str());
+        }
+      };
+      check_nonneg("rate_mbps", src.rate_mbps);
+      check_nonneg("rate_jitter", src.rate_jitter);
+      check_nonneg("arrival_per_min", src.arrival_per_min);
+      check_nonneg("mean_holding_s", src.mean_holding_s);
+      for (std::size_t j = 0; j < src.diurnal.size(); ++j) {
+        if (src.diurnal[j] < 0.0 || !std::isfinite(src.diurnal[j])) {
+          std::ostringstream os;
+          os << field("diurnal") << "[" << j
+             << "] must be finite and >= 0 (got " << src.diurnal[j] << ")";
+          invalid(os.str());
+        }
+      }
+      if (src.max_sessions > 0 && src.max_sessions < src.sessions) {
+        std::ostringstream os;
+        os << field("max_sessions") << " (" << src.max_sessions
+           << ") must be >= sessions (" << src.sessions << ")";
+        invalid(os.str());
+      }
+      if (!src.link.empty() && topo.link_index(src.link) < 0) {
+        std::ostringstream os;
+        os << field("link") << " references unknown link '" << src.link
+           << "'";
+        invalid(os.str());
+      }
+    }
+  }
 }
 
 void Scenario::validate_topology() const {
@@ -355,6 +428,23 @@ std::string Scenario::label() const {
   }
   if (!topology.empty()) {
     os << " @" << topology.name << "(" << topology.links.size() << " links)";
+  }
+  if (!fleet.empty()) {
+    // e.g. "+fleet[300: 100 game + 200 cubic]" (initial populations).
+    std::uint64_t per_class[3] = {0, 0, 0};
+    for (const net::FluidSourceSpec& src : fleet.sources) {
+      per_class[std::size_t(src.cls)] += src.sessions;
+    }
+    os << " +fleet[" << fleet.initial_sessions();
+    const char* sep = ": ";
+    for (auto cls : {net::FluidClass::kGameStream, net::FluidClass::kBulkCubic,
+                     net::FluidClass::kBulkBbr}) {
+      const std::uint64_t n = per_class[std::size_t(cls)];
+      if (n == 0) continue;
+      os << sep << n << " " << net::to_string(cls);
+      sep = " + ";
+    }
+    os << "]";
   }
   return os.str();
 }

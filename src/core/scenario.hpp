@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "net/fluid.hpp"
 #include "net/impairment.hpp"
 #include "net/packet.hpp"
 #include "net/topology.hpp"
@@ -118,6 +119,21 @@ struct Scenario {
   /// resolved, or the synthesized single-bottleneck graph (with impair_down
   /// folded into the link) when `topology` is empty.
   [[nodiscard]] net::TopologySpec effective_topology() const;
+
+  /// Fluid background fleet (hybrid fidelity): populations of flyweight
+  /// background sessions placed per-link, modeled as aggregate rates on a
+  /// coarse tick instead of per-packet endpoints.  Empty (the default) is
+  /// a strict no-op — golden traces stay bit-identical.  See
+  /// net/fluid.hpp and DESIGN.md "Hybrid fidelity & fleet modeling".
+  net::FleetSpec fleet;
+
+  /// Trace-memory policy for large mixes: the collector samples its series
+  /// every sample_interval * trace_stride (stride 1 = the historical 500 ms
+  /// cadence, golden-identical), and materializes per-flow series for at
+  /// most trace_max_flow_series mix flows (0 = all; the remainder fold
+  /// into the aggregate tcp_mbps view).
+  std::size_t trace_stride = 1;
+  std::size_t trace_max_flow_series = 0;
 
   /// Path impairments — the netem half of the paper's router.  The
   /// downstream stage sits in front of the shared bottleneck link (all

@@ -4,6 +4,7 @@
 #include <csignal>
 #include <cstring>
 #include <memory>
+#include <sstream>
 #include <stdexcept>
 #include <vector>
 
@@ -162,9 +163,12 @@ Testbed::Testbed(const Scenario& scenario, util::Arena* arena)
   for (const FlowSpec& spec : specs) {
     infos.push_back({spec.id, spec.name, spec.kind});
   }
+  TraceCollectors::Policy policy;
+  policy.stride = scenario_.trace_stride;
+  policy.max_flow_series = scenario_.trace_max_flow_series;
   collectors_ = std::make_unique<TraceCollectors>(
       sim_, scenario.duration, std::chrono::milliseconds(500),
-      std::move(infos));
+      std::move(infos), policy);
   for (std::size_t i = 0; i < graph_->link_count(); ++i) {
     // A flow's goodput is measured at its terminal (client-side) hop so
     // multi-hop flows are not double-counted.
@@ -176,6 +180,14 @@ Testbed::Testbed(const Scenario& scenario, util::Arena* arena)
   }
   for (const GameFlow& g : games_) {
     collectors_->attach_game_receiver(g.spec.id, *g.receiver);
+  }
+
+  // --- fluid fleet ---------------------------------------------------------
+  // Constructed only for non-empty specs: a fleet-free scenario touches no
+  // link state and schedules no tick, keeping golden traces bit-identical.
+  if (!scenario_.fleet.empty()) {
+    fluid_ = std::make_unique<net::FluidAggregate>(
+        sim_, *graph_, scenario_.fleet, scenario_.duration, scenario_.seed);
   }
 
   // --- invariant auditors --------------------------------------------------
@@ -219,10 +231,22 @@ net::BottleneckRouter& Testbed::router() {
   return *router_view_;
 }
 
+std::string Testbed::composition() const {
+  std::ostringstream os;
+  os << "mix[" << games_.size() << " game + " << tcps_.size() << " tcp + "
+     << pings_.size() << " ping]";
+  if (fluid_ != nullptr) {
+    os << " fleet[" << fluid_->session_count() << " fluid sessions]";
+  }
+  return os.str();
+}
+
 stream::StreamSender& Testbed::game_sender() {
   if (games_.empty()) {
     throw std::logic_error(
-        "Testbed: game_sender(): this mix has no game-stream flow");
+        "Testbed: game_sender(): this mix has no game-stream flow "
+        "(composition: " +
+        composition() + ")");
   }
   return *games_.front().sender;
 }
@@ -230,14 +254,18 @@ stream::StreamSender& Testbed::game_sender() {
 stream::StreamReceiver& Testbed::game_receiver() {
   if (games_.empty()) {
     throw std::logic_error(
-        "Testbed: game_receiver(): this mix has no game-stream flow");
+        "Testbed: game_receiver(): this mix has no game-stream flow "
+        "(composition: " +
+        composition() + ")");
   }
   return *games_.front().receiver;
 }
 
 PingClient& Testbed::ping() {
   if (pings_.empty()) {
-    throw std::logic_error("Testbed: ping(): this mix has no ping flow");
+    throw std::logic_error(
+        "Testbed: ping(): this mix has no ping flow (composition: " +
+        composition() + ")");
   }
   return *pings_.front().client;
 }
@@ -279,6 +307,7 @@ RunTrace Testbed::run() {
     }
   }
   collectors_->start();
+  if (fluid_) fluid_->start();
   for (TcpFlow& t : tcps_) {
     t.flow->schedule(sim_, t.spec.start,
                      t.spec.stop.value_or(scenario_.duration));
@@ -286,9 +315,11 @@ RunTrace Testbed::run() {
 
   sim_.run_until(scenario_.duration);
   for (const auto& a : auditors_) a->final_check();
-  return collectors_->finalize(
+  RunTrace t = collectors_->finalize(
       pings_.empty() ? nullptr : pings_.front().client.get(),
       games_.empty() ? nullptr : games_.front().receiver.get());
+  if (fluid_) t.fleet = fluid_->finalize();
+  return t;
 }
 
 void Testbed::inject_fault() {

@@ -16,6 +16,7 @@
 #include "core/collectors.hpp"
 #include "core/ping.hpp"
 #include "core/scenario.hpp"
+#include "net/fluid.hpp"
 #include "net/router.hpp"
 #include "net/topology.hpp"
 #include "stream/receiver.hpp"
@@ -109,6 +110,10 @@ class Testbed {
 
   [[nodiscard]] const Scenario& scenario() const { return scenario_; }
 
+  /// The fluid fleet runtime, or nullptr when the scenario's fleet spec is
+  /// empty.
+  [[nodiscard]] net::FluidAggregate* fleet() { return fluid_.get(); }
+
   /// The first link's invariant auditor, or nullptr when auditing resolved
   /// to off (Scenario::audit, kAuto = Debug builds only).
   [[nodiscard]] const SimAuditor* auditor() const {
@@ -124,6 +129,10 @@ class Testbed {
   /// Arm the scenario's test-only fault (Scenario::fault) at run start:
   /// no-op unless the fault targets this run's seed.
   void inject_fault();
+
+  /// "mix[1 game + 1 tcp + 1 ping] fleet[200]"-style composition summary
+  /// for accessor diagnostics.
+  [[nodiscard]] std::string composition() const;
 
   void build_game_flow(const FlowSpec& spec, Time pad_down, Time pad_up);
   void build_tcp_flow(const FlowSpec& spec, Time pad_down, Time pad_up);
@@ -153,6 +162,9 @@ class Testbed {
 
   std::unique_ptr<TraceCollectors> collectors_;
   std::vector<std::unique_ptr<SimAuditor>> auditors_;
+  // Fluid background fleet; null when scenario_.fleet is empty, so the
+  // packet path runs exactly the legacy code.
+  std::unique_ptr<net::FluidAggregate> fluid_;
 };
 
 }  // namespace cgs::core

@@ -22,6 +22,7 @@ Link::Link(sim::Simulator& sim, std::string name, Bandwidth rate,
 
 void Link::handle_packet(PacketPtr pkt) {
   const Time now = sim_.now();
+  arrived_bytes_ += pkt->size();
   sniffer_.notify_arrival(*pkt, now);
   queue_->enqueue(std::move(pkt), now);
   if (!busy_) try_transmit();
@@ -35,6 +36,7 @@ void Link::handle_batch(PacketBatch& batch) {
   const Time now = sim_.now();
   for (std::size_t i = 0; i < batch.count; ++i) {
     PacketPtr pkt = std::move(batch.pkts[i]);
+    arrived_bytes_ += pkt->size();
     sniffer_.notify_arrival(*pkt, now);
     queue_->enqueue(std::move(pkt), now);
     if (!busy_) try_transmit();
@@ -48,7 +50,10 @@ void Link::try_transmit() {
 
   busy_ = true;
   sniffer_.notify_transmit(*pkt, sim_.now());
-  const Time ser = rate_.transmit_time(pkt->size());
+  // Zero fluid load takes the exact legacy expression so fleet-free runs
+  // stay bit-identical (golden trace hashes).
+  const Time ser = fluid_load_.is_zero() ? rate_.transmit_time(pkt->size())
+                                         : packet_rate().transmit_time(pkt->size());
 
   // Serialisation completes after `ser`; the packet then propagates for
   // prop_delay_ without occupying the transmitter.  Both stages are typed

@@ -7,6 +7,8 @@
 // paths and the per-flow delay padding that equalises RTTs at 16.5 ms).
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -37,9 +39,29 @@ class Link final : public PacketSink {
 
   [[nodiscard]] std::uint64_t packets_delivered() const { return delivered_pkts_; }
   [[nodiscard]] ByteSize bytes_delivered() const { return delivered_bytes_; }
+  /// Cumulative bytes that arrived at the queue (including later drops) —
+  /// the packet-demand signal the fluid capacity-sharing rule differences
+  /// per tick.
+  [[nodiscard]] ByteSize bytes_arrived() const { return arrived_bytes_; }
 
   /// Change capacity mid-run (used by capacity-variation scenarios).
   void set_rate(Bandwidth rate) { rate_ = rate; }
+
+  /// Aggregate fluid background load currently served by this link
+  /// (hybrid-fidelity fleet layer).  While non-zero, packets serialize at
+  /// packet_rate() = rate() - fluid_load(); zero restores the exact legacy
+  /// service model, bit for bit.
+  void set_fluid_load(Bandwidth load) { fluid_load_ = load; }
+  [[nodiscard]] Bandwidth fluid_load() const { return fluid_load_; }
+  /// Serialization capacity left for the packet path under the current
+  /// fluid load, floored at max(rate/50, 1 kb/s) so full-fidelity flows
+  /// are never starved outright by background fluid.
+  [[nodiscard]] Bandwidth packet_rate() const {
+    const std::int64_t floor_bps =
+        std::max<std::int64_t>(rate_.bits_per_sec() / 50, 1000);
+    const std::int64_t left = rate_.bits_per_sec() - fluid_load_.bits_per_sec();
+    return Bandwidth(std::max(left, floor_bps));
+  }
 
  private:
   /// Receives typed propagation-end events: deliver tap + downstream
@@ -76,6 +98,8 @@ class Link final : public PacketSink {
   bool busy_ = false;
   std::uint64_t delivered_pkts_ = 0;
   ByteSize delivered_bytes_{0};
+  ByteSize arrived_bytes_{0};
+  Bandwidth fluid_load_{0};
 };
 
 /// Infinite-capacity fixed-delay segment.

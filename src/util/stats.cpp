@@ -19,6 +19,40 @@ void OnlineSeries::add(std::span<const double> series) {
   ++runs_;
 }
 
+PercentileDigest::PercentileDigest(double lo, double hi, std::size_t bins)
+    : lo_(lo),
+      hi_(hi > lo ? hi : lo + 1.0),
+      width_((hi_ - lo_) / double(bins == 0 ? 1 : bins)),
+      bins_(bins == 0 ? 1 : bins, 0) {}
+
+void PercentileDigest::add(double x) {
+  const double v = std::clamp(x, lo_, hi_);
+  auto b = std::size_t((v - lo_) / width_);
+  if (b >= bins_.size()) b = bins_.size() - 1;
+  ++bins_[b];
+  ++n_;
+  sum_ += v;
+}
+
+double PercentileDigest::percentile(double p) const {
+  if (n_ == 0) return 0.0;
+  // Rank of the wanted sample (0-based), then walk the histogram.
+  const double rank = std::clamp(p, 0.0, 1.0) * double(n_ - 1);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < bins_.size(); ++b) {
+    if (bins_[b] == 0) continue;
+    const auto in_bin = double(bins_[b]);
+    if (rank < double(seen) + in_bin) {
+      // Interpolate linearly through the bin's width by the rank's
+      // position among the bin's samples.
+      const double frac = (rank - double(seen) + 0.5) / in_bin;
+      return lo_ + (double(b) + std::clamp(frac, 0.0, 1.0)) * width_;
+    }
+    seen += bins_[b];
+  }
+  return hi_;
+}
+
 double t_critical_95(std::size_t n) {
   if (n < 2) return 0.0;
   const std::size_t df = n - 1;

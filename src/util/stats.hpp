@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -58,6 +59,37 @@ class OnlineSeries {
   std::vector<OnlineStats> stats_;
   std::size_t len_ = 0;
   std::size_t runs_ = 0;
+};
+
+/// Fixed-bin streaming percentile digest: O(1) add, O(bins) quantile.
+///
+/// Samples are clamped into [lo, hi] and counted in equal-width bins;
+/// percentile() linearly interpolates within the winning bin, so the
+/// worst-case quantile error is one bin width.  This is the population
+/// digest for fleet-scale metrics (thousands of per-session samples per
+/// tick) where keeping every sample — or even a P² marker set per flow —
+/// would defeat the O(cells) memory contract of streaming sweeps.
+class PercentileDigest {
+ public:
+  PercentileDigest(double lo, double hi, std::size_t bins = 256);
+
+  /// Fold one sample (clamped to [lo, hi]).
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? sum_ / double(n_) : 0.0; }
+  /// p in [0,1]; 0 before the first sample.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;  // bin width
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
 };
 
 /// Two-sided Student-t critical value at 95% confidence for n-1 dof.

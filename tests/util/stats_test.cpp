@@ -123,5 +123,46 @@ TEST(Percentile, InterpolatesAndClamps) {
   EXPECT_DOUBLE_EQ(percentile_of({7.0}, 0.9), 7.0);
 }
 
+TEST(PercentileDigest, EmptyAndMean) {
+  PercentileDigest d(0.0, 100.0, 100);
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_DOUBLE_EQ(d.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+  d.add(10.0);
+  d.add(30.0);
+  EXPECT_EQ(d.count(), 2u);
+  EXPECT_DOUBLE_EQ(d.mean(), 20.0);
+}
+
+TEST(PercentileDigest, QuantilesWithinOneBinWidth) {
+  // Uniform samples 0..999 into 1000 equal-width bins: the digest's
+  // worst-case error contract is one bin width (here 1.0).
+  PercentileDigest d(0.0, 1000.0, 1000);
+  for (int i = 0; i < 1000; ++i) d.add(double(i));
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(double(i));
+  for (double p : {0.1, 0.5, 0.9, 0.95, 0.99}) {
+    EXPECT_NEAR(d.percentile(p), percentile_of(xs, p), 1.0) << "p=" << p;
+  }
+}
+
+TEST(PercentileDigest, ClampsOutOfRangeSamples) {
+  PercentileDigest d(0.0, 10.0, 10);
+  d.add(-5.0);   // clamps to lo
+  d.add(100.0);  // clamps to hi
+  EXPECT_EQ(d.count(), 2u);
+  EXPECT_GE(d.percentile(0.0), 0.0);
+  EXPECT_LE(d.percentile(1.0), 10.0);
+}
+
+TEST(PercentileDigest, SinglePointMass) {
+  PercentileDigest d(0.0, 50.0, 500);
+  for (int i = 0; i < 1000; ++i) d.add(25.0);
+  // Every quantile of a point mass lands inside the one occupied bin.
+  EXPECT_NEAR(d.percentile(0.01), 25.0, 50.0 / 500);
+  EXPECT_NEAR(d.percentile(0.5), 25.0, 50.0 / 500);
+  EXPECT_NEAR(d.percentile(0.99), 25.0, 50.0 / 500);
+}
+
 }  // namespace
 }  // namespace cgs

@@ -170,6 +170,47 @@ inline std::vector<SweepCell> parkinglot_grid(std::uint64_t seed) {
   return cells;
 }
 
+/// Hybrid-fidelity fleet grid: the paper's game stream + cubic competitor
+/// on an aggregation-scale 1 Gb/s bottleneck, with a fluid background
+/// fleet sharing the link.  Axes: population size x churn (static vs
+/// Poisson arrivals with exponential holding times), 30 s schedule.  Each
+/// fleet splits across the three envelope classes (game / bulk-cubic /
+/// bulk-bbr).
+inline std::vector<SweepCell> fleet_grid(std::uint64_t seed) {
+  std::vector<SweepCell> cells;
+  for (std::uint32_t sessions : {50u, 200u}) {
+    for (bool churn : {false, true}) {
+      Scenario sc = base_scenario(GameSystem::kStadia, 1000.0, 2.0,
+                                  CcAlgo::kCubic, seed);
+      sc.duration = std::chrono::seconds(30);
+      sc.tcp_start = std::chrono::seconds(5);
+      sc.tcp_stop = std::chrono::seconds(20);
+      const auto place = [&](net::FluidClass cls, std::uint32_t n) {
+        net::FluidSourceSpec src;
+        src.cls = cls;
+        src.sessions = n;
+        if (churn) {
+          // ~12 arrivals/min against a 10 s mean hold, capped at 2x the
+          // initial population.
+          src.arrival_per_min = 12.0;
+          src.mean_holding_s = 10.0;
+          src.max_sessions = n * 2;
+          src.diurnal = {0.5, 1.5, 1.0};
+        }
+        sc.fleet.sources.push_back(src);
+      };
+      place(net::FluidClass::kGameStream, sessions / 2);
+      place(net::FluidClass::kBulkCubic, sessions / 4);
+      place(net::FluidClass::kBulkBbr, sessions - sessions / 2 - sessions / 4);
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "fleet%u %s Stadia 1Gb/s cubic",
+                    sessions, churn ? "churn" : "static");
+      cells.push_back({buf, sc});
+    }
+  }
+  return cells;
+}
+
 /// Build the named grid, or nullopt for an unknown name.
 inline std::optional<std::vector<SweepCell>> grid_by_name(
     const std::string& name, std::uint64_t seed) {
@@ -179,10 +220,11 @@ inline std::optional<std::vector<SweepCell>> grid_by_name(
   if (name == "sick") return sick_grid(seed);
   if (name == "poison") return poison_grid(seed);
   if (name == "parkinglot") return parkinglot_grid(seed);
+  if (name == "fleet") return fleet_grid(seed);
   return std::nullopt;
 }
 
 inline constexpr const char* kGridNames =
-    "fig3|table3|table4|smoke|sick|poison|parkinglot";
+    "fig3|table3|table4|smoke|sick|poison|parkinglot|fleet";
 
 }  // namespace cgs::tools

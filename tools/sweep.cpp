@@ -7,6 +7,7 @@
 //   sweep --grid=smoke   # 30 s schedule, 2 systems x 2 queues (CI)
 //   sweep --grid=sick    # 1 healthy + 1 watchdog-tripping cell (triage CI)
 //   sweep --grid=poison  # 1 healthy + crash/oom/spin cells (chaos CI)
+//   sweep --grid=fleet   # hybrid-fidelity fleet: sessions x churn (CI)
 //
 // Fault isolation: --isolation=forked runs every (cell, seed) job in a
 // fork()ed child under a supervisor, so a crashing or runaway scenario
@@ -166,6 +167,22 @@ bool verify_cell(const SweepCell& cell, const cgs::core::ConditionResult& got,
       {got.rr.recovery_s, want.rr.recovery_s},
   };
   for (auto [a, b] : scalars) ok = ok && close(a, b);
+  // Fleet population digests (when the cell runs a fluid fleet).
+  ok = ok && got.fleet.active == want.fleet.active;
+  if (got.fleet.active) {
+    const std::pair<double, double> fleet_scalars[] = {
+        {got.fleet.p50_mean, want.fleet.p50_mean},
+        {got.fleet.p95_mean, want.fleet.p95_mean},
+        {got.fleet.p99_mean, want.fleet.p99_mean},
+        {got.fleet.mean_mbps_mean, want.fleet.mean_mbps_mean},
+        {got.fleet.stall_mean, want.fleet.stall_mean},
+        {got.fleet.jain_mean, want.fleet.jain_mean},
+        {got.fleet.peak_sessions_mean, want.fleet.peak_sessions_mean},
+        {got.fleet.arrivals_mean, want.fleet.arrivals_mean},
+        {got.fleet.departures_mean, want.fleet.departures_mean},
+    };
+    for (auto [a, b] : fleet_scalars) ok = ok && close(a, b);
+  }
   if (ok) {
     for (std::size_t i = 0; i < want.game.mean.size(); ++i) {
       ok = ok && close(got.game.mean[i], want.game.mean[i]) &&
@@ -352,6 +369,36 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("wrote %s (%zu link rows)\n", lpath.c_str(), link_rows);
+  }
+  // Fleet population digest: one row per cell that ran a fluid fleet
+  // (omitted entirely for fleet-free grids).
+  {
+    std::size_t fleet_rows = 0;
+    for (const auto& r : sweep.results) {
+      if (r.fleet.active) ++fleet_rows;
+    }
+    if (fleet_rows > 0) {
+      const std::string fpath = args.csv_prefix + "_fleet.csv";
+      cgs::CsvWriter fcsv(fpath);
+      fcsv.header({"cell", "runs", "peak_sessions_mean", "p50_mbps_mean",
+                   "p95_mbps_mean", "p99_mbps_mean", "mean_mbps_mean",
+                   "stall_rate_mean", "jain_mean", "arrivals_mean",
+                   "departures_mean"});
+      for (std::size_t i = 0; i < sweep.results.size(); ++i) {
+        const auto& f = sweep.results[i].fleet;
+        if (!f.active) continue;
+        fcsv.row({sweep.cells[i].label,
+                  std::to_string(sweep.results[i].runs),
+                  std::to_string(f.peak_sessions_mean),
+                  std::to_string(f.p50_mean), std::to_string(f.p95_mean),
+                  std::to_string(f.p99_mean),
+                  std::to_string(f.mean_mbps_mean),
+                  std::to_string(f.stall_mean), std::to_string(f.jain_mean),
+                  std::to_string(f.arrivals_mean),
+                  std::to_string(f.departures_mean)});
+      }
+      std::printf("wrote %s (%zu fleet rows)\n", fpath.c_str(), fleet_rows);
+    }
   }
   if (report.progress_errors > 0) {
     std::fprintf(stderr, "warning: progress callback threw %d time%s\n",
