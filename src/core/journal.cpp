@@ -1,11 +1,14 @@
 #include "core/journal.hpp"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <string_view>
 #include <utility>
 
 #include "util/crc32.hpp"
@@ -315,6 +318,45 @@ std::optional<JournalScan> read_journal(const std::string& path) {
   }
   scan.valid_bytes = off;
   return scan;
+}
+
+std::vector<JournalFileInfo> scan_journal_dir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) throw_errno("opendir", dir);
+  std::vector<JournalFileInfo> out;
+  for (;;) {
+    errno = 0;
+    const dirent* ent = ::readdir(d);
+    if (ent == nullptr) break;
+    const std::string name = ent->d_name;
+    constexpr std::string_view kSuffix = ".jnl";
+    if (name.size() <= kSuffix.size() ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+            0) {
+      continue;
+    }
+    const std::string path = dir + "/" + name;
+    try {
+      const auto scan = read_journal(path);
+      if (!scan) continue;  // died mid-creation: nothing recoverable
+      JournalFileInfo info;
+      info.path = path;
+      info.meta = scan->meta;
+      info.entries = scan->entries.size();
+      info.torn_tail = scan->torn_tail;
+      out.push_back(std::move(info));
+    } catch (const JournalError&) {
+      // Foreign or corrupt-beyond-repair file: a restart scan must not die
+      // on one bad inode, it recovers everything else.
+      continue;
+    }
+  }
+  ::closedir(d);
+  std::sort(out.begin(), out.end(),
+            [](const JournalFileInfo& a, const JournalFileInfo& b) {
+              return a.path < b.path;
+            });
+  return out;
 }
 
 // -- writing ---------------------------------------------------------------

@@ -87,6 +87,30 @@ struct JournalScan {
 /// a bad record that extends to end-of-file is a torn tail, not an error.
 [[nodiscard]] std::optional<JournalScan> read_journal(const std::string& path);
 
+/// One journal found by scan_journal_dir: its location, header metadata
+/// and how far it got.  `entries` counts intact records only (a torn tail
+/// is excluded, exactly as a resume would exclude it).
+struct JournalFileInfo {
+  std::string path;
+  JournalMeta meta;
+  std::size_t entries = 0;
+  bool torn_tail = false;
+  /// Every (cell, run) slot of the grid has a record: a resume against
+  /// this journal re-runs nothing.
+  [[nodiscard]] bool complete() const {
+    return entries >= std::size_t(meta.runs) * meta.cells && entries > 0;
+  }
+};
+
+/// Enumerate the intact journals directly under `dir` (files matching
+/// "*.jnl"), sorted by path.  Built for a service restart scanning its
+/// state directory: files that are missing headers, corrupt, foreign, or
+/// unreadable are skipped — never thrown — because a directory that
+/// accumulated junk must still be recoverable.  Throws JournalError only
+/// when `dir` itself cannot be opened.
+[[nodiscard]] std::vector<JournalFileInfo> scan_journal_dir(
+    const std::string& dir);
+
 /// Appends CRC'd records, optionally fsync'ing each one.
 class JournalWriter {
  public:

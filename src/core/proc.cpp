@@ -35,19 +35,6 @@ constexpr int kExitWriteFailed = 121;
                            std::strerror(errno));
 }
 
-bool write_exact(int fd, const unsigned char* p, std::size_t n) {
-  while (n > 0) {
-    const ssize_t w = ::write(fd, p, n);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    p += w;
-    n -= std::size_t(w);
-  }
-  return true;
-}
-
 void put_u32(std::vector<unsigned char>& out, std::uint32_t v) {
   const std::size_t off = out.size();
   out.resize(off + sizeof v);
@@ -211,6 +198,39 @@ void classify_exit(int status, bool timed_out, const ResourceLimits& limits,
 
 }  // namespace
 
+bool write_exact(int fd, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= std::size_t(w);
+  }
+  return true;
+}
+
+long read_some(int fd, void* data, std::size_t n) {
+  for (;;) {
+    const ssize_t r = ::read(fd, data, n);
+    if (r >= 0) return long(r);
+    if (errno != EINTR) return -1;
+  }
+}
+
+bool read_exact(int fd, void* data, std::size_t n) {
+  auto* p = static_cast<unsigned char*>(data);
+  while (n > 0) {
+    const long r = read_some(fd, p, n);
+    if (r <= 0) return false;  // EOF short of n, or a real error
+    p += r;
+    n -= std::size_t(r);
+  }
+  return true;
+}
+
 ChildResult run_forked(const ChildJob& job, const ResourceLimits& limits) {
   int fds[2];
   if (::pipe(fds) != 0) supervisor_error("pipe");
@@ -259,11 +279,10 @@ ChildResult run_forked(const ChildJob& job, const ResourceLimits& limits) {
       ::kill(pid, SIGKILL);
       continue;
     }
-    const ssize_t r = ::read(fds[0], chunk, sizeof chunk);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      break;  // classify from the exit status
-    }
+    // read_some retries EINTR internally; short reads accumulate in buf,
+    // so a signal storm during a multi-MB frame costs retries, not bytes.
+    const long r = read_some(fds[0], chunk, sizeof chunk);
+    if (r < 0) break;   // real error: classify from the exit status
     if (r == 0) break;  // EOF: the child exited (or died)
     buf.insert(buf.end(), chunk, chunk + r);
   }

@@ -76,6 +76,27 @@ using ChildJob = std::function<std::vector<unsigned char>()>;
 [[nodiscard]] ChildResult run_forked(const ChildJob& job,
                                      const ResourceLimits& limits);
 
+// --- EINTR-hardened fd I/O ---------------------------------------------------
+//
+// The supervisor and child talk over a pipe while signals fly (SIGCHLD
+// from sibling workers, operator SIGTERM/SIGINT, profiler SIGPROF), and
+// any of them can interrupt a read/write mid-frame or split it short.
+// These helpers retry EINTR internally and accumulate short transfers, so
+// frame-level code never sees a partial syscall.  They are equally valid
+// on sockets and regular files (the sweep service reuses them).
+
+/// Write exactly `n` bytes, retrying EINTR and short writes.  False on a
+/// real error (errno is preserved).
+bool write_exact(int fd, const void* data, std::size_t n);
+
+/// Read up to `n` bytes, retrying EINTR only.  Returns the byte count
+/// (0 = EOF), or -1 on a real error (errno is preserved).
+long read_some(int fd, void* data, std::size_t n);
+
+/// Read exactly `n` bytes, retrying EINTR and accumulating short reads.
+/// False on EOF-before-n or a real error.
+bool read_exact(int fd, void* data, std::size_t n);
+
 /// Capped exponential backoff with deterministic jitter for retry
 /// attempt `attempt` (1-based): min(base << (attempt-1), max), scaled
 /// into [50%, 100%] by a splitmix64 hash of `jitter_key` and the attempt

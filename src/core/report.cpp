@@ -238,4 +238,78 @@ std::string sparkline(const std::vector<double>& series, std::size_t width) {
   return out;
 }
 
+SweepCsvFiles write_sweep_csvs(const std::string& prefix,
+                               const SweepResult& sweep) {
+  SweepCsvFiles files;
+
+  files.cells_path = prefix + "_cells.csv";
+  {
+    CsvWriter csv(files.cells_path);
+    csv.header({"cell", "runs", "fairness_mean", "fairness_sd",
+                "game_fair_mbps", "tcp_fair_mbps", "jain_mean", "rtt_ms_mean",
+                "rtt_ms_sd", "fps_mean", "loss_mean", "steady_mean_mbps",
+                "response_s", "recovery_s"});
+    for (std::size_t i = 0; i < sweep.results.size(); ++i) {
+      const auto& r = sweep.results[i];
+      csv.row({sweep.cells[i].label, std::to_string(r.runs),
+               std::to_string(r.fairness_mean), std::to_string(r.fairness_sd),
+               std::to_string(r.game_fair_mbps),
+               std::to_string(r.tcp_fair_mbps), std::to_string(r.jain_mean),
+               std::to_string(r.rtt_mean_ms), std::to_string(r.rtt_sd_ms),
+               std::to_string(r.fps_mean), std::to_string(r.loss_mean),
+               std::to_string(r.steady_mean_mbps),
+               std::to_string(r.rr.response_s),
+               std::to_string(r.rr.recovery_s)});
+      ++files.cell_rows;
+    }
+  }
+
+  // Per-link digest: one row per (cell, topology link).  Single-bottleneck
+  // grids get one "bottleneck" row per cell; parking lots one per hop.
+  files.links_path = prefix + "_links.csv";
+  {
+    CsvWriter lcsv(files.links_path);
+    lcsv.header({"cell", "link", "util_fair_mbps_mean", "util_fair_mbps_sd",
+                 "drops_mean", "drops_sd", "peak_depth_bytes_mean"});
+    for (std::size_t i = 0; i < sweep.results.size(); ++i) {
+      for (const auto& l : sweep.results[i].link_rows) {
+        lcsv.row({sweep.cells[i].label, l.name,
+                  std::to_string(l.util_fair_mean),
+                  std::to_string(l.util_fair_sd), std::to_string(l.drops_mean),
+                  std::to_string(l.drops_sd),
+                  std::to_string(l.peak_depth_mean)});
+        ++files.link_rows;
+      }
+    }
+  }
+
+  // Fleet population digest: one row per cell that ran a fluid fleet
+  // (omitted entirely for fleet-free grids).
+  std::size_t fleet_cells = 0;
+  for (const auto& r : sweep.results) {
+    if (r.fleet.active) ++fleet_cells;
+  }
+  if (fleet_cells > 0) {
+    files.fleet_path = prefix + "_fleet.csv";
+    CsvWriter fcsv(files.fleet_path);
+    fcsv.header({"cell", "runs", "peak_sessions_mean", "p50_mbps_mean",
+                 "p95_mbps_mean", "p99_mbps_mean", "mean_mbps_mean",
+                 "stall_rate_mean", "jain_mean", "arrivals_mean",
+                 "departures_mean"});
+    for (std::size_t i = 0; i < sweep.results.size(); ++i) {
+      const auto& f = sweep.results[i].fleet;
+      if (!f.active) continue;
+      fcsv.row({sweep.cells[i].label, std::to_string(sweep.results[i].runs),
+                std::to_string(f.peak_sessions_mean),
+                std::to_string(f.p50_mean), std::to_string(f.p95_mean),
+                std::to_string(f.p99_mean), std::to_string(f.mean_mbps_mean),
+                std::to_string(f.stall_mean), std::to_string(f.jain_mean),
+                std::to_string(f.arrivals_mean),
+                std::to_string(f.departures_mean)});
+      ++files.fleet_rows;
+    }
+  }
+  return files;
+}
+
 }  // namespace cgs::core

@@ -2,10 +2,12 @@
 // the bench binaries print, plus CSV dumping for plotting.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "core/aggregate.hpp"
+#include "core/sweep.hpp"
 
 namespace cgs::core {
 
@@ -57,5 +59,26 @@ void write_link_series_csv(const std::string& path, Time sample_interval,
 /// Compact console sparkline of a bitrate series (for quick inspection).
 [[nodiscard]] std::string sparkline(const std::vector<double>& series,
                                     std::size_t width = 80);
+
+/// What write_sweep_csvs produced: the paths it wrote and the row counts,
+/// so callers can report them.  fleet_path stays empty when no cell of the
+/// sweep ran a fluid fleet (the file is not written at all).
+struct SweepCsvFiles {
+  std::string cells_path;
+  std::size_t cell_rows = 0;
+  std::string links_path;
+  std::size_t link_rows = 0;
+  std::string fleet_path;
+  std::size_t fleet_rows = 0;
+};
+
+/// Write the standard sweep output set: <prefix>_cells.csv (one row per
+/// cell), <prefix>_links.csv (one row per cell x topology link) and — only
+/// when some cell ran a fluid fleet — <prefix>_fleet.csv.  This is THE
+/// definition of the sweep CSV format: the sweep CLI and the sweep daemon
+/// both call it, so a resumed or daemon-run sweep produces byte-identical
+/// files to a direct CLI run.
+SweepCsvFiles write_sweep_csvs(const std::string& prefix,
+                               const SweepResult& sweep);
 
 }  // namespace cgs::core

@@ -135,7 +135,18 @@ SweepReport sweep_jobs(
                                 std::to_string(opts.runs) + ")");
   }
   SweepReport report;
-  if (cells.empty()) return report;
+  if (cells.empty()) {
+    if (opts.on_snapshot) {
+      ProgressSnapshot s;
+      s.final = true;
+      try {
+        opts.on_snapshot(s);
+      } catch (...) {
+        ++report.progress_errors;
+      }
+    }
+    return report;
+  }
   // Fail nonsensical configs on the calling thread, before spawning workers.
   for (const SweepCell& c : cells) c.scenario.validate();
 
@@ -175,17 +186,59 @@ SweepReport sweep_jobs(
   std::mutex progress_mu;
   int reported = 0;  // guarded by progress_mu: keeps calls strictly 1..total
 
+  // Snapshot machinery: per-cell delivery counts feed cells_finished, and
+  // the failure-side counters are read under failures_mu so a snapshot is
+  // one consistent cut of the sweep, not a smeared mix of counters.
+  auto cell_delivered = std::make_unique<std::atomic<int>[]>(cells.size());
+  std::atomic<std::size_t> cells_finished{0};
+  using SnapClock = std::chrono::steady_clock;
+  SnapClock::time_point last_snapshot{};  // guarded by progress_mu
+
+  auto make_snapshot = [&](bool final_snapshot) {
+    ProgressSnapshot s;
+    s.total = total;
+    s.cells = cells.size();
+    s.finished = done.load(std::memory_order_acquire);
+    s.cells_finished = cells_finished.load(std::memory_order_acquire);
+    {
+      std::lock_guard lk(failures_mu);
+      s.succeeded = report.succeeded;
+      s.failed = int(report.failed());
+      s.skipped = report.skipped;
+      s.retries = report.retries;
+      s.quarantined = report.quarantined;
+    }
+    s.final = final_snapshot;
+    return s;
+  };
+
   auto report_one = [&] {
     done.fetch_add(1, std::memory_order_release);
-    if (!opts.progress) return;
+    if (!opts.progress && !opts.on_snapshot) return;
     std::lock_guard lk(progress_mu);
     ++reported;
-    try {
-      opts.progress(reported, total);
-    } catch (...) {
-      // A throwing progress callback must not kill a worker thread; the
-      // swallow is counted so the caller still learns reporting is broken.
-      ++report.progress_errors;
+    if (opts.progress) {
+      try {
+        opts.progress(reported, total);
+      } catch (...) {
+        // A throwing progress callback must not kill a worker thread; the
+        // swallow is counted so the caller still learns reporting is broken.
+        ++report.progress_errors;
+      }
+    }
+    if (opts.on_snapshot) {
+      const auto now = SnapClock::now();
+      if (opts.snapshot_interval_ms == 0 ||
+          last_snapshot == SnapClock::time_point{} ||
+          now - last_snapshot >=
+              std::chrono::milliseconds(opts.snapshot_interval_ms)) {
+        last_snapshot = now;
+        try {
+          opts.on_snapshot(make_snapshot(false));
+        } catch (...) {
+          ++report.progress_errors;
+        }
+      }
     }
   };
 
@@ -225,6 +278,10 @@ SweepReport sweep_jobs(
         st.pending.erase(it);  // the trace dies here — nothing accumulates
         ++st.next_run;
       }
+    }
+    if (cell_delivered[cell].fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        runs) {
+      cells_finished.fetch_add(1, std::memory_order_acq_rel);
     }
     report_one();
   };
@@ -418,6 +475,17 @@ SweepReport sweep_jobs(
 
   report.finished = done.load(std::memory_order_acquire);
   report.interrupted = report.finished < total;
+
+  // The one guaranteed snapshot: emitted after the pool drains — complete
+  // or interrupted — regardless of the throttle, so a subscriber always
+  // sees the end state.
+  if (opts.on_snapshot) {
+    try {
+      opts.on_snapshot(make_snapshot(true));
+    } catch (...) {
+      ++report.progress_errors;
+    }
+  }
 
   std::sort(report.failures.begin(), report.failures.end(),
             [](const SweepFailure& a, const SweepFailure& b) {

@@ -111,6 +111,26 @@ enum class Isolation : std::uint8_t {
   kForked,
 };
 
+/// Throttled cross-thread progress summary (SweepOptions::on_snapshot):
+/// one consistent reading of the sweep's counters, emitted at most every
+/// snapshot_interval_ms instead of once per job — what a daemon streams to
+/// subscribers and a CLI paints without drowning a large grid in per-job
+/// callbacks.
+struct ProgressSnapshot {
+  int total = 0;        // jobs in the grid (cells x runs)
+  int finished = 0;     // jobs delivered: successes + failures + preloaded
+  int succeeded = 0;    // fresh jobs that produced a trace
+  int failed = 0;       // failed jobs, preloaded and fresh
+  int skipped = 0;      // jobs restored from a journal
+  int retries = 0;      // extra attempts granted
+  int quarantined = 0;  // jobs that exhausted their quarantine strikes
+  std::size_t cells = 0;           // cells in the grid
+  std::size_t cells_finished = 0;  // cells with every job delivered
+  /// Set on the one guaranteed last snapshot, emitted when the pool has
+  /// drained (complete or interrupted) regardless of the throttle.
+  bool final = false;
+};
+
 struct SweepOptions {
   int runs = 15;    // seeded repetitions per cell (paper: 15, §3.4)
   int threads = 0;  // 0 = hardware concurrency
@@ -120,6 +140,14 @@ struct SweepOptions {
   /// exceptions it throws are counted (SweepReport::progress_errors) and
   /// swallowed — reporting must not kill a worker thread.
   std::function<void(int, int)> progress;
+
+  /// Throttled progress reporting: called with a ProgressSnapshot at most
+  /// every snapshot_interval_ms (0 = every delivery), plus exactly once —
+  /// final = true — after the pool drains, even when interrupted.  Calls
+  /// are serialized with `progress`; exceptions are swallowed and counted
+  /// in SweepReport::progress_errors.  Unset costs nothing.
+  std::function<void(const ProgressSnapshot&)> on_snapshot;
+  std::uint32_t snapshot_interval_ms = 500;
 
   /// Extra executions granted to *transient* failures (ErrorClass
   /// kUnclassified — foreign exceptions, possibly environmental).

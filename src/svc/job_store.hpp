@@ -1,0 +1,157 @@
+// Job admission, lifecycle and crash-tolerant persistence for the sweep
+// service.
+//
+// The store is the daemon's single source of truth about jobs: a bounded
+// FIFO admission queue (beyond capacity, submissions are rejected with a
+// structured queue-full error carrying an advisory retry-after — memory
+// stays bounded, the *client* holds the backlog), the per-job state
+// machine, and two on-disk artifacts per job under the daemon's state
+// directory:
+//
+//   job-<id>.jnl   the sweep's fsync'd run journal (core/journal) — the
+//                  ground truth for results, including the submission spec
+//                  in the journal's provenance note
+//   job-<id>_*.csv the output set (core/report::write_sweep_csvs), written
+//                  when the job completes
+//
+// plus one shared CRC-framed state file (sweepd.state, tmp+rename on every
+// mutation) recording job ids, specs and states.  Recovery after any death
+// — clean drain or kill -9 — is: load the state file if intact, then
+// rescan the directory for job journals the state file missed (the journal
+// note re-derives the spec), re-queue every non-terminal job, and resume
+// each from its journal.  Because resume feeds journaled results through
+// the same seed-order delivery path, a recovered job's CSVs are
+// byte-identical to an uninterrupted run's.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/scenario.hpp"
+#include "core/sweep.hpp"
+#include "svc/protocol.hpp"
+
+namespace cgs::svc {
+
+enum class JobState : std::uint8_t {
+  kQueued = 0,
+  kRunning = 1,
+  kDone = 2,
+  kFailed = 3,
+  kCancelled = 4,
+};
+
+[[nodiscard]] std::string_view to_string(JobState s);
+
+[[nodiscard]] constexpr bool is_terminal(JobState s) {
+  return s == JobState::kDone || s == JobState::kFailed ||
+         s == JobState::kCancelled;
+}
+
+/// One submitted sweep.  Everything except `stop` is guarded by the
+/// store's mutex; `stop` is the graceful-drain flag handed to the sweep
+/// engine, flipped by cancel/drain from other threads.
+struct Job {
+  std::uint64_t id = 0;
+  KvMap spec;
+  JobState state = JobState::kQueued;
+  std::atomic<bool> stop{false};
+  bool cancel_requested = false;  // distinguishes cancel from daemon drain
+  std::string error;              // terminal detail (failed/cancelled)
+  core::ProgressSnapshot progress;
+  bool have_progress = false;
+};
+
+/// Build the single cell of an inline (non-named-grid) submission from its
+/// kv spec.  Recognized keys: system (stadia|geforce|luna), cc
+/// (cubic|bbr|reno|vegas|none), cap_mbps, queue (xBDP), base_rtt_ms,
+/// duration_s, tcp_start_s, tcp_stop_s, seed.  Unknown keys are ignored
+/// (runs/grid belong to other layers); malformed values throw
+/// std::invalid_argument naming the key — which the server maps to a
+/// structured invalid-scenario error, not a dead session.
+[[nodiscard]] std::vector<core::SweepCell> inline_cells_from_spec(
+    const KvMap& spec);
+
+/// Thread-safe job table + bounded queue + persistence.
+class JobStore {
+ public:
+  JobStore(std::string dir, std::size_t max_queue);
+
+  /// What admission decided.  err == kNone: admitted as job `id`.
+  /// err == kQueueFull: retry_after_s carries the advisory backoff.
+  struct Admission {
+    core::ProtoError err = core::ProtoError::kNone;
+    std::uint64_t id = 0;
+    double retry_after_s = 0;
+    std::string message;
+  };
+
+  /// Admit one spec into the queue (state is persisted before returning).
+  [[nodiscard]] Admission submit(KvMap spec);
+
+  /// Runner: claim the oldest queued job, marking it running.  0 = empty.
+  [[nodiscard]] std::uint64_t claim_next();
+
+  /// Runner: move a running job to a terminal state (persists).
+  void finish(std::uint64_t id, JobState final_state, std::string error);
+
+  /// Runner: a drain interrupted this running job — back to the queue
+  /// front, journal intact, for the next daemon incarnation (persists).
+  void requeue_front(std::uint64_t id);
+
+  /// Cancel: queued jobs go terminal immediately; running jobs get their
+  /// stop flag flipped (the runner finishes them as cancelled).  Returns
+  /// kUnknownJob for ids the store has never seen; cancelling a terminal
+  /// job is a no-op success.
+  core::ProtoError cancel(std::uint64_t id);
+
+  /// Pointer to a job (stable across map growth) or nullptr.  The caller
+  /// may read `stop` freely; other fields only via store methods.
+  [[nodiscard]] Job* find(std::uint64_t id);
+
+  /// Mirror the latest engine snapshot into the job (for status listings).
+  void update_progress(std::uint64_t id, const core::ProgressSnapshot& s);
+
+  /// Copy out one job's fields.  False when unknown.
+  bool snapshot(std::uint64_t id, JobState* state, KvMap* spec,
+                std::string* error, core::ProgressSnapshot* progress,
+                bool* have_progress) const;
+
+  /// Human-facing listing of every job, oldest first.
+  [[nodiscard]] std::string status_text() const;
+
+  [[nodiscard]] std::size_t queued_count() const;
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] std::string journal_path(std::uint64_t id) const;
+  [[nodiscard]] std::string csv_prefix(std::uint64_t id) const;
+  [[nodiscard]] std::string state_path() const;
+
+  /// Persist the job table (CRC-framed, tmp+rename).  Called internally on
+  /// every mutation; exposed for the drain path's final write.
+  void save_state() const;
+
+  /// Restart recovery: load the state file (a corrupt or missing one is
+  /// ignored, not fatal), rescan the directory for job journals the state
+  /// file missed, and re-queue every non-terminal job oldest-first.
+  /// Returns the ids re-queued for resume.
+  std::vector<std::uint64_t> recover();
+
+ private:
+  void save_state_locked() const;
+
+  std::string dir_;
+  std::size_t max_queue_;
+  mutable std::mutex mu_;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+  std::deque<std::uint64_t> queue_;
+};
+
+}  // namespace cgs::svc

@@ -1,0 +1,122 @@
+#include "svc/protocol.hpp"
+
+#include <cstring>
+
+#include "util/crc32.hpp"
+
+namespace cgs::svc {
+namespace {
+
+void put_u32(std::vector<unsigned char>& out, std::uint32_t v) {
+  const std::size_t off = out.size();
+  out.resize(off + sizeof v);
+  std::memcpy(out.data() + off, &v, sizeof v);
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+}  // namespace
+
+std::vector<unsigned char> encode_frame(MsgType type,
+                                        std::string_view payload) {
+  std::vector<unsigned char> out;
+  out.reserve(kFrameOverhead + payload.size());
+  put_u32(out, kFrameMagic);
+  out.push_back(std::uint8_t(type));
+  put_u32(out, std::uint32_t(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  put_u32(out, util::crc32(out.data(), out.size()));
+  return out;
+}
+
+void FrameParser::feed(const unsigned char* data, std::size_t n) {
+  if (bad_) return;  // the session is doomed; don't grow the buffer
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+FrameParser::Status FrameParser::next(Frame& out) {
+  if (bad_) return Status::kBad;
+  constexpr std::size_t kHeader = 4 + 1 + 4;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kHeader) return Status::kNeedMore;
+  const unsigned char* p = buf_.data() + pos_;
+  if (get_u32(p) != kFrameMagic) {
+    bad_ = true;
+    bad_reason_ = "bad frame magic";
+    return Status::kBad;
+  }
+  const std::uint32_t payload_len = get_u32(p + 5);
+  if (payload_len > kMaxPayload) {
+    bad_ = true;
+    bad_reason_ = "oversized frame (" + std::to_string(payload_len) +
+                  " bytes > " + std::to_string(kMaxPayload) + " cap)";
+    return Status::kBad;
+  }
+  const std::size_t total = kHeader + payload_len + 4;
+  if (avail < total) return Status::kNeedMore;
+  if (get_u32(p + total - 4) != util::crc32(p, total - 4)) {
+    bad_ = true;
+    bad_reason_ = "frame CRC mismatch";
+    return Status::kBad;
+  }
+  out.type = MsgType(p[4]);
+  out.payload.assign(p + kHeader, p + kHeader + payload_len);
+  pos_ += total;
+  // Compact once the dead prefix dominates, keeping the buffer bounded by
+  // one in-flight frame plus change.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + std::ptrdiff_t(pos_));
+    pos_ = 0;
+  }
+  return Status::kFrame;
+}
+
+std::string encode_kv(const KvMap& kv) {
+  std::string out;
+  for (const auto& [k, v] : kv) {
+    out += k;
+    out += '=';
+    for (char c : v) out += (c == '\n') ? ' ' : c;
+    out += '\n';
+  }
+  return out;
+}
+
+KvMap parse_kv(std::string_view text) {
+  KvMap kv;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) nl = text.size();
+    const std::string_view line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos || eq == 0) continue;
+    kv[std::string(line.substr(0, eq))] = std::string(line.substr(eq + 1));
+  }
+  return kv;
+}
+
+std::string kv_get(const KvMap& kv, const std::string& key,
+                   const std::string& fallback) {
+  const auto it = kv.find(key);
+  return it == kv.end() ? fallback : it->second;
+}
+
+std::vector<unsigned char> encode_error(core::ProtoError code,
+                                        std::string_view message,
+                                        double retry_after_s) {
+  KvMap kv;
+  kv["code"] = std::to_string(int(code));
+  kv["name"] = std::string(to_string(code));
+  kv["message"] = std::string(message);
+  if (retry_after_s > 0) kv["retry_after_s"] = std::to_string(retry_after_s);
+  const std::string text = encode_kv(kv);
+  return {text.begin(), text.end()};
+}
+
+}  // namespace cgs::svc

@@ -1,0 +1,62 @@
+#include "svc/publisher.hpp"
+
+#include <utility>
+
+namespace cgs::svc {
+
+std::uint64_t SnapshotPublisher::publish(std::uint64_t job,
+                                         std::string payload, bool done) {
+  std::lock_guard lk(mu_);
+  PublishedSnapshot& slot = latest_[job];
+  ++slot.seq;
+  slot.payload = std::move(payload);
+  // Terminal is sticky: a late throttled snapshot delivered after the
+  // final one must not un-finish the job in subscribers' eyes.
+  slot.done = slot.done || done;
+  return slot.seq;
+}
+
+std::optional<PublishedSnapshot> SnapshotPublisher::latest(
+    std::uint64_t job) const {
+  std::lock_guard lk(mu_);
+  const auto it = latest_.find(job);
+  if (it == latest_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool SendBuffer::push(std::vector<unsigned char> frame, bool droppable) {
+  if (droppable && bytes_ + frame.size() > cap_) {
+    lossy_ = true;
+    return false;
+  }
+  bytes_ += frame.size();
+  frames_.push_back(std::move(frame));
+  return true;
+}
+
+const unsigned char* SendBuffer::front(std::size_t& n) const {
+  if (frames_.empty()) {
+    n = 0;
+    return nullptr;
+  }
+  const auto& f = frames_.front();
+  n = f.size() - front_off_;
+  return f.data() + front_off_;
+}
+
+void SendBuffer::consume(std::size_t n) {
+  bytes_ -= n;
+  while (n > 0) {
+    auto& f = frames_.front();
+    const std::size_t left = f.size() - front_off_;
+    if (n < left) {
+      front_off_ += n;
+      return;
+    }
+    n -= left;
+    front_off_ = 0;
+    frames_.pop_front();
+  }
+}
+
+}  // namespace cgs::svc

@@ -1,0 +1,95 @@
+// Telemetry fan-out with graceful degradation for the sweep service.
+//
+// Two building blocks, both deliberately dumb:
+//
+//  - SnapshotPublisher: a thread-safe "latest value wins" mailbox of
+//    progress snapshots, one slot per job with a monotonic sequence
+//    number.  The sweep runner publishes from its worker threads; the
+//    server's poll loop reads.  Only the newest snapshot is retained —
+//    telemetry is a state stream, not an event log, so a subscriber that
+//    fell behind catches up in one frame instead of replaying history.
+//    Terminal snapshots stay retained so a watcher connecting after the
+//    job finished still gets the end state (that is what makes client
+//    reconnect resume-from-seq work).
+//
+//  - SendBuffer: one session's bounded outgoing queue.  Droppable frames
+//    (snapshots) pushed beyond the byte cap are discarded and the buffer
+//    marked lossy — the next snapshot that does fit tells the client it
+//    missed some (`lossy=1`).  Control frames (errors, accept/done acks)
+//    always append; they stay bounded because the server stops *reading*
+//    from a session whose buffer is over the cap, so a stalled subscriber
+//    cannot manufacture new control traffic either.  This is the policy
+//    that lets one wedged `watch` client cost O(cap) memory and zero sweep
+//    throughput.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cgs::svc {
+
+/// One published progress reading for a job.
+struct PublishedSnapshot {
+  std::uint64_t seq = 0;  // per-job, monotonically increasing from 1
+  std::string payload;    // encoded kv, ready to frame
+  bool done = false;      // terminal: the job reached its final state
+};
+
+/// Latest-value mailbox, publisher side thread-safe vs reader side.
+class SnapshotPublisher {
+ public:
+  /// Replace job's snapshot, assigning the next sequence number (returned).
+  std::uint64_t publish(std::uint64_t job, std::string payload, bool done);
+
+  /// Latest snapshot for a job, or nullopt if nothing published yet.
+  [[nodiscard]] std::optional<PublishedSnapshot> latest(
+      std::uint64_t job) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, PublishedSnapshot> latest_;
+};
+
+/// Bounded per-session outgoing frame queue (single-threaded: owned by the
+/// server's poll loop).
+class SendBuffer {
+ public:
+  explicit SendBuffer(std::size_t cap_bytes) : cap_(cap_bytes) {}
+
+  /// Queue a frame.  A droppable frame that would push the buffer over the
+  /// cap is dropped (and the buffer marked lossy); control frames always
+  /// append.  Returns false iff the frame was dropped.
+  bool push(std::vector<unsigned char> frame, bool droppable);
+
+  [[nodiscard]] bool empty() const { return frames_.empty(); }
+  [[nodiscard]] std::size_t bytes() const { return bytes_; }
+  [[nodiscard]] bool over_cap() const { return bytes_ >= cap_; }
+
+  /// The next unsent span (valid until consume/push).  n = 0 when empty.
+  [[nodiscard]] const unsigned char* front(std::size_t& n) const;
+
+  /// Advance past `n` sent bytes (may end mid-frame: short send).
+  void consume(std::size_t n);
+
+  /// Read-and-clear the lossy marker (reported to the client in-band).
+  bool take_lossy() {
+    const bool l = lossy_;
+    lossy_ = false;
+    return l;
+  }
+
+ private:
+  std::deque<std::vector<unsigned char>> frames_;
+  std::size_t front_off_ = 0;  // sent prefix of frames_.front()
+  std::size_t bytes_ = 0;      // unsent total across all frames
+  std::size_t cap_;
+  bool lossy_ = false;
+};
+
+}  // namespace cgs::svc

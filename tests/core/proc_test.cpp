@@ -5,13 +5,18 @@
 #include "core/proc.hpp"
 
 #include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
+#include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -145,6 +150,79 @@ TEST(Proc, AddressSpaceLimitSurfacesAsResource) {
   // Orderly path: the allocation fails, the child reports bad_alloc as a
   // clean kResource failure (no signal at all).
   EXPECT_EQ(r.cls, ErrorClass::kResource) << r.message;
+}
+
+// Counts deliveries so the storm test can prove signals actually landed.
+std::atomic<int> g_storm_signals{0};
+void storm_handler(int) { g_storm_signals.fetch_add(1); }
+
+// Regression: a signal storm (SIGCHLD-adjacent, as sibling workers reap
+// their children, plus operator signals) interrupting the supervisor while
+// a multi-megabyte result frame crosses the pipe must cost retries, not
+// bytes.  The handler is installed WITHOUT SA_RESTART so every landed
+// signal turns an in-flight read/write into EINTR or a short transfer —
+// exactly the case the EINTR-hardened I/O helpers exist for.
+TEST(Proc, FrameSurvivesSignalStormDuringTransfer) {
+  if (kSanitized) {
+    GTEST_SKIP() << "signal-storm timing is unreliable under sanitizers";
+  }
+  struct sigaction sa{};
+  struct sigaction old{};
+  sa.sa_handler = storm_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART: force EINTR
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+  g_storm_signals.store(0);
+
+  // A payload far beyond the pipe buffer, so the transfer spans many
+  // syscalls on both sides and the storm has real windows to hit.
+  std::vector<unsigned char> want(4u << 20);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    want[i] = (unsigned char)(i * 167 + 13);
+  }
+
+  const pthread_t target = pthread_self();
+  std::atomic<bool> storming{true};
+  std::thread storm([&] {
+    while (storming.load(std::memory_order_relaxed)) {
+      pthread_kill(target, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+
+  for (int i = 0; i < 8; ++i) {
+    const ChildResult r = run_forked([&want] { return want; }, {});
+    ASSERT_TRUE(r.ok) << "iteration " << i << ": " << r.message;
+    ASSERT_EQ(r.payload, want) << "iteration " << i;
+  }
+
+  storming.store(false, std::memory_order_relaxed);
+  storm.join();
+  ASSERT_EQ(sigaction(SIGUSR1, &old, nullptr), 0);
+  EXPECT_GT(g_storm_signals.load(), 0)
+      << "storm never landed a signal — the test exercised nothing";
+}
+
+// The exact-I/O helpers on a plain pipe: short transfers accumulate and
+// EOF-before-n is an orderly false, not garbage.
+TEST(Proc, ExactIoHelpersAccumulateAndDetectEof) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  std::vector<unsigned char> want(100'000);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    want[i] = (unsigned char)(i * 31 + 5);
+  }
+  std::thread writer([&] {
+    ASSERT_TRUE(write_exact(fds[1], want.data(), want.size()));
+    close(fds[1]);
+  });
+  std::vector<unsigned char> got(want.size());
+  EXPECT_TRUE(read_exact(fds[0], got.data(), got.size()));
+  EXPECT_EQ(got, want);
+  unsigned char extra = 0;
+  EXPECT_FALSE(read_exact(fds[0], &extra, 1)) << "EOF must read false";
+  writer.join();
+  close(fds[0]);
 }
 
 TEST(Proc, BackoffGrowsCapsAndJittersDeterministically) {

@@ -1,0 +1,35 @@
+// The CLI exit codes are a contract with every script that branches on
+// them — the CI jobs first among them.  This test pins the numeric values:
+// a renumbering (as opposed to an append) must fail loudly here, not
+// silently flip a script's error handling.
+#include "tools/exit_codes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cgs::tools {
+namespace {
+
+TEST(ExitCodes, ValuesArePinned) {
+  EXPECT_EQ(kExitOk, 0);
+  EXPECT_EQ(kExitVerifyFailed, 1);
+  EXPECT_EQ(kExitUsage, 2);
+  EXPECT_EQ(kExitJobsFailed, 3);
+  EXPECT_EQ(kExitInterrupted, 4);
+  EXPECT_EQ(kExitJournalMismatch, 5);
+  EXPECT_EQ(kExitUnavailable, 6);
+}
+
+TEST(ExitCodes, ValuesAreDistinct) {
+  const int codes[] = {kExitOk,          kExitVerifyFailed,
+                       kExitUsage,       kExitJobsFailed,
+                       kExitInterrupted, kExitJournalMismatch,
+                       kExitUnavailable};
+  for (std::size_t i = 0; i < std::size(codes); ++i) {
+    for (std::size_t j = i + 1; j < std::size(codes); ++j) {
+      EXPECT_NE(codes[i], codes[j]) << "codes " << i << " and " << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cgs::tools

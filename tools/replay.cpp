@@ -30,11 +30,15 @@
 #include <vector>
 
 #include "cgstream.hpp"
+#include "exit_codes.hpp"
 #include "grids.hpp"
 
 namespace {
 
 using cgs::core::JournalEntry;
+using cgs::tools::kExitOk;
+using cgs::tools::kExitUsage;
+using cgs::tools::kExitVerifyFailed;
 using cgs::core::Scenario;
 using cgs::core::SweepCell;
 
@@ -100,7 +104,7 @@ Args parse_args(int argc, char** argv) {
       a.job_cpu_s = std::atoi(arg + 10);
     } else {
       usage();
-      std::exit(std::strcmp(arg, "--help") == 0 ? 0 : 2);
+      std::exit(std::strcmp(arg, "--help") == 0 ? kExitOk : kExitUsage);
     }
   }
   return a;
@@ -252,11 +256,11 @@ int main(int argc, char** argv) {
       scan = cgs::core::read_journal(args.journal);
     } catch (const cgs::core::JournalError& e) {
       std::fprintf(stderr, "%s\n", e.what());
-      return 2;
+      return kExitUsage;
     }
     if (!scan) {
       std::fprintf(stderr, "no journal at '%s'\n", args.journal.c_str());
-      return 2;
+      return kExitUsage;
     }
     if (scan->torn_tail) {
       std::fprintf(stderr,
@@ -268,7 +272,7 @@ int main(int argc, char** argv) {
                    "journal note '%s' does not name its grid — pass "
                    "--grid/--gridseed/--runs explicitly\n",
                    scan->meta.note.c_str());
-      return 2;
+      return kExitUsage;
     }
     entries = std::move(scan->entries);
   } else if (!args.grid.empty()) {
@@ -277,14 +281,14 @@ int main(int argc, char** argv) {
     runs = args.runs;
   } else {
     usage();
-    return 2;
+    return kExitUsage;
   }
 
   auto cells_opt = cgs::tools::grid_by_name(grid_name, grid_seed);
   if (!cells_opt) {
     std::fprintf(stderr, "unknown grid '%s' (%s)\n", grid_name.c_str(),
                  cgs::tools::kGridNames);
-    return 2;
+    return kExitUsage;
   }
   const std::vector<SweepCell> cells = std::move(*cells_opt);
 
@@ -298,7 +302,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "explicit mode needs --cellindex=0..%zu and --seed=S\n",
                    cells.size() - 1);
-      return 2;
+      return kExitUsage;
     }
     JournalEntry e;
     e.cell = std::uint32_t(args.cell_index);
@@ -309,7 +313,7 @@ int main(int argc, char** argv) {
     // so the outcome (and the packet log) is the product, not a verdict.
     std::printf("explicit mode: no journal record to verify against\n");
     (void)replay_job(cells, e, args.csv_prefix, limits);
-    return 0;
+    return kExitOk;
   }
 
   // Filter the journal's entries down to the jobs to replay.
@@ -331,7 +335,7 @@ int main(int argc, char** argv) {
   if (selected.empty()) {
     std::printf("nothing to replay (%zu journal entries, none selected)\n",
                 entries.size());
-    return 0;
+    return kExitOk;
   }
 
   std::printf("replaying %zu of %zu journaled jobs from grid '%s'\n",
@@ -343,8 +347,8 @@ int main(int argc, char** argv) {
   if (mismatches > 0) {
     std::fprintf(stderr, "%d of %zu replays did NOT reproduce\n", mismatches,
                  selected.size());
-    return 1;
+    return kExitVerifyFailed;
   }
   std::printf("all %zu replays reproduced\n", selected.size());
-  return 0;
+  return kExitOk;
 }

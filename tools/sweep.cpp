@@ -47,11 +47,18 @@
 #include <vector>
 
 #include "cgstream.hpp"
+#include "exit_codes.hpp"
 #include "grids.hpp"
 
 namespace {
 
 using cgs::core::SweepCell;
+using cgs::tools::kExitInterrupted;
+using cgs::tools::kExitJobsFailed;
+using cgs::tools::kExitJournalMismatch;
+using cgs::tools::kExitOk;
+using cgs::tools::kExitUsage;
+using cgs::tools::kExitVerifyFailed;
 
 std::atomic<bool> g_stop{false};
 
@@ -102,7 +109,7 @@ Args parse_args(int argc, char** argv) {
       } else {
         std::fprintf(stderr, "unknown isolation '%s' (forked|inprocess)\n",
                      mode);
-        std::exit(2);
+        std::exit(kExitUsage);
       }
     } else if (std::strncmp(arg, "--job-timeout=", 14) == 0) {
       a.job_timeout_s = std::atof(arg + 14);
@@ -125,7 +132,7 @@ Args parse_args(int argc, char** argv) {
           "             [--isolation=forked|inprocess] [--strikes=K]\n"
           "             [--job-timeout=SECS] [--job-mem=MB] [--job-cpu=SECS]\n",
           cgs::tools::kGridNames);
-      std::exit(std::strcmp(arg, "--help") == 0 ? 0 : 2);
+      std::exit(std::strcmp(arg, "--help") == 0 ? kExitOk : kExitUsage);
     }
   }
   if (a.csv_prefix.empty()) a.csv_prefix = a.grid;
@@ -254,7 +261,7 @@ int main(int argc, char** argv) {
   if (!cells_opt) {
     std::fprintf(stderr, "unknown grid '%s' (%s)\n", args.grid.c_str(),
                  cgs::tools::kGridNames);
-    return 2;
+    return kExitUsage;
   }
   std::vector<SweepCell> cells = std::move(*cells_opt);
 
@@ -280,10 +287,17 @@ int main(int argc, char** argv) {
                       std::to_string(args.seed) +
                       " runs=" + std::to_string(args.runs);
   if (args.progress) {
-    opts.progress = [](int done, int total) {
-      std::fprintf(stderr, "\r%d / %d runs", done, total);
-      if (done == total) std::fprintf(stderr, "\n");
+    // Throttled snapshots (not per-job callbacks): a 10k-job grid repaints
+    // the line a few times a second, not ten thousand times.
+    opts.on_snapshot = [](const cgs::core::ProgressSnapshot& s) {
+      std::fprintf(stderr, "\r%d / %d runs (%zu/%zu cells", s.finished,
+                   s.total, s.cells_finished, s.cells);
+      if (s.failed > 0) std::fprintf(stderr, ", %d failed", s.failed);
+      if (s.retries > 0) std::fprintf(stderr, ", %d retries", s.retries);
+      std::fprintf(stderr, ")");
+      if (s.final) std::fprintf(stderr, "\n");
     };
+    opts.snapshot_interval_ms = 100;
   }
 
   const std::string journal_suffix =
@@ -296,7 +310,7 @@ int main(int argc, char** argv) {
     sweep = cgs::core::run_sweep(cells, opts);
   } catch (const cgs::core::JournalMismatchError& e) {
     std::fprintf(stderr, "\n%s\n", e.what());
-    return 5;
+    return kExitJournalMismatch;
   }
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -322,83 +336,24 @@ int main(int argc, char** argv) {
                    args.grid.c_str(), args.runs,
                    (unsigned long long)args.seed, args.journal.c_str());
     }
-    return 4;
+    return kExitInterrupted;
   }
 
   struct rusage ru {};
   getrusage(RUSAGE_SELF, &ru);
   const double peak_rss_mb = double(ru.ru_maxrss) / 1024.0;  // Linux: KiB
 
-  const std::string path = args.csv_prefix + "_cells.csv";
-  cgs::CsvWriter csv(path);
-  csv.header({"cell", "runs", "fairness_mean", "fairness_sd",
-              "game_fair_mbps", "tcp_fair_mbps", "jain_mean", "rtt_ms_mean",
-              "rtt_ms_sd", "fps_mean", "loss_mean", "steady_mean_mbps",
-              "response_s", "recovery_s"});
-  for (std::size_t i = 0; i < sweep.results.size(); ++i) {
-    const auto& r = sweep.results[i];
-    csv.row({sweep.cells[i].label, std::to_string(r.runs),
-             std::to_string(r.fairness_mean), std::to_string(r.fairness_sd),
-             std::to_string(r.game_fair_mbps),
-             std::to_string(r.tcp_fair_mbps), std::to_string(r.jain_mean),
-             std::to_string(r.rtt_mean_ms), std::to_string(r.rtt_sd_ms),
-             std::to_string(r.fps_mean), std::to_string(r.loss_mean),
-             std::to_string(r.steady_mean_mbps),
-             std::to_string(r.rr.response_s),
-             std::to_string(r.rr.recovery_s)});
-  }
+  // One shared writer (core/report) defines the CSV format for the CLI and
+  // the daemon — the crash-recovery cmp checks depend on that.
+  const cgs::core::SweepCsvFiles files =
+      cgs::core::write_sweep_csvs(args.csv_prefix, sweep);
   std::printf("wrote %s (%zu cells) — wall %.1f s, peak RSS %.1f MB\n",
-              path.c_str(), sweep.results.size(), wall, peak_rss_mb);
-
-  // Per-link digest: one row per (cell, topology link).  Single-bottleneck
-  // grids get one "bottleneck" row per cell; parking lots one per hop.
-  {
-    std::size_t link_rows = 0;
-    const std::string lpath = args.csv_prefix + "_links.csv";
-    cgs::CsvWriter lcsv(lpath);
-    lcsv.header({"cell", "link", "util_fair_mbps_mean", "util_fair_mbps_sd",
-                 "drops_mean", "drops_sd", "peak_depth_bytes_mean"});
-    for (std::size_t i = 0; i < sweep.results.size(); ++i) {
-      for (const auto& l : sweep.results[i].link_rows) {
-        lcsv.row({sweep.cells[i].label, l.name,
-                  std::to_string(l.util_fair_mean),
-                  std::to_string(l.util_fair_sd), std::to_string(l.drops_mean),
-                  std::to_string(l.drops_sd),
-                  std::to_string(l.peak_depth_mean)});
-        ++link_rows;
-      }
-    }
-    std::printf("wrote %s (%zu link rows)\n", lpath.c_str(), link_rows);
-  }
-  // Fleet population digest: one row per cell that ran a fluid fleet
-  // (omitted entirely for fleet-free grids).
-  {
-    std::size_t fleet_rows = 0;
-    for (const auto& r : sweep.results) {
-      if (r.fleet.active) ++fleet_rows;
-    }
-    if (fleet_rows > 0) {
-      const std::string fpath = args.csv_prefix + "_fleet.csv";
-      cgs::CsvWriter fcsv(fpath);
-      fcsv.header({"cell", "runs", "peak_sessions_mean", "p50_mbps_mean",
-                   "p95_mbps_mean", "p99_mbps_mean", "mean_mbps_mean",
-                   "stall_rate_mean", "jain_mean", "arrivals_mean",
-                   "departures_mean"});
-      for (std::size_t i = 0; i < sweep.results.size(); ++i) {
-        const auto& f = sweep.results[i].fleet;
-        if (!f.active) continue;
-        fcsv.row({sweep.cells[i].label,
-                  std::to_string(sweep.results[i].runs),
-                  std::to_string(f.peak_sessions_mean),
-                  std::to_string(f.p50_mean), std::to_string(f.p95_mean),
-                  std::to_string(f.p99_mean),
-                  std::to_string(f.mean_mbps_mean),
-                  std::to_string(f.stall_mean), std::to_string(f.jain_mean),
-                  std::to_string(f.arrivals_mean),
-                  std::to_string(f.departures_mean)});
-      }
-      std::printf("wrote %s (%zu fleet rows)\n", fpath.c_str(), fleet_rows);
-    }
+              files.cells_path.c_str(), files.cell_rows, wall, peak_rss_mb);
+  std::printf("wrote %s (%zu link rows)\n", files.links_path.c_str(),
+              files.link_rows);
+  if (!files.fleet_path.empty()) {
+    std::printf("wrote %s (%zu fleet rows)\n", files.fleet_path.c_str(),
+                files.fleet_rows);
   }
   if (report.progress_errors > 0) {
     std::fprintf(stderr, "warning: progress callback threw %d time%s\n",
@@ -414,7 +369,7 @@ int main(int argc, char** argv) {
                    "replay a failure with:\n  replay --journal=%s --failed\n",
                    args.journal.c_str());
     }
-    return 3;
+    return kExitJobsFailed;
   }
 
   if (args.verify) {
@@ -423,9 +378,9 @@ int main(int argc, char** argv) {
       all_ok = verify_cell(sweep.cells[i], sweep.results[i], args.runs) &&
                all_ok;
     }
-    if (!all_ok) return 1;
+    if (!all_ok) return kExitVerifyFailed;
     std::printf("verify OK: streaming == batch for all %zu cells\n",
                 sweep.cells.size());
   }
-  return 0;
+  return kExitOk;
 }

@@ -1,0 +1,309 @@
+// sweepctl: command-line client for cgs-sweepd.
+//
+//   sweepctl --port N        submit key=value [key=value ...]
+//   sweepctl --portfile P    status
+//                            watch JOB
+//                            cancel JOB
+//                            drain
+//
+// watch streams progress snapshots until the job reaches a terminal
+// state, reconnecting with bounded exponential backoff (core/proc
+// backoff_ms) across daemon restarts and resuming from the last seen
+// snapshot seq — a drained-and-restarted daemon looks like a brief pause,
+// not a failure.
+//
+// Exit codes (tools/exit_codes.hpp): 0 done, 2 usage, 3 refused/failed,
+// 4 cancelled, 6 daemon unreachable.
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cgstream.hpp"
+#include "exit_codes.hpp"
+#include "svc/protocol.hpp"
+
+namespace {
+
+using cgs::svc::Frame;
+using cgs::svc::FrameParser;
+using cgs::svc::KvMap;
+using cgs::svc::MsgType;
+using cgs::tools::kExitInterrupted;
+using cgs::tools::kExitJobsFailed;
+using cgs::tools::kExitOk;
+using cgs::tools::kExitUnavailable;
+using cgs::tools::kExitUsage;
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--port N | --portfile PATH) VERB [args]\n"
+               "  submit key=value ...   admit a sweep (grid=NAME or an\n"
+               "                         inline system=/cc=/... scenario)\n"
+               "  status                 list the daemon's jobs\n"
+               "  watch JOB              stream progress until terminal\n"
+               "  cancel JOB             cancel a queued or running job\n"
+               "  drain                  ask the daemon to drain and exit\n",
+               argv0);
+}
+
+/// Blocking loopback connection; -1 when the daemon is unreachable.
+int dial(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(std::uint16_t(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_frame(int fd, MsgType type, const std::string& payload) {
+  const auto bytes = cgs::svc::encode_frame(type, payload);
+  return cgs::core::proc::write_exact(fd, bytes.data(), bytes.size());
+}
+
+/// Read one frame (blocking).  False on EOF/error/garbage.
+bool recv_frame(int fd, FrameParser& parser, Frame& out) {
+  for (;;) {
+    const FrameParser::Status st = parser.next(out);
+    if (st == FrameParser::Status::kFrame) return true;
+    if (st == FrameParser::Status::kBad) return false;
+    unsigned char chunk[4096];
+    const long r = cgs::core::proc::read_some(fd, chunk, sizeof chunk);
+    if (r <= 0) return false;
+    parser.feed(chunk, std::size_t(r));
+  }
+}
+
+void print_error(const Frame& f) {
+  const KvMap kv = cgs::svc::parse_kv(f.text());
+  std::fprintf(stderr, "sweepctl: %s: %s\n",
+               cgs::svc::kv_get(kv, "name", "error").c_str(),
+               cgs::svc::kv_get(kv, "message").c_str());
+  const std::string retry = cgs::svc::kv_get(kv, "retry_after_s");
+  if (!retry.empty()) {
+    std::fprintf(stderr, "sweepctl: retry after %ss\n", retry.c_str());
+  }
+}
+
+/// One-shot request/response verbs (submit, status, cancel, drain).
+int simple_request(int port, MsgType type, const std::string& payload) {
+  const int fd = dial(port);
+  if (fd < 0) {
+    std::fprintf(stderr, "sweepctl: cannot reach daemon on 127.0.0.1:%d\n",
+                 port);
+    return kExitUnavailable;
+  }
+  FrameParser parser;
+  Frame f;
+  int rc = kExitUnavailable;
+  if (send_frame(fd, type, payload) && recv_frame(fd, parser, f)) {
+    switch (f.type) {
+      case MsgType::kAccepted: {
+        const KvMap kv = cgs::svc::parse_kv(f.text());
+        std::printf("job %s accepted (journal %s)\n",
+                    cgs::svc::kv_get(kv, "job").c_str(),
+                    cgs::svc::kv_get(kv, "journal").c_str());
+        rc = kExitOk;
+        break;
+      }
+      case MsgType::kReport:
+        std::fputs(f.text().c_str(), stdout);
+        rc = kExitOk;
+        break;
+      case MsgType::kError:
+        print_error(f);
+        rc = kExitJobsFailed;
+        break;
+      default:
+        std::fprintf(stderr, "sweepctl: unexpected reply type %d\n",
+                     int(std::uint8_t(f.type)));
+        rc = kExitJobsFailed;
+        break;
+    }
+  } else {
+    std::fprintf(stderr, "sweepctl: connection lost\n");
+  }
+  ::close(fd);
+  return rc;
+}
+
+void print_snapshot(const KvMap& kv) {
+  std::printf("job %s  %s  %s/%s runs (%s/%s cells)",
+              cgs::svc::kv_get(kv, "job").c_str(),
+              cgs::svc::kv_get(kv, "state").c_str(),
+              cgs::svc::kv_get(kv, "finished", "0").c_str(),
+              cgs::svc::kv_get(kv, "total", "?").c_str(),
+              cgs::svc::kv_get(kv, "cells_finished", "0").c_str(),
+              cgs::svc::kv_get(kv, "cells", "?").c_str());
+  const std::string failed = cgs::svc::kv_get(kv, "failed", "0");
+  if (failed != "0") std::printf("  %s failed", failed.c_str());
+  if (cgs::svc::kv_get(kv, "lossy") == "1") std::printf("  [lossy]");
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+/// Stream a job to its terminal state, reconnecting with deterministic
+/// bounded backoff and resuming from the last seen snapshot seq.
+int watch(int port, const std::string& job) {
+  std::uint64_t last_seq = 0;
+  int attempt = 0;
+  constexpr int kMaxAttempts = 8;
+
+  for (;;) {
+    const int fd = dial(port);
+    if (fd < 0) {
+      ++attempt;
+      if (attempt > kMaxAttempts) {
+        std::fprintf(stderr,
+                     "sweepctl: daemon unreachable after %d attempts\n",
+                     kMaxAttempts);
+        return kExitUnavailable;
+      }
+      const std::uint32_t wait = cgs::core::proc::backoff_ms(
+          100, 5'000, attempt, std::uint64_t(port) ^ 0x77617463ULL);
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+      continue;
+    }
+    attempt = 0;  // a successful dial resets the clock
+
+    KvMap req;
+    req["job"] = job;
+    if (last_seq > 0) req["seq"] = std::to_string(last_seq);
+    FrameParser parser;
+    Frame f;
+    bool alive = send_frame(fd, MsgType::kWatch, cgs::svc::encode_kv(req));
+    while (alive && recv_frame(fd, parser, f)) {
+      const KvMap kv = cgs::svc::parse_kv(f.text());
+      switch (f.type) {
+        case MsgType::kSnapshot: {
+          const std::string seq = cgs::svc::kv_get(kv, "seq");
+          if (!seq.empty()) {
+            last_seq = std::strtoull(seq.c_str(), nullptr, 10);
+          }
+          print_snapshot(kv);
+          break;
+        }
+        case MsgType::kDone: {
+          const std::string state = cgs::svc::kv_get(kv, "state");
+          const std::string csv = cgs::svc::kv_get(kv, "csv");
+          std::printf("job %s %s", job.c_str(), state.c_str());
+          if (!csv.empty()) std::printf("  (csv %s_*.csv)", csv.c_str());
+          const std::string error = cgs::svc::kv_get(kv, "error");
+          if (!error.empty()) std::printf("  [%s]", error.c_str());
+          std::printf("\n");
+          ::close(fd);
+          if (state == "done") return kExitOk;
+          if (state == "cancelled") return kExitInterrupted;
+          return kExitJobsFailed;
+        }
+        case MsgType::kError:
+          print_error(f);
+          ::close(fd);
+          return kExitJobsFailed;
+        default:
+          break;  // reports etc.: ignore while watching
+      }
+    }
+    // Connection dropped mid-watch (daemon drained or crashed): back off
+    // and reconnect; last_seq suppresses replays of what we already saw.
+    ::close(fd);
+    ++attempt;
+    if (attempt > kMaxAttempts) {
+      std::fprintf(stderr, "sweepctl: lost the daemon for good\n");
+      return kExitUnavailable;
+    }
+    const std::uint32_t wait = cgs::core::proc::backoff_ms(
+        100, 5'000, attempt, std::uint64_t(port) ^ 0x77617463ULL);
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  (void)::signal(SIGPIPE, SIG_IGN);
+  int port = 0;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--portfile" && i + 1 < argc) {
+      std::FILE* f = std::fopen(argv[++i], "r");
+      if (f == nullptr || std::fscanf(f, "%d", &port) != 1) {
+        std::fprintf(stderr, "sweepctl: cannot read port from %s\n",
+                     argv[i]);
+        if (f != nullptr) std::fclose(f);
+        return kExitUsage;
+      }
+      std::fclose(f);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return kExitOk;
+    } else {
+      break;  // first non-option: the verb
+    }
+  }
+  if (port <= 0 || i >= argc) {
+    usage(argv[0]);
+    return kExitUsage;
+  }
+
+  const std::string verb = argv[i++];
+  if (verb == "submit") {
+    KvMap spec;
+    for (; i < argc; ++i) {
+      const std::string kv = argv[i];
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr, "sweepctl: submit args are key=value, got "
+                             "'%s'\n",
+                     kv.c_str());
+        return kExitUsage;
+      }
+      spec[kv.substr(0, eq)] = kv.substr(eq + 1);
+    }
+    if (spec.empty()) {
+      std::fprintf(stderr, "sweepctl: submit needs at least one "
+                           "key=value\n");
+      return kExitUsage;
+    }
+    return simple_request(port, MsgType::kSubmit, cgs::svc::encode_kv(spec));
+  }
+  if (verb == "status") return simple_request(port, MsgType::kStatus, "");
+  if (verb == "watch") {
+    if (i >= argc) {
+      std::fprintf(stderr, "sweepctl: watch needs a job id\n");
+      return kExitUsage;
+    }
+    return watch(port, argv[i]);
+  }
+  if (verb == "cancel") {
+    if (i >= argc) {
+      std::fprintf(stderr, "sweepctl: cancel needs a job id\n");
+      return kExitUsage;
+    }
+    return simple_request(port, MsgType::kCancel,
+                          "job=" + std::string(argv[i]) + "\n");
+  }
+  if (verb == "drain") return simple_request(port, MsgType::kDrain, "");
+
+  std::fprintf(stderr, "sweepctl: unknown verb '%s'\n", verb.c_str());
+  usage(argv[0]);
+  return kExitUsage;
+}
